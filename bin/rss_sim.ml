@@ -1,0 +1,215 @@
+(* rss_sim — command-line front end to the Restricted Slow-Start
+   simulator.
+
+     rss_sim run --slow-start restricted --duration 25
+     rss_sim compare --rtt-ms 120
+     rss_sim calibrate *)
+
+open Cmdliner
+
+(* --- shared options ---------------------------------------------------- *)
+
+let rate_mbps =
+  let doc = "Path line rate in Mbit/s." in
+  Arg.(value & opt float 100. & info [ "rate" ] ~docv:"MBPS" ~doc)
+
+let rtt_ms =
+  let doc = "Path round-trip time in milliseconds." in
+  Arg.(value & opt int 60 & info [ "rtt-ms" ] ~docv:"MS" ~doc)
+
+let ifq =
+  let doc = "Interface queue capacity in packets (Linux txqueuelen)." in
+  Arg.(value & opt int 100 & info [ "ifq" ] ~docv:"PKTS" ~doc)
+
+let duration_s =
+  let doc = "Simulated duration in seconds." in
+  Arg.(value & opt float 25. & info [ "duration" ] ~docv:"SECONDS" ~doc)
+
+let seed =
+  let doc = "Deterministic random seed." in
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc)
+
+let loss =
+  let doc = "Independent forward-path loss probability (0..1)." in
+  Arg.(value & opt float 0. & info [ "loss" ] ~docv:"P" ~doc)
+
+let spec_of ~rate_mbps ~rtt_ms ~ifq ~duration_s ~seed ~loss =
+  {
+    Core.Run.default_spec with
+    rate = Sim.Units.mbps rate_mbps;
+    one_way_delay = Sim.Time.ms (rtt_ms / 2);
+    ifq_capacity = ifq;
+    duration = Sim.Time.of_sec duration_s;
+    seed;
+    loss_rate = loss;
+  }
+
+let print_result (r : Core.Run.result) =
+  Printf.printf
+    "%-11s  goodput %7.2f Mbit/s  util %5.1f%%  stalls %-3d cong.signals \
+     %-3d retx %-4d timeouts %-2d cwnd %7.1f seg  mean IFQ %6.1f\n"
+    r.Core.Run.label r.Core.Run.goodput_mbps
+    (100. *. r.Core.Run.utilization)
+    r.Core.Run.send_stalls r.Core.Run.congestion_signals
+    r.Core.Run.retransmits r.Core.Run.timeouts r.Core.Run.final_cwnd_segments
+    r.Core.Run.mean_ifq
+
+(* --- run ---------------------------------------------------------------- *)
+
+let run_cmd =
+  let slow_start =
+    let doc = "Slow-start policy: standard | limited | hystart | restricted." in
+    Arg.(value & opt string "restricted" & info [ "slow-start"; "s" ] ~doc)
+  in
+  let local_congestion =
+    let doc = "Reaction to send-stalls: halve | cwr | ignore." in
+    Arg.(value & opt string "halve" & info [ "local-congestion" ] ~doc)
+  in
+  let bytes =
+    let doc = "Transfer size in bytes (default: saturating)." in
+    Arg.(value & opt (some int) None & info [ "bytes" ] ~docv:"N" ~doc)
+  in
+  let csv_prefix =
+    let doc = "Write cwnd/stall/IFQ time series as PREFIX_<name>.csv." in
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"PREFIX" ~doc)
+  in
+  let pacing =
+    let doc = "Pace data segments (sch_fq-style)." in
+    Arg.(value & flag & info [ "pacing" ] ~doc)
+  in
+  let cc =
+    let doc = "Congestion avoidance: reno | cubic | vegas." in
+    Arg.(value & opt string "reno" & info [ "cc" ] ~doc)
+  in
+  let chart =
+    let doc = "Draw an ASCII chart of the window trajectory." in
+    Arg.(value & flag & info [ "chart" ] ~doc)
+  in
+  let action slow_start local_congestion bytes csv_prefix pacing cc
+      chart rate_mbps rtt_ms ifq duration_s seed loss =
+    let cong_avoid =
+      match cc with
+      | "reno" -> Core.Run.Reno
+      | "cubic" -> Core.Run.Cubic
+      | "vegas" -> Core.Run.Vegas
+      | other ->
+          Printf.eprintf "unknown congestion avoidance %S\n" other;
+          exit 2
+    in
+    match Tcp.Local_congestion.of_string local_congestion with
+    | Error e ->
+        prerr_endline e;
+        exit 2
+    | Ok policy -> (
+        let spec =
+          {
+            (spec_of ~rate_mbps ~rtt_ms ~ifq ~duration_s ~seed ~loss) with
+            Core.Run.slow_start;
+            local_congestion = policy;
+            bytes;
+            pacing;
+            cong_avoid;
+          }
+        in
+        try
+          let r = Core.Run.bulk spec in
+          print_result r;
+          (match r.Core.Run.completion with
+          | Some t ->
+              Printf.printf "transfer completed at t=%.3f s\n"
+                (Sim.Time.to_sec t)
+          | None -> ());
+          if chart then
+            print_string
+              (Report.Ascii_chart.line_chart
+                 ~title:"congestion window (segments)" ~x_label:"time (s)"
+                 ~y_label:"cwnd"
+                 [
+                   Report.Ascii_chart.of_series ~label:r.Core.Run.label
+                     r.Core.Run.cwnd_series;
+                 ]);
+          match csv_prefix with
+          | None -> ()
+          | Some prefix ->
+              List.iter
+                (fun (tag, series) ->
+                  let path = Printf.sprintf "%s_%s.csv" prefix tag in
+                  Report.Csv.write_series ~path ~name:tag series;
+                  Printf.printf "wrote %s\n" path)
+                [
+                  ("cwnd", r.Core.Run.cwnd_series);
+                  ("stalls", r.Core.Run.stalls_series);
+                  ("ifq", r.Core.Run.ifq_series);
+                  ("throughput", r.Core.Run.throughput_series);
+                ]
+        with Invalid_argument e ->
+          prerr_endline e;
+          exit 2)
+  in
+  let term =
+    Term.(
+      const action $ slow_start $ local_congestion $ bytes $ csv_prefix
+      $ pacing $ cc $ chart $ rate_mbps $ rtt_ms $ ifq $ duration_s $ seed
+      $ loss)
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one bulk transfer and report web100 counters.")
+    term
+
+(* --- compare ------------------------------------------------------------ *)
+
+let compare_cmd =
+  let action rate_mbps rtt_ms ifq duration_s seed loss =
+    let spec = spec_of ~rate_mbps ~rtt_ms ~ifq ~duration_s ~seed ~loss in
+    List.iter
+      (fun name ->
+        print_result
+          (Core.Run.bulk ~label:name { spec with Core.Run.slow_start = name }))
+      [ "standard"; "limited"; "hystart"; "restricted" ]
+  in
+  let term =
+    Term.(
+      const action $ rate_mbps $ rtt_ms $ ifq $ duration_s $ seed $ loss)
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run every slow-start policy on the same path and compare.")
+    term
+
+(* --- calibrate ----------------------------------------------------------- *)
+
+let calibrate_cmd =
+  let action rate_mbps rtt_ms ifq =
+    match
+      Core.Calibrate.ultimate_gain ~rate:(Sim.Units.mbps rate_mbps)
+        ~one_way_delay:(Sim.Time.ms (rtt_ms / 2))
+        ~ifq_capacity:ifq ()
+    with
+    | Error e ->
+        Printf.eprintf "calibration failed: %s\n" e;
+        exit 1
+    | Ok result ->
+        let critical = result.Control.Ziegler_nichols.critical in
+        Format.printf "critical point: %a@." Control.Tuning.pp_critical
+          critical;
+        let show name gains =
+          Format.printf "  %-14s %a@." name Control.Pid.pp_gains gains
+        in
+        show "paper rule" (Control.Tuning.paper_pid critical);
+        show "classic ZN" (Control.Tuning.zn_pid critical);
+        show "ZN PI" (Control.Tuning.zn_pi critical);
+        show "Tyreus-Luyben" (Control.Tuning.tyreus_luyben critical);
+        show "Pessen" (Control.Tuning.pessen critical)
+  in
+  let term = Term.(const action $ rate_mbps $ rtt_ms $ ifq) in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Measure the IFQ plant's critical point with the in-simulation \
+          Ziegler-Nichols experiment and print tuned gains.")
+    term
+
+let () =
+  let doc = "Restricted Slow-Start for TCP — simulator front end" in
+  let info = Cmd.info "rss_sim" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; compare_cmd; calibrate_cmd ]))

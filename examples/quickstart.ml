@@ -1,0 +1,38 @@
+(* Quickstart: build the paper's path, run standard TCP and Restricted
+   Slow-Start side by side, print what happened.
+
+     dune exec examples/quickstart.exe *)
+
+let describe name (r : Core.Run.result) =
+  Printf.printf
+    "%-11s %6.2f Mbit/s (%4.1f%% of line rate), %d send-stall(s), final \
+     cwnd %.0f segments\n"
+    name r.Core.Run.goodput_mbps
+    (100. *. r.Core.Run.utilization)
+    r.Core.Run.send_stalls r.Core.Run.final_cwnd_segments
+
+let () =
+  print_endline "Restricted Slow-Start quickstart";
+  print_endline "--------------------------------";
+  print_endline
+    "Path: 100 Mbit/s, 60 ms RTT (ANL->LBNL), interface queue 100 packets.\n";
+  (* A 10-second saturating transfer with each slow-start policy. The
+     spec is a plain record: change any field and rerun. *)
+  let spec = { Core.Run.default_spec with duration = Sim.Time.sec 10 } in
+  let standard = Core.Run.bulk { spec with slow_start = "standard" } in
+  let restricted = Core.Run.bulk { spec with slow_start = "restricted" } in
+  describe "standard" standard;
+  describe "restricted" restricted;
+  Printf.printf
+    "\nThe standard sender overruns its own interface queue during\n\
+     slow-start; Linux treats the failed enqueue as network congestion\n\
+     and halves the window. The PID-controlled sender holds the queue\n\
+     at 90%% of capacity (measured mean: %.1f packets) and never stalls.\n"
+    restricted.Core.Run.mean_ifq;
+  let improvement =
+    100.
+    *. (restricted.Core.Run.goodput_mbps -. standard.Core.Run.goodput_mbps)
+    /. standard.Core.Run.goodput_mbps
+  in
+  Printf.printf "Throughput improvement: %.0f%% (paper reports ~40%%).\n"
+    improvement

@@ -1,0 +1,53 @@
+(* Compare every slow-start policy in the library on one chart: window
+   trajectory and cumulative send-stalls over the first 20 seconds.
+
+     dune exec examples/variant_comparison.exe *)
+
+let () =
+  let results =
+    List.map
+      (fun name ->
+        let spec =
+          {
+            Core.Run.default_spec with
+            duration = Sim.Time.sec 20;
+            slow_start = name;
+          }
+        in
+        Core.Run.bulk ~label:name spec)
+      [ "standard"; "limited"; "hystart"; "restricted" ]
+  in
+  print_string
+    (Report.Ascii_chart.line_chart ~title:"congestion window (segments)"
+       ~x_label:"time (s)" ~y_label:"cwnd"
+       (List.map
+          (fun (r : Core.Run.result) ->
+            Report.Ascii_chart.of_series ~label:r.Core.Run.label
+              r.Core.Run.cwnd_series)
+          results));
+  print_newline ();
+  print_string
+    (Report.Table.render
+       ~aligns:
+         [
+           Report.Table.Left; Report.Table.Right; Report.Table.Right;
+           Report.Table.Right; Report.Table.Right;
+         ]
+       ~headers:[ "policy"; "goodput(Mb/s)"; "stalls"; "mean IFQ"; "t90(s)" ]
+       ~rows:
+         (List.map
+            (fun (r : Core.Run.result) ->
+              [
+                r.Core.Run.label;
+                Report.Table.cell_f r.Core.Run.goodput_mbps;
+                Report.Table.cell_i r.Core.Run.send_stalls;
+                Report.Table.cell_f r.Core.Run.mean_ifq;
+                (match r.Core.Run.time_to_90pct_util with
+                | Some s -> Report.Table.cell_f s
+                | None -> "never");
+              ])
+            results)
+       ());
+  print_string
+    "\nlimited = RFC 3742 Limited Slow-Start; hystart = Hybrid Slow Start;\n\
+     restricted = this paper's PID controller on the interface queue.\n"

@@ -1,0 +1,81 @@
+type verdict =
+  | Damped
+  | Sustained of { period : float; amplitude : float }
+  | Diverging
+  | Inconclusive
+
+(* Cycle extraction by upward zero crossings of the de-meaned signal:
+   robust to sample noise that trips naive local-maximum detection. *)
+let cycles ~dt samples =
+  let n = Array.length samples in
+  if n < 4 then []
+  else begin
+    let mean = Array.fold_left ( +. ) 0. samples /. float_of_int n in
+    let crossings = ref [] in
+    for i = 1 to n - 1 do
+      if samples.(i - 1) -. mean < 0. && samples.(i) -. mean >= 0. then
+        crossings := i :: !crossings
+    done;
+    let crossings = Array.of_list (List.rev !crossings) in
+    let m = Array.length crossings in
+    if m < 2 then []
+    else
+      List.init (m - 1) (fun k ->
+          let i0 = crossings.(k) and i1 = crossings.(k + 1) in
+          let hi = ref neg_infinity and lo = ref infinity in
+          for i = i0 to i1 - 1 do
+            if samples.(i) > !hi then hi := samples.(i);
+            if samples.(i) < !lo then lo := samples.(i)
+          done;
+          let period = float_of_int (i1 - i0) *. dt in
+          let amplitude = (!hi -. !lo) /. 2. in
+          (period, amplitude))
+  end
+
+let analyze ?(settle_fraction = 0.3) ?(min_amplitude = 0.) ~dt samples =
+  assert (dt > 0.);
+  let n = Array.length samples in
+  let skip = int_of_float (settle_fraction *. float_of_int n) in
+  let tail = Array.sub samples skip (n - skip) in
+  let significant =
+    List.filter (fun (_, amp) -> amp >= min_amplitude) (cycles ~dt tail)
+  in
+  match significant with
+  | [] -> Damped
+  | [ _ ] | [ _; _ ] ->
+      (* Fewer than 3 significant cycles: too short a window to judge. *)
+      Inconclusive
+  | cs ->
+      let amps = List.map snd cs in
+      let scale =
+        List.fold_left Float.max 0. (List.map Float.abs amps) +. 1e-12
+      in
+      (* Ratios of successive cycle amplitudes. *)
+      let rec ratios = function
+        | a :: (b :: _ as rest) ->
+            ((b +. (1e-9 *. scale)) /. (a +. (1e-9 *. scale))) :: ratios rest
+        | [ _ ] | [] -> []
+      in
+      let rs = ratios amps in
+      let geo =
+        Float.exp
+          (List.fold_left (fun acc r -> acc +. Float.log r) 0. rs
+          /. float_of_int (List.length rs))
+      in
+      let mean_amp =
+        List.fold_left ( +. ) 0. amps /. float_of_int (List.length amps)
+      in
+      let mean_period =
+        List.fold_left ( +. ) 0. (List.map fst cs)
+        /. float_of_int (List.length cs)
+      in
+      if geo < 0.85 then Damped
+      else if geo > 1.15 then Diverging
+      else Sustained { period = mean_period; amplitude = mean_amp }
+
+let pp_verdict fmt = function
+  | Damped -> Format.fprintf fmt "damped"
+  | Sustained { period; amplitude } ->
+      Format.fprintf fmt "sustained (T=%.4g, A=%.4g)" period amplitude
+  | Diverging -> Format.fprintf fmt "diverging"
+  | Inconclusive -> Format.fprintf fmt "inconclusive"

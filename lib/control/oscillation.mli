@@ -1,0 +1,27 @@
+(** Detection of sustained oscillation in a sampled signal — the
+    instrument behind the Ziegler–Nichols ultimate-gain search. *)
+
+type verdict =
+  | Damped       (** oscillation decays: amplitude ratio well below 1 *)
+  | Sustained of { period : float; amplitude : float }
+  | Diverging    (** amplitude grows without bound *)
+  | Inconclusive (** too few cycles observed *)
+
+val analyze :
+  ?settle_fraction:float ->
+  ?min_amplitude:float ->
+  dt:float ->
+  float array ->
+  verdict
+(** [analyze ~dt samples] inspects the signal after discarding the first
+    [settle_fraction] (default 0.3) of it, extracts cycles between
+    upward mean-crossings, and classifies by the geometric mean of
+    successive cycle-amplitude ratios: < 0.85 damped, > 1.15 diverging,
+    otherwise sustained with [period] = mean crossing spacing and
+    [amplitude] = mean half-swing. Cycles whose half-swing is below
+    [min_amplitude] (default 0) are discarded first — without this
+    floor, quantization noise (e.g. a queue bouncing between 0 and 1
+    packets) reads as a sustained oscillation. Needs at least 3
+    significant cycles to conclude. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

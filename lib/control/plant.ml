@@ -1,0 +1,90 @@
+type model =
+  | First_order of { gain : float; tau : float }
+  | Fopdt of {
+      gain : float;
+      tau : float;
+      dead_steps : int;
+      history : float Queue.t;  (* delayed inputs, oldest first *)
+    }
+  | Integrator of { gain : float }
+  | Second_order of { gain : float; omega : float; zeta : float }
+
+type t = {
+  model : model;
+  mutable y : float;
+  mutable dy : float; (* velocity, used by second-order *)
+}
+
+let first_order ~gain ~tau =
+  assert (tau > 0.);
+  { model = First_order { gain; tau }; y = 0.; dy = 0. }
+
+let first_order_dead_time ~gain ~tau ~dead_time ~dt_hint =
+  assert (tau > 0. && dead_time >= 0. && dt_hint > 0.);
+  let dead_steps = int_of_float (Float.round (dead_time /. dt_hint)) in
+  let history = Queue.create () in
+  for _ = 1 to dead_steps do
+    Queue.add 0. history
+  done;
+  { model = Fopdt { gain; tau; dead_steps; history }; y = 0.; dy = 0. }
+
+let integrator ~gain = { model = Integrator { gain }; y = 0.; dy = 0. }
+
+let second_order ~gain ~omega ~zeta =
+  assert (omega > 0. && zeta >= 0.);
+  { model = Second_order { gain; omega; zeta }; y = 0.; dy = 0. }
+
+(* Sub-step so that forward Euler stays stable even when callers use a
+   coarse dt relative to the plant's fastest time constant. *)
+let substeps dt fastest =
+  let n = int_of_float (Float.ceil (dt /. (fastest /. 10.))) in
+  Stdlib.max 1 (Stdlib.min n 1000)
+
+let step t ~dt ~u =
+  assert (dt > 0.);
+  (match t.model with
+  | First_order { gain; tau } ->
+      let n = substeps dt tau in
+      let h = dt /. float_of_int n in
+      for _ = 1 to n do
+        t.y <- t.y +. (h *. (((gain *. u) -. t.y) /. tau))
+      done
+  | Fopdt { gain; tau; dead_steps; history } ->
+      let delayed =
+        if dead_steps = 0 then u
+        else begin
+          Queue.add u history;
+          Queue.take history
+        end
+      in
+      let n = substeps dt tau in
+      let h = dt /. float_of_int n in
+      for _ = 1 to n do
+        t.y <- t.y +. (h *. (((gain *. delayed) -. t.y) /. tau))
+      done
+  | Integrator { gain } -> t.y <- t.y +. (dt *. gain *. u)
+  | Second_order { gain; omega; zeta } ->
+      let n = substeps dt (1. /. omega) in
+      let h = dt /. float_of_int n in
+      for _ = 1 to n do
+        let accel =
+          (omega *. omega *. ((gain *. u) -. t.y))
+          -. (2. *. zeta *. omega *. t.dy)
+        in
+        t.dy <- t.dy +. (h *. accel);
+        t.y <- t.y +. (h *. t.dy)
+      done);
+  t.y
+
+let output t = t.y
+
+let reset t =
+  t.y <- 0.;
+  t.dy <- 0.;
+  match t.model with
+  | Fopdt { history; dead_steps; _ } ->
+      Queue.clear history;
+      for _ = 1 to dead_steps do
+        Queue.add 0. history
+      done
+  | First_order _ | Integrator _ | Second_order _ -> ()

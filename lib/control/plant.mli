@@ -1,0 +1,28 @@
+(** Reference process models, used to unit-test the controller and the
+    tuners against systems with known analytic behaviour. All models are
+    discrete-time integrators of their defining ODE (forward Euler with
+    sub-stepping for stiffness safety). *)
+
+type t
+
+val first_order : gain:float -> tau:float -> t
+(** dy/dt = (gain·u − y)/tau. Static gain [gain], time constant [tau]. *)
+
+val first_order_dead_time : gain:float -> tau:float -> dead_time:float ->
+  dt_hint:float -> t
+(** FOPDT: first-order response delayed by [dead_time] seconds. The
+    input history is sampled every [dt_hint] seconds, so drive it with a
+    constant step size close to that hint. *)
+
+val integrator : gain:float -> t
+(** dy/dt = gain·u — the queue-like plant: occupancy integrates the
+    difference between arrival and drain rates. *)
+
+val second_order : gain:float -> omega:float -> zeta:float -> t
+(** d²y/dt² + 2ζω dy/dt + ω²y = ω²·gain·u. Underdamped for ζ<1. *)
+
+val step : t -> dt:float -> u:float -> float
+(** Advance the model by [dt] with input [u]; returns the new output. *)
+
+val output : t -> float
+val reset : t -> unit

@@ -1,0 +1,46 @@
+type result = {
+  critical : Tuning.critical_point;
+  cycles_observed : int;
+}
+
+let tune ~plant ~setpoint ~relay_amplitude ~dt ~horizon ?(hysteresis = 0.) ()
+    =
+  if relay_amplitude <= 0. then Error "relay amplitude must be positive"
+  else begin
+    let step = plant () in
+    let n = int_of_float (Float.ceil (horizon /. dt)) in
+    let samples = Array.make n 0. in
+    let y = ref 0. in
+    let relay = ref relay_amplitude in
+    for i = 0 to n - 1 do
+      let error = setpoint -. !y in
+      (* Relay with hysteresis: switch only when the error leaves the
+         dead band on the opposite side. *)
+      if error > hysteresis then relay := relay_amplitude
+      else if error < -.hysteresis then relay := -.relay_amplitude;
+      y := step ~dt ~u:!relay;
+      samples.(i) <- !y
+    done;
+    match
+      Oscillation.analyze ~settle_fraction:0.4
+        ~min_amplitude:(0.02 *. Float.abs setpoint)
+        ~dt samples
+    with
+    | Oscillation.Sustained { period; amplitude } ->
+        if amplitude <= 0. then Error "limit cycle has zero amplitude"
+        else begin
+          let ku = 4. *. relay_amplitude /. (Float.pi *. amplitude) in
+          let observed =
+            int_of_float (0.6 *. horizon /. Float.max period dt)
+          in
+          Ok
+            {
+              critical = { Tuning.kc = ku; tc = period };
+              cycles_observed = observed;
+            }
+        end
+    | Oscillation.Damped -> Error "no limit cycle: response damped"
+    | Oscillation.Diverging -> Error "relay loop diverged"
+    | Oscillation.Inconclusive ->
+        Error "fewer than three limit cycles observed"
+  end

@@ -1,0 +1,26 @@
+(** Relay-feedback (Åström–Hägglund) autotuning.
+
+    Instead of hunting for the stability boundary, excite the plant with
+    a relay of amplitude [d] around the set point. The loop settles into
+    a limit cycle whose period approximates Tc and whose amplitude [a]
+    gives the ultimate gain via the describing function:
+    Ku = 4d / (π·a). Safer than the ZN experiment (bounded excursions)
+    and what one would actually deploy in a kernel. *)
+
+type result = {
+  critical : Tuning.critical_point;
+  cycles_observed : int;
+}
+
+val tune :
+  plant:(unit -> dt:float -> u:float -> float) ->
+  setpoint:float ->
+  relay_amplitude:float ->
+  dt:float ->
+  horizon:float ->
+  ?hysteresis:float ->
+  unit ->
+  (result, string) Stdlib.result
+(** [hysteresis] (default 0) is the dead band around the set point that
+    suppresses chattering on noisy plants. Errors if fewer than three
+    limit cycles are observed within [horizon]. *)

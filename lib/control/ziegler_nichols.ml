@@ -1,0 +1,84 @@
+type closed_loop_run = { kp : float; verdict : Oscillation.verdict }
+
+type result = {
+  critical : Tuning.critical_point;
+  runs : closed_loop_run list;
+}
+
+(* One closed-loop episode: P-only controller driving a fresh plant
+   toward [setpoint]; returns the sampled plant output. *)
+let episode ~plant ~setpoint ~dt ~horizon ~kp =
+  let step = plant () in
+  let n = int_of_float (Float.ceil (horizon /. dt)) in
+  let samples = Array.make n 0. in
+  let y = ref 0. in
+  for i = 0 to n - 1 do
+    let error = setpoint -. !y in
+    let u = kp *. error in
+    y := step ~dt ~u;
+    samples.(i) <- !y
+  done;
+  samples
+
+let probe ~plant ~setpoint ~dt ~horizon kp =
+  let samples = episode ~plant ~setpoint ~dt ~horizon ~kp in
+  (* Oscillations smaller than 10 % of the set point are measurement
+     noise (e.g. packet-level queue granularity), not loop instability. *)
+  Oscillation.analyze ~min_amplitude:(0.1 *. Float.abs setpoint) ~dt samples
+
+let ultimate_gain ~plant ~setpoint ~dt ~horizon ?(kp_init = 0.01)
+    ?(kp_max = 1e6) ?(refine_steps = 12) () =
+  let runs = ref [] in
+  let classify kp =
+    let verdict = probe ~plant ~setpoint ~dt ~horizon kp in
+    runs := { kp; verdict } :: !runs;
+    verdict
+  in
+  (* Phase 1: geometric sweep until the loop stops being damped. *)
+  let rec sweep kp last_damped =
+    if kp > kp_max then Error "no instability found below kp_max"
+    else
+      match classify kp with
+      | Oscillation.Damped | Oscillation.Inconclusive ->
+          sweep (kp *. 2.) (Some kp)
+      | Oscillation.Sustained _ | Oscillation.Diverging -> (
+          match last_damped with
+          | Some lo -> Ok (lo, kp)
+          | None -> Ok (kp /. 2., kp))
+  in
+  match sweep kp_init None with
+  | Error e -> Error e
+  | Ok (lo0, hi0) ->
+      (* Phase 2: bisect to the stability boundary. *)
+      let lo = ref lo0 and hi = ref hi0 in
+      for _ = 1 to refine_steps do
+        let mid = Float.sqrt (!lo *. !hi) in
+        match classify mid with
+        | Oscillation.Damped | Oscillation.Inconclusive -> lo := mid
+        | Oscillation.Sustained _ | Oscillation.Diverging -> hi := mid
+      done;
+      (* Measure the period at (or just above) the boundary. *)
+      let kc = !hi in
+      let tc =
+        match classify kc with
+        | Oscillation.Sustained { period; _ } -> Some period
+        | Oscillation.Diverging | Oscillation.Damped
+        | Oscillation.Inconclusive -> (
+            (* Fall back to any sustained run near the boundary. *)
+            let near =
+              List.filter
+                (fun r ->
+                  match r.verdict with
+                  | Oscillation.Sustained _ -> true
+                  | _ -> false)
+                !runs
+            in
+            match near with
+            | { verdict = Oscillation.Sustained { period; _ }; _ } :: _ ->
+                Some period
+            | _ -> None)
+      in
+      (match tc with
+      | None -> Error "oscillation period could not be measured"
+      | Some tc ->
+          Ok { critical = { Tuning.kc; tc }; runs = List.rev !runs })

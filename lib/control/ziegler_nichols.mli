@@ -1,0 +1,37 @@
+(** Automated Ziegler–Nichols ultimate-gain experiment.
+
+    The classical lab procedure (§3 of the paper): close the loop with
+    proportional control only, raise the gain until the loop output
+    oscillates with sustained amplitude, record the critical gain Kc and
+    the oscillation period Tc. Here the procedure runs against any
+    plant presented as a step function, so it can tune both analytic
+    reference models and the full TCP/IFQ simulation. *)
+
+type closed_loop_run = {
+  kp : float;
+  verdict : Oscillation.verdict;
+}
+
+type result = {
+  critical : Tuning.critical_point;
+  runs : closed_loop_run list;  (** every probe, in execution order *)
+}
+
+val ultimate_gain :
+  plant:(unit -> dt:float -> u:float -> float) ->
+  setpoint:float ->
+  dt:float ->
+  horizon:float ->
+  ?kp_init:float ->
+  ?kp_max:float ->
+  ?refine_steps:int ->
+  unit ->
+  (result, string) Stdlib.result
+(** [ultimate_gain ~plant ~setpoint ~dt ~horizon ()] probes gains
+    geometrically from [kp_init] (default 0.01) until the closed loop
+    stops being damped or [kp_max] (default 1e6) is exceeded, then
+    bisects [refine_steps] times (default 12) between the last damped
+    and first non-damped gain. [plant ()] must return a fresh plant
+    step function (state reset between probes). The returned Tc is
+    measured at the critical gain. Errors if no instability is found
+    below [kp_max] or if the oscillation never becomes measurable. *)

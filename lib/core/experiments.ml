@@ -1,0 +1,587 @@
+module Fig1 = struct
+  type t = {
+    standard : Run.result;
+    restricted : Run.result;
+    duration : Sim.Time.t;
+  }
+
+  let run ?(duration = Sim.Time.sec 25) () =
+    let spec = { Run.default_spec with duration } in
+    {
+      standard =
+        Run.bulk ~label:"standard" { spec with slow_start = "standard" };
+      restricted =
+        Run.bulk ~label:"restricted" { spec with slow_start = "restricted" };
+      duration;
+    }
+end
+
+module Table1 = struct
+  type row = {
+    duration_s : float;
+    standard_mbps : float;
+    restricted_mbps : float;
+    improvement_pct : float;
+    standard_stalls : int;
+    restricted_stalls : int;
+  }
+
+  let run ?(durations = [ 25.; 60. ]) () =
+    List.map
+      (fun d ->
+        let spec =
+          { Run.default_spec with duration = Sim.Time.of_sec d }
+        in
+        let std = Run.bulk { spec with slow_start = "standard" } in
+        let rss = Run.bulk { spec with slow_start = "restricted" } in
+        {
+          duration_s = d;
+          standard_mbps = std.Run.goodput_mbps;
+          restricted_mbps = rss.Run.goodput_mbps;
+          improvement_pct =
+            (if std.Run.goodput_mbps > 0. then
+               100.
+               *. (rss.Run.goodput_mbps -. std.Run.goodput_mbps)
+               /. std.Run.goodput_mbps
+             else 0.);
+          standard_stalls = std.Run.send_stalls;
+          restricted_stalls = rss.Run.send_stalls;
+        })
+      durations
+end
+
+module Variants = struct
+  let run ?(duration = Sim.Time.sec 25) () =
+    let spec = { Run.default_spec with duration } in
+    List.map
+      (fun name -> Run.bulk ~label:name { spec with slow_start = name })
+      [ "standard"; "abc"; "limited"; "hystart"; "restricted" ]
+end
+
+module Ifq_sweep = struct
+  type row = {
+    ifq_capacity : int;
+    standard : Run.result;
+    restricted : Run.result;
+  }
+
+  let run ?(sizes = [ 25; 50; 100; 200; 400; 800 ])
+      ?(duration = Sim.Time.sec 20) () =
+    List.map
+      (fun size ->
+        let spec =
+          { Run.default_spec with duration; ifq_capacity = size }
+        in
+        {
+          ifq_capacity = size;
+          standard = Run.bulk { spec with slow_start = "standard" };
+          restricted = Run.bulk { spec with slow_start = "restricted" };
+        })
+      sizes
+end
+
+module Rtt_sweep = struct
+  type row = {
+    rtt_ms : int;
+    standard : Run.result;
+    restricted : Run.result;
+  }
+
+  let run ?(rtts_ms = [ 10; 30; 60; 120; 200 ])
+      ?(duration = Sim.Time.sec 20) () =
+    List.map
+      (fun rtt ->
+        let spec =
+          {
+            Run.default_spec with
+            duration;
+            one_way_delay = Sim.Time.ms (rtt / 2);
+          }
+        in
+        {
+          rtt_ms = rtt;
+          standard = Run.bulk { spec with slow_start = "standard" };
+          restricted = Run.bulk { spec with slow_start = "restricted" };
+        })
+      rtts_ms
+end
+
+module Burst_loss = struct
+  type row = {
+    bottleneck_mbps : float;
+    buffer_packets : int;
+    slow_start : string;
+    router_drops : int;
+    retransmits : int;
+    goodput_mbps : float;
+  }
+
+  (* One flow crossing a dumbbell whose bottleneck is a router port with
+     a BDP/4 buffer; the sender's own NIC is 1 Gbit/s so the slow-start
+     burst lands on the router queue. *)
+  let run_one ~rate_mbps ~slow_start_name ~duration =
+    let sched = Sim.Scheduler.create ~seed:11 () in
+    let bottleneck_rate = Sim.Units.mbps rate_mbps in
+    let rtt = Sim.Time.ms 60 in
+    let bdp =
+      Sim.Units.bdp_packets bottleneck_rate ~rtt ~packet_bytes:1500
+    in
+    let buffer_packets = Stdlib.max 10 (int_of_float (bdp /. 4.)) in
+    let net =
+      Netsim.Topology.Dumbbell.create sched ~pairs:1
+        ~access_rate:(Sim.Units.gbps 1.)
+        ~access_delay:(Sim.Time.ms 1) ~bottleneck_rate
+        ~bottleneck_delay:(Sim.Time.ms 28) ~buffer_packets
+        ~ifq_capacity:1000 ()
+    in
+    let ids = Netsim.Packet.Id_source.create () in
+    let slow_start =
+      match Tcp.Slow_start.by_name slow_start_name with
+      | Ok ss -> ss
+      | Error e -> invalid_arg e
+    in
+    let conn =
+      Tcp.Connection.establish
+        ~src:net.Netsim.Topology.Dumbbell.left.(0)
+        ~dst:net.Netsim.Topology.Dumbbell.right.(0)
+        ~flow:1 ~ids ~slow_start ~name:slow_start_name ()
+    in
+    Sim.Scheduler.run ~until:duration sched;
+    let drops =
+      Netsim.Router.dropped net.Netsim.Topology.Dumbbell.router_l
+      + Netsim.Router.dropped net.Netsim.Topology.Dumbbell.router_r
+    in
+    {
+      bottleneck_mbps = rate_mbps;
+      buffer_packets;
+      slow_start = slow_start_name;
+      router_drops = drops;
+      retransmits = Tcp.Sender.retransmits conn.Tcp.Connection.sender;
+      goodput_mbps =
+        Tcp.Receiver.goodput_mbps conn.Tcp.Connection.receiver ~at:duration;
+    }
+
+  let run ?(rates_mbps = [ 10.; 100.; 622.; 1000. ])
+      ?(duration = Sim.Time.sec 15) () =
+    List.concat_map
+      (fun rate_mbps ->
+        List.map
+          (fun ss -> run_one ~rate_mbps ~slow_start_name:ss ~duration)
+          [ "standard"; "limited"; "restricted" ])
+      rates_mbps
+end
+
+module Pid_ablation = struct
+  type row = {
+    label : string;
+    gains : Control.Pid.gains;
+    result : Run.result;
+  }
+
+  type t = {
+    measured : (Control.Tuning.critical_point, string) result;
+    rows : row list;
+  }
+
+  let run ?(duration = Sim.Time.sec 20) () =
+    let measured =
+      match Calibrate.ultimate_gain () with
+      | Ok r -> Ok r.Control.Ziegler_nichols.critical
+      | Error e -> Error e
+    in
+    let base = Tcp.Slow_start.default_restricted_config in
+    let with_gains label gains =
+      let config = { base with Tcp.Slow_start.gains } in
+      let spec =
+        {
+          Run.default_spec with
+          duration;
+          slow_start = "restricted";
+          restricted = Some config;
+        }
+      in
+      { label; gains; result = Run.bulk ~label spec }
+    in
+    let default_gains = base.Tcp.Slow_start.gains in
+    let scaled k g = { g with Control.Pid.kp = g.Control.Pid.kp *. k } in
+    let rows =
+      [
+        with_gains "paper-rule (default)" default_gains;
+        with_gains "kp/4 (sluggish)" (scaled 0.25 default_gains);
+        with_gains "kp*4 (aggressive)" (scaled 4. default_gains);
+        with_gains "p-only"
+          (Control.Pid.p_only default_gains.Control.Pid.kp);
+        with_gains "pi (no derivative)"
+          { default_gains with Control.Pid.td = 0. };
+      ]
+      @
+      match measured with
+      | Ok critical ->
+          [
+            with_gains "zn-classic (measured)"
+              (Control.Tuning.zn_pid critical);
+            with_gains "paper-rule (measured Kc,Tc)"
+              (Control.Tuning.paper_pid critical);
+            with_gains "tyreus-luyben (measured)"
+              (Control.Tuning.tyreus_luyben critical);
+          ]
+      | Error _ -> []
+    in
+    { measured; rows }
+end
+
+module Local_cong_ablation = struct
+  let run ?(duration = Sim.Time.sec 25) () =
+    List.map
+      (fun policy ->
+        let spec =
+          {
+            Run.default_spec with
+            duration;
+            slow_start = "standard";
+            local_congestion = policy;
+          }
+        in
+        let label = Tcp.Local_congestion.to_string policy in
+        (label, Run.bulk ~label spec))
+      [
+        Tcp.Local_congestion.Halve;
+        Tcp.Local_congestion.Cwr;
+        Tcp.Local_congestion.Ignore;
+      ]
+end
+
+module Adaptive_gains = struct
+  type row = {
+    rtt_ms : int;
+    standard : Run.result;
+    restricted_fixed : Run.result;
+    restricted_adaptive : Run.result;
+  }
+
+  let run ?(rtts_ms = [ 10; 30; 60; 120; 200 ]) ?(duration = Sim.Time.sec 20)
+      () =
+    List.map
+      (fun rtt ->
+        let spec =
+          {
+            Run.default_spec with
+            duration;
+            one_way_delay = Sim.Time.ms (rtt / 2);
+          }
+        in
+        {
+          rtt_ms = rtt;
+          standard = Run.bulk { spec with slow_start = "standard" };
+          restricted_fixed = Run.bulk { spec with slow_start = "restricted" };
+          restricted_adaptive =
+            Run.bulk { spec with slow_start = "restricted-adaptive" };
+        })
+      rtts_ms
+end
+
+module Pacing = struct
+  let run ?(duration = Sim.Time.sec 25) () =
+    let spec = { Run.default_spec with duration } in
+    [
+      Run.bulk ~label:"standard" { spec with slow_start = "standard" };
+      Run.bulk ~label:"standard+pacing"
+        { spec with slow_start = "standard"; pacing = true };
+      Run.bulk ~label:"restricted" { spec with slow_start = "restricted" };
+      Run.bulk ~label:"restricted+pacing"
+        { spec with slow_start = "restricted"; pacing = true };
+    ]
+end
+
+module Parallel_streams = struct
+  type row = {
+    streams : int;
+    slow_start : string;
+    aggregate_mbps : float;
+    total_stalls : int;
+    jain_index : float;
+    mean_ifq : float;
+  }
+
+  let jain xs =
+    let n = float_of_int (List.length xs) in
+    let s = List.fold_left ( +. ) 0. xs in
+    let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+    if s2 <= 0. then 1. else s *. s /. (n *. s2)
+
+  let run_one ~streams ~slow_start_name ~duration =
+    let scenario = Scenario.anl_lbnl ~seed:47 () in
+    let sched = scenario.Scenario.sched in
+    (* "restricted-shared" uses one host-wide controller; the others get
+       an independent policy per connection. *)
+    let shared =
+      if slow_start_name = "restricted-shared" then
+        Some
+          (Tcp.Shared_rss.create sched ~ifq:(Scenario.sender_ifq scenario) ())
+      else None
+    in
+    let make_policy () =
+      match shared with
+      | Some controller -> Tcp.Shared_rss.policy controller
+      | None -> (
+          match Tcp.Slow_start.by_name slow_start_name with
+          | Ok ss -> ss
+          | Error e -> invalid_arg e)
+    in
+    let conns =
+      List.init streams (fun i ->
+          Tcp.Connection.establish
+            ~src:(Scenario.sender_host scenario)
+            ~dst:(Scenario.receiver_host scenario)
+            ~flow:(i + 1) ~ids:scenario.Scenario.ids
+            ~slow_start:(make_policy ())
+            ~name:(Printf.sprintf "%s-%d" slow_start_name i)
+            ())
+    in
+    Sim.Scheduler.run ~until:duration sched;
+    let goodputs =
+      List.map
+        (fun (c : Tcp.Connection.t) ->
+          Tcp.Receiver.goodput_mbps c.Tcp.Connection.receiver ~at:duration)
+        conns
+    in
+    let stalls =
+      List.fold_left
+        (fun acc (c : Tcp.Connection.t) ->
+          acc + Tcp.Sender.send_stalls c.Tcp.Connection.sender)
+        0 conns
+    in
+    {
+      streams;
+      slow_start = slow_start_name;
+      aggregate_mbps = List.fold_left ( +. ) 0. goodputs;
+      total_stalls = stalls;
+      jain_index = jain goodputs;
+      mean_ifq = Netsim.Ifq.mean_occupancy (Scenario.sender_ifq scenario);
+    }
+
+  let run ?(stream_counts = [ 1; 2; 4; 8 ]) ?(duration = Sim.Time.sec 20) ()
+      =
+    List.concat_map
+      (fun streams ->
+        List.map
+          (fun ss -> run_one ~streams ~slow_start_name:ss ~duration)
+          [ "standard"; "restricted"; "restricted-shared" ])
+      stream_counts
+end
+
+module Local_ecn = struct
+  type row = { label : string; result : Run.result; ce_marks : int }
+
+  (* RED thresholds scaled to the 100-packet IFQ; a heavier EWMA weight
+     than WAN RED because the queue is small and fast-moving. *)
+  let qdisc_params =
+    {
+      Netsim.Queue_disc.min_th = 30.;
+      max_th = 90.;
+      max_p = 0.1;
+      weight = 0.02;
+    }
+
+  let run ?(duration = Sim.Time.sec 25) () =
+    let spec = { Run.default_spec with duration } in
+    let make label spec =
+      let result = Run.bulk ~label spec in
+      { label; result; ce_marks = result.Run.ce_marks }
+    in
+    [
+      make "standard/drop-tail" { spec with slow_start = "standard" };
+      make "standard/red-ecn qdisc"
+        { spec with slow_start = "standard";
+          ifq_red_ecn = Some qdisc_params };
+      make "restricted/drop-tail" { spec with slow_start = "restricted" };
+    ]
+end
+
+module Chunked_app = struct
+  type row = {
+    label : string;
+    goodput_mbps : float;
+    send_stalls : int;
+    congestion_signals : int;
+    stalls_series : Sim.Stats.Series.t;
+  }
+
+  let run_one ~label ~slow_start_name ~restart ~pacing ~chunk_bytes
+      ~interval ~duration =
+    let scenario = Scenario.anl_lbnl ~seed:3 () in
+    let sched = scenario.Scenario.sched in
+    let slow_start =
+      match Tcp.Slow_start.by_name slow_start_name with
+      | Ok ss -> ss
+      | Error e -> invalid_arg e
+    in
+    let config =
+      { Tcp.Config.default with slow_start_restart = restart; pacing }
+    in
+    let source =
+      Workload.Chunked.start
+        ~src:(Scenario.sender_host scenario)
+        ~dst:(Scenario.receiver_host scenario)
+        ~flow:1 ~ids:scenario.Scenario.ids ~chunk_bytes ~interval ~config
+        ~slow_start ~name:label ()
+    in
+    let sender = Workload.Chunked.sender source in
+    let stalls_series = Sim.Stats.Series.create ~name:"send_stalls" () in
+    ignore
+      (Sim.Scheduler.every sched (Sim.Time.ms 250) (fun () ->
+           Sim.Stats.Series.add stalls_series (Sim.Scheduler.now sched)
+             (float_of_int (Tcp.Sender.send_stalls sender))));
+    Sim.Scheduler.run ~until:duration sched;
+    {
+      label;
+      goodput_mbps =
+        Tcp.Receiver.goodput_mbps
+          (Workload.Chunked.receiver source)
+          ~at:duration;
+      send_stalls = Tcp.Sender.send_stalls sender;
+      congestion_signals = Tcp.Sender.congestion_signals sender;
+      stalls_series;
+    }
+
+  let run ?(chunk_bytes = 6_000_000) ?(interval = Sim.Time.sec 3)
+      ?(duration = Sim.Time.sec 25) () =
+    let go = run_one ~chunk_bytes ~interval ~duration in
+    [
+      go ~label:"standard/restart-on" ~slow_start_name:"standard"
+        ~restart:true ~pacing:false;
+      go ~label:"standard/restart-off" ~slow_start_name:"standard"
+        ~restart:false ~pacing:false;
+      go ~label:"standard/restart-off+pacing" ~slow_start_name:"standard"
+        ~restart:false ~pacing:true;
+      go ~label:"restricted/restart-on" ~slow_start_name:"restricted"
+        ~restart:true ~pacing:false;
+    ]
+end
+
+module Latency = struct
+  type row = {
+    label : string;
+    goodput_mbps : float;
+    mean_delay_ms : float;
+    p99_delay_ms : float;
+  }
+
+  let run_one ~label ~slow_start_name ~setpoint ~duration =
+    let scenario = Scenario.anl_lbnl ~seed:5 () in
+    let sched = scenario.Scenario.sched in
+    let restricted_config =
+      Option.map
+        (fun fraction ->
+          {
+            Tcp.Slow_start.default_restricted_config with
+            Tcp.Slow_start.setpoint_fraction = fraction;
+          })
+        setpoint
+    in
+    let slow_start =
+      match Tcp.Slow_start.by_name ?restricted_config slow_start_name with
+      | Ok ss -> ss
+      | Error e -> invalid_arg e
+    in
+    (* One-way delay of data segments, sampled where the forward link
+       begins (after the IFQ and serialization — where the standing
+       queue lives) plus the constant propagation delay. *)
+    let summary = Sim.Stats.Summary.create () in
+    let histogram = Sim.Stats.Histogram.create ~lo:0. ~hi:200. ~bins:2000 in
+    let owd_ms =
+      Sim.Time.to_ms
+        (Netsim.Link.delay scenario.Scenario.path.Netsim.Topology.Duplex.a_to_b)
+    in
+    Netsim.Link.add_tap scenario.Scenario.path.Netsim.Topology.Duplex.a_to_b
+      (fun now pkt ->
+        match pkt.Netsim.Packet.payload with
+        | Proto.Payload.Tcp h when h.Proto.Tcp_header.payload_len > 0 ->
+            let ms =
+              Sim.Time.to_ms (Sim.Time.sub now pkt.Netsim.Packet.created)
+              +. owd_ms
+            in
+            Sim.Stats.Summary.add summary ms;
+            Sim.Stats.Histogram.add histogram ms
+        | Proto.Payload.Tcp _ | Proto.Payload.Udp _ -> ());
+    let conn =
+      Tcp.Connection.establish
+        ~src:(Scenario.sender_host scenario)
+        ~dst:(Scenario.receiver_host scenario)
+        ~flow:1 ~ids:scenario.Scenario.ids ~slow_start ~name:label ()
+    in
+    Sim.Scheduler.run ~until:duration sched;
+    {
+      label;
+      goodput_mbps =
+        Tcp.Receiver.goodput_mbps conn.Tcp.Connection.receiver ~at:duration;
+      mean_delay_ms = Sim.Stats.Summary.mean summary;
+      p99_delay_ms = Sim.Stats.Histogram.quantile histogram 0.99;
+    }
+
+  let run ?(duration = Sim.Time.sec 20) () =
+    [
+      run_one ~label:"standard" ~slow_start_name:"standard" ~setpoint:None
+        ~duration;
+      run_one ~label:"restricted (0.9)" ~slow_start_name:"restricted"
+        ~setpoint:None ~duration;
+      run_one ~label:"restricted (0.5)" ~slow_start_name:"restricted"
+        ~setpoint:(Some 0.5) ~duration;
+      run_one ~label:"restricted (0.2)" ~slow_start_name:"restricted"
+        ~setpoint:(Some 0.2) ~duration;
+    ]
+end
+
+module Fairness = struct
+  type t = {
+    reno_mbps : float;
+    restricted_mbps : float;
+    jain_index : float;
+    reno_vs_reno_jain : float;
+  }
+
+  let jain xs =
+    let n = float_of_int (List.length xs) in
+    let s = List.fold_left ( +. ) 0. xs in
+    let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+    if s2 <= 0. then 1. else s *. s /. (n *. s2)
+
+  let pair ~ss_a ~ss_b ~duration =
+    let sched = Sim.Scheduler.create ~seed:23 () in
+    let net =
+      Netsim.Topology.Dumbbell.create sched ~pairs:2
+        ~access_rate:(Sim.Units.mbps 100.)
+        ~access_delay:(Sim.Time.ms 1)
+        ~bottleneck_rate:(Sim.Units.mbps 100.)
+        ~bottleneck_delay:(Sim.Time.ms 28) ~buffer_packets:250
+        ~ifq_capacity:100 ()
+    in
+    let ids = Netsim.Packet.Id_source.create () in
+    let make i ss_name =
+      let slow_start =
+        match Tcp.Slow_start.by_name ss_name with
+        | Ok ss -> ss
+        | Error e -> invalid_arg e
+      in
+      Tcp.Connection.establish
+        ~src:net.Netsim.Topology.Dumbbell.left.(i)
+        ~dst:net.Netsim.Topology.Dumbbell.right.(i)
+        ~flow:(i + 1) ~ids ~slow_start ~name:ss_name ()
+    in
+    let a = make 0 ss_a and b = make 1 ss_b in
+    Sim.Scheduler.run ~until:duration sched;
+    ( Tcp.Receiver.goodput_mbps a.Tcp.Connection.receiver ~at:duration,
+      Tcp.Receiver.goodput_mbps b.Tcp.Connection.receiver ~at:duration )
+
+  let run ?(duration = Sim.Time.sec 40) () =
+    let reno_mbps, restricted_mbps =
+      pair ~ss_a:"standard" ~ss_b:"restricted" ~duration
+    in
+    let ctrl_a, ctrl_b = pair ~ss_a:"standard" ~ss_b:"standard" ~duration in
+    {
+      reno_mbps;
+      restricted_mbps;
+      jain_index = jain [ reno_mbps; restricted_mbps ];
+      reno_vs_reno_jain = jain [ ctrl_a; ctrl_b ];
+    }
+end

@@ -1,0 +1,163 @@
+type cong_avoid_choice = Reno | Cubic | Vegas
+
+type spec = {
+  seed : int;
+  rate : Sim.Units.rate;
+  one_way_delay : Sim.Time.t;
+  ifq_capacity : int;
+  duration : Sim.Time.t;
+  bytes : int option;
+  slow_start : string;
+  restricted : Tcp.Slow_start.restricted_config option;
+  local_congestion : Tcp.Local_congestion.policy;
+  delayed_ack : Sim.Time.t option;
+  use_sack : bool;
+  cong_avoid : cong_avoid_choice;
+  pacing : bool;
+  ifq_red_ecn : Netsim.Queue_disc.red_params option;
+  sample_period : Sim.Time.t;
+  loss_rate : float;
+}
+
+let default_spec =
+  {
+    seed = 1;
+    rate = Sim.Units.mbps 100.;
+    one_way_delay = Sim.Time.ms 30;
+    ifq_capacity = 100;
+    duration = Sim.Time.sec 25;
+    bytes = None;
+    slow_start = "standard";
+    restricted = None;
+    local_congestion = Tcp.Local_congestion.Halve;
+    delayed_ack = Tcp.Config.default.Tcp.Config.delayed_ack;
+    use_sack = true;
+    cong_avoid = Reno;
+    pacing = false;
+    ifq_red_ecn = None;
+    sample_period = Sim.Time.ms 250;
+    loss_rate = 0.;
+  }
+
+type result = {
+  label : string;
+  goodput_mbps : float;
+  utilization : float;
+  send_stalls : int;
+  congestion_signals : int;
+  retransmits : int;
+  timeouts : int;
+  final_cwnd_segments : float;
+  mean_ifq : float;
+  peak_ifq : float;
+  ce_marks : int;
+  completion : Sim.Time.t option;
+  time_to_90pct_util : float option;
+  stalls_series : Sim.Stats.Series.t;
+  cwnd_series : Sim.Stats.Series.t;
+  ifq_series : Sim.Stats.Series.t;
+  throughput_series : Sim.Stats.Series.t;
+  srtt_series : Sim.Stats.Series.t;
+}
+
+let bulk ?label spec =
+  let label = match label with Some l -> l | None -> spec.slow_start in
+  let scenario =
+    Scenario.anl_lbnl ~seed:spec.seed ~rate:spec.rate
+      ~one_way_delay:spec.one_way_delay ~ifq_capacity:spec.ifq_capacity
+      ~loss_rate:spec.loss_rate ?ifq_red_ecn:spec.ifq_red_ecn ()
+  in
+  let sched = scenario.Scenario.sched in
+  let slow_start =
+    match
+      Tcp.Slow_start.by_name ?restricted_config:spec.restricted
+        spec.slow_start
+    with
+    | Ok ss -> ss
+    | Error e -> invalid_arg e
+  in
+  let cong_avoid =
+    match spec.cong_avoid with
+    | Reno -> Tcp.Cong_avoid.reno ()
+    | Cubic -> Tcp.Cong_avoid.cubic ()
+    | Vegas -> Tcp.Cong_avoid.vegas ()
+  in
+  let config =
+    {
+      Tcp.Config.default with
+      local_congestion = spec.local_congestion;
+      delayed_ack = spec.delayed_ack;
+      use_sack = spec.use_sack;
+      pacing = spec.pacing;
+    }
+  in
+  let transfer =
+    Workload.Bulk.start
+      ~src:(Scenario.sender_host scenario)
+      ~dst:(Scenario.receiver_host scenario)
+      ~flow:1 ~ids:scenario.Scenario.ids ~config ~slow_start ~cong_avoid
+      ?bytes:spec.bytes ~name:label ()
+  in
+  let sender = Workload.Bulk.sender transfer in
+  let receiver = Workload.Bulk.receiver transfer in
+  let ifq = Scenario.sender_ifq scenario in
+  let mss = float_of_int Tcp.Config.default.Tcp.Config.mss in
+  let stalls_series = Sim.Stats.Series.create ~name:"send_stalls" () in
+  let cwnd_series = Sim.Stats.Series.create ~name:"cwnd_segments" () in
+  let ifq_series = Sim.Stats.Series.create ~name:"ifq_packets" () in
+  let throughput_series = Sim.Stats.Series.create ~name:"throughput_mbps" () in
+  let srtt_series = Sim.Stats.Series.create ~name:"srtt_ms" () in
+  let last_bytes = ref 0 in
+  let sample () =
+    let now = Sim.Scheduler.now sched in
+    Sim.Stats.Series.add stalls_series now
+      (float_of_int (Tcp.Sender.send_stalls sender));
+    Sim.Stats.Series.add cwnd_series now (Tcp.Sender.cwnd sender /. mss);
+    Sim.Stats.Series.add ifq_series now
+      (float_of_int (Netsim.Ifq.occupancy ifq));
+    let bytes = Tcp.Receiver.bytes_received receiver in
+    let window_mbps =
+      float_of_int (8 * (bytes - !last_bytes))
+      /. Sim.Time.to_sec spec.sample_period /. 1e6
+    in
+    last_bytes := bytes;
+    Sim.Stats.Series.add throughput_series now window_mbps;
+    match Tcp.Sender.srtt sender with
+    | Some s -> Sim.Stats.Series.add srtt_series now (Sim.Time.to_ms s)
+    | None -> ()
+  in
+  ignore (Sim.Scheduler.every sched spec.sample_period sample);
+  Sim.Scheduler.run ~until:spec.duration sched;
+  let line_mbps = Sim.Units.rate_to_mbps spec.rate in
+  let time_to_90pct_util =
+    let times = Sim.Stats.Series.times throughput_series in
+    let values = Sim.Stats.Series.values throughput_series in
+    let rec search i =
+      if i >= Array.length values then None
+      else if values.(i) >= 0.9 *. line_mbps then
+        Some (Sim.Time.to_sec times.(i))
+      else search (i + 1)
+    in
+    search 0
+  in
+  let goodput = Tcp.Receiver.goodput_mbps receiver ~at:spec.duration in
+  {
+    label;
+    goodput_mbps = goodput;
+    utilization = goodput /. line_mbps;
+    send_stalls = Tcp.Sender.send_stalls sender;
+    congestion_signals = Tcp.Sender.congestion_signals sender;
+    retransmits = Tcp.Sender.retransmits sender;
+    timeouts = Tcp.Sender.timeouts sender;
+    final_cwnd_segments = Tcp.Sender.cwnd sender /. mss;
+    mean_ifq = Netsim.Ifq.mean_occupancy ifq;
+    peak_ifq = Netsim.Ifq.peak_occupancy ifq;
+    ce_marks = Tcp.Receiver.ce_marks_seen receiver;
+    completion = Workload.Bulk.completion_time transfer;
+    time_to_90pct_util;
+    stalls_series;
+    cwnd_series;
+    ifq_series;
+    throughput_series;
+    srtt_series;
+  }

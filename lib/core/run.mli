@@ -1,0 +1,59 @@
+(** One instrumented bulk-transfer run: the unit every experiment is
+    assembled from. *)
+
+type cong_avoid_choice = Reno | Cubic | Vegas
+
+type spec = {
+  seed : int;
+  rate : Sim.Units.rate;
+  one_way_delay : Sim.Time.t;
+  ifq_capacity : int;
+  duration : Sim.Time.t;
+  bytes : int option;            (** [None] = saturating transfer *)
+  slow_start : string;           (** {!Tcp.Slow_start.by_name} key *)
+  restricted : Tcp.Slow_start.restricted_config option;
+      (** override for the "restricted" policy's controller *)
+  local_congestion : Tcp.Local_congestion.policy;
+  delayed_ack : Sim.Time.t option;
+  use_sack : bool;
+  cong_avoid : cong_avoid_choice;
+  pacing : bool;                 (** pace data segments (sch_fq-style) *)
+  ifq_red_ecn : Netsim.Queue_disc.red_params option;
+      (** run the sender's interface queue as RED with ECN marking *)
+  sample_period : Sim.Time.t;    (** series sampling granularity *)
+  loss_rate : float;             (** random forward-path loss *)
+}
+
+val default_spec : spec
+(** The paper's testbed: 100 Mbit/s, 60 ms RTT, IFQ 100, 25 s
+    saturating transfer, standard slow-start, [Halve] local congestion,
+    delayed ACKs, SACK, Reno, 250 ms sampling. *)
+
+type result = {
+  label : string;
+  goodput_mbps : float;          (** receiver in-order bits / duration *)
+  utilization : float;           (** goodput / line rate *)
+  send_stalls : int;
+  congestion_signals : int;
+  retransmits : int;
+  timeouts : int;
+  final_cwnd_segments : float;
+  mean_ifq : float;
+  peak_ifq : float;
+  ce_marks : int;                (** ECN CE marks seen by the receiver *)
+  completion : Sim.Time.t option;
+      (** set when [bytes] was given and fully delivered *)
+  time_to_90pct_util : float option;
+      (** seconds until windowed throughput first reached 90 % of line
+          rate; [None] if never *)
+  stalls_series : Sim.Stats.Series.t;   (** cumulative send-stalls *)
+  cwnd_series : Sim.Stats.Series.t;     (** segments *)
+  ifq_series : Sim.Stats.Series.t;      (** packets *)
+  throughput_series : Sim.Stats.Series.t;
+      (** per-sample-window receiver throughput, Mbit/s *)
+  srtt_series : Sim.Stats.Series.t;     (** milliseconds *)
+}
+
+val bulk : ?label:string -> spec -> result
+(** Build the scenario, run one flow for [duration], return the
+    measurements. Deterministic in [spec]. *)

@@ -1,0 +1,32 @@
+type t = {
+  sched : Sim.Scheduler.t;
+  path : Netsim.Topology.Duplex.t;
+  ids : Netsim.Packet.Id_source.source;
+  rate : Sim.Units.rate;
+  rtt : Sim.Time.t;
+  ifq_capacity : int;
+}
+
+let anl_lbnl ?(seed = 1) ?(rate = Sim.Units.mbps 100.)
+    ?(one_way_delay = Sim.Time.ms 30) ?(ifq_capacity = 100)
+    ?(loss_rate = 0.) ?ifq_red_ecn () =
+  let sched = Sim.Scheduler.create ~seed () in
+  let path =
+    Netsim.Topology.Duplex.create sched ~rate ~one_way_delay ~ifq_capacity
+      ~loss_rate ?ifq_red_ecn ()
+  in
+  {
+    sched;
+    path;
+    ids = Netsim.Packet.Id_source.create ();
+    rate;
+    rtt = Sim.Time.mul_int one_way_delay 2;
+    ifq_capacity;
+  }
+
+let bdp_packets t =
+  Sim.Units.bdp_packets t.rate ~rtt:t.rtt ~packet_bytes:1500
+
+let sender_host t = t.path.Netsim.Topology.Duplex.a
+let receiver_host t = t.path.Netsim.Topology.Duplex.b
+let sender_ifq t = Netsim.Host.ifq t.path.Netsim.Topology.Duplex.a

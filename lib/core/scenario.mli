@@ -1,0 +1,33 @@
+(** Experiment environments.
+
+    The canonical one is the paper's testbed: a 100 Mbit/s path between
+    Argonne and LBNL with a 60 ms round-trip time, Linux hosts with a
+    100-packet interface queue (the 2.4-era [txqueuelen] default). *)
+
+type t = {
+  sched : Sim.Scheduler.t;
+  path : Netsim.Topology.Duplex.t;
+  ids : Netsim.Packet.Id_source.source;
+  rate : Sim.Units.rate;
+  rtt : Sim.Time.t;
+  ifq_capacity : int;
+}
+
+val anl_lbnl :
+  ?seed:int ->
+  ?rate:Sim.Units.rate ->
+  ?one_way_delay:Sim.Time.t ->
+  ?ifq_capacity:int ->
+  ?loss_rate:float ->
+  ?ifq_red_ecn:Netsim.Queue_disc.red_params ->
+  unit ->
+  t
+(** Defaults: 100 Mbit/s, 30 ms each way, IFQ 100 packets, no loss,
+    seed 1. *)
+
+val bdp_packets : t -> float
+(** Path bandwidth-delay product in 1500-byte packets. *)
+
+val sender_host : t -> Netsim.Host.t
+val receiver_host : t -> Netsim.Host.t
+val sender_ifq : t -> Netsim.Ifq.t

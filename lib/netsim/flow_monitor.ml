@@ -1,0 +1,49 @@
+type t = {
+  sched : Sim.Scheduler.t;
+  monitor_name : string;
+  mutable packet_count : int;
+  mutable byte_count : int;
+  mutable first : Sim.Time.t option;
+  mutable last : Sim.Time.t option;
+  gaps : Sim.Stats.Summary.t;
+}
+
+let create sched ?(name = "flow") () =
+  {
+    sched;
+    monitor_name = name;
+    packet_count = 0;
+    byte_count = 0;
+    first = None;
+    last = None;
+    gaps = Sim.Stats.Summary.create ();
+  }
+
+let observe t pkt =
+  let now = Sim.Scheduler.now t.sched in
+  t.packet_count <- t.packet_count + 1;
+  t.byte_count <- t.byte_count + Packet.size pkt;
+  (match t.first with None -> t.first <- Some now | Some _ -> ());
+  (match t.last with
+  | Some prev -> Sim.Stats.Summary.add t.gaps (Sim.Time.to_sec (Sim.Time.sub now prev))
+  | None -> ());
+  t.last <- Some now
+
+let wrap t handler pkt =
+  observe t pkt;
+  handler pkt
+
+let name t = t.monitor_name
+let packets t = t.packet_count
+let bytes t = t.byte_count
+let first_arrival t = t.first
+let last_arrival t = t.last
+
+let throughput_mbps t =
+  match (t.first, t.last) with
+  | Some a, Some b when Sim.Time.(b > a) ->
+      Sim.Units.throughput_mbps ~bytes:t.byte_count
+        ~elapsed:(Sim.Time.sub b a)
+  | _ -> 0.
+
+let interarrival t = t.gaps

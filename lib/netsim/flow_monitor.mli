@@ -1,0 +1,28 @@
+(** Receiver-side accounting for one flow: bytes, packets, goodput and
+    inter-arrival statistics. Wraps a packet handler so it can be
+    interposed between a host and a transport endpoint. *)
+
+type t
+
+val create : Sim.Scheduler.t -> ?name:string -> unit -> t
+
+val wrap : t -> (Packet.t -> unit) -> Packet.t -> unit
+(** [wrap t handler] is a handler that records the packet, then calls
+    [handler]. *)
+
+val observe : t -> Packet.t -> unit
+(** Record a packet without forwarding. *)
+
+val name : t -> string
+val packets : t -> int
+val bytes : t -> int
+(** Wire bytes observed (headers included). *)
+
+val first_arrival : t -> Sim.Time.t option
+val last_arrival : t -> Sim.Time.t option
+
+val throughput_mbps : t -> float
+(** Wire throughput between first and last arrival; 0. with <2 packets. *)
+
+val interarrival : t -> Sim.Stats.Summary.t
+(** Packet inter-arrival times, in seconds. *)

@@ -1,0 +1,58 @@
+type t = {
+  sched : Sim.Scheduler.t;
+  prop_delay : Sim.Time.t;
+  loss_rate : float;
+  rng : Sim.Rng.t;
+  mutable sink : (Packet.t -> unit) option;
+  mutable taps : (Sim.Time.t -> Packet.t -> unit) list;
+  mutable drop_filter : (Packet.t -> bool) option;
+  mutable delivered_count : int;
+  mutable lost_count : int;
+  mutable flying : int;
+}
+
+let create sched ~delay ?(loss_rate = 0.) ?rng () =
+  assert (loss_rate >= 0. && loss_rate < 1.);
+  let rng = match rng with Some r -> r | None -> Sim.Rng.of_seed 0x117 in
+  {
+    sched;
+    prop_delay = delay;
+    loss_rate;
+    rng;
+    sink = None;
+    taps = [];
+    drop_filter = None;
+    delivered_count = 0;
+    lost_count = 0;
+    flying = 0;
+  }
+
+let connect t sink = t.sink <- Some sink
+let add_tap t tap = t.taps <- t.taps @ [ tap ]
+let set_drop_filter t f = t.drop_filter <- Some f
+
+let transmit t pkt =
+  let sink =
+    match t.sink with
+    | Some s -> s
+    | None -> invalid_arg "Link.transmit: link not connected"
+  in
+  List.iter (fun tap -> tap (Sim.Scheduler.now t.sched) pkt) t.taps;
+  let filtered =
+    match t.drop_filter with Some f -> f pkt | None -> false
+  in
+  if filtered || (t.loss_rate > 0. && Sim.Rng.float t.rng < t.loss_rate)
+  then t.lost_count <- t.lost_count + 1
+  else begin
+    t.flying <- t.flying + 1;
+    ignore
+      (Sim.Scheduler.after t.sched t.prop_delay (fun () ->
+           t.flying <- t.flying - 1;
+           t.delivered_count <- t.delivered_count + 1;
+           sink pkt))
+  end
+
+let delay t = t.prop_delay
+let delivered t = t.delivered_count
+let lost t = t.lost_count
+let in_flight t = t.flying

@@ -1,0 +1,43 @@
+(** Unidirectional propagation pipe.
+
+    A link models only propagation delay (and optional random corruption
+    loss); serialization happens upstream in the {!Nic}. Packets in
+    flight are independent events, so the link never reorders. *)
+
+type t
+
+val create :
+  Sim.Scheduler.t ->
+  delay:Sim.Time.t ->
+  ?loss_rate:float ->
+  ?rng:Sim.Rng.t ->
+  unit ->
+  t
+(** [loss_rate] is a per-packet independent corruption probability
+    (default 0). When positive an [rng] should be supplied for
+    reproducibility; otherwise a fixed-seed stream is used. *)
+
+val connect : t -> (Packet.t -> unit) -> unit
+(** Set the receiving endpoint. Must be called before any transmit. *)
+
+val transmit : t -> Packet.t -> unit
+(** Begin propagation of [pkt]; it is delivered [delay] later unless
+    corrupted. *)
+
+val add_tap : t -> (Sim.Time.t -> Packet.t -> unit) -> unit
+(** Observe every packet entering the link (before any loss decision),
+    with the transmit timestamp. Taps run in registration order and
+    must not mutate the packet. *)
+
+val set_drop_filter : t -> (Packet.t -> bool) -> unit
+(** Deterministic loss injection: packets for which the filter returns
+    [true] are dropped (counted in {!lost}). Applied before the random
+    [loss_rate]. Intended for tests that need to kill one specific
+    segment. *)
+
+val delay : t -> Sim.Time.t
+val delivered : t -> int
+val lost : t -> int
+(** Packets corrupted in flight so far. *)
+
+val in_flight : t -> int

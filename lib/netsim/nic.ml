@@ -1,0 +1,52 @@
+type t = {
+  sched : Sim.Scheduler.t;
+  line_rate : Sim.Units.rate;
+  queue : Queue_disc.t;
+  mutable link : Link.t option;
+  mutable transmitting : bool;
+  mutable tx_packet_count : int;
+  mutable tx_byte_count : int;
+  mutable dequeue_hook : (Packet.t -> unit) option;
+}
+
+let create sched ~rate ~queue =
+  assert (rate > 0.);
+  {
+    sched;
+    line_rate = rate;
+    queue;
+    link = None;
+    transmitting = false;
+    tx_packet_count = 0;
+    tx_byte_count = 0;
+    dequeue_hook = None;
+  }
+
+let attach t link = t.link <- Some link
+
+let rec start_next t =
+  let link =
+    match t.link with
+    | Some l -> l
+    | None -> invalid_arg "Nic: no link attached"
+  in
+  match Queue_disc.dequeue t.queue ~now:(Sim.Scheduler.now t.sched) with
+  | None -> t.transmitting <- false
+  | Some pkt ->
+      t.transmitting <- true;
+      (match t.dequeue_hook with Some hook -> hook pkt | None -> ());
+      let tx = Sim.Units.tx_time t.line_rate ~bytes:(Packet.size pkt) in
+      ignore
+        (Sim.Scheduler.after t.sched tx (fun () ->
+             t.tx_packet_count <- t.tx_packet_count + 1;
+             t.tx_byte_count <- t.tx_byte_count + Packet.size pkt;
+             Link.transmit link pkt;
+             start_next t))
+
+let kick t = if not t.transmitting then start_next t
+
+let rate t = t.line_rate
+let busy t = t.transmitting
+let tx_packets t = t.tx_packet_count
+let tx_bytes t = t.tx_byte_count
+let set_dequeue_hook t hook = t.dequeue_hook <- Some hook

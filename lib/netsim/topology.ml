@@ -1,0 +1,101 @@
+module Duplex = struct
+  type t = { a : Host.t; b : Host.t; a_to_b : Link.t; b_to_a : Link.t }
+
+  let create sched ~rate ~one_way_delay ~ifq_capacity ?(loss_rate = 0.)
+      ?ifq_red_ecn () =
+    let a = Host.create sched ~id:0 ~nic_rate:rate ~ifq_capacity ?ifq_red_ecn () in
+    let b = Host.create sched ~id:1 ~nic_rate:rate ~ifq_capacity ?ifq_red_ecn () in
+    let rng = Sim.Rng.split (Sim.Scheduler.rng sched) in
+    let a_to_b = Link.create sched ~delay:one_way_delay ~loss_rate ~rng () in
+    let b_to_a = Link.create sched ~delay:one_way_delay () in
+    Link.connect a_to_b (Host.deliver b);
+    Link.connect b_to_a (Host.deliver a);
+    Host.attach_uplink a a_to_b;
+    Host.attach_uplink b b_to_a;
+    { a; b; a_to_b; b_to_a }
+end
+
+module Dumbbell = struct
+  type t = {
+    left : Host.t array;
+    right : Host.t array;
+    router_l : Router.t;
+    router_r : Router.t;
+    bottleneck_queue_lr : Queue_disc.t;
+    bottleneck_queue_rl : Queue_disc.t;
+  }
+
+  let right_id i = 100 + i
+
+  let make_queue ?red ~buffer_packets ~rate () =
+    match red with
+    | Some params -> Queue_disc.red ~capacity_packets:buffer_packets
+                       ~link_rate:rate params
+    | None -> Queue_disc.droptail ~capacity_packets:buffer_packets ()
+
+  let create sched ~pairs ~access_rate ~access_delay ~bottleneck_rate
+      ~bottleneck_delay ~buffer_packets ~ifq_capacity ?red () =
+    assert (pairs > 0);
+    let left =
+      Array.init pairs (fun i ->
+          Host.create sched ~id:i ~nic_rate:access_rate ~ifq_capacity ())
+    in
+    let right =
+      Array.init pairs (fun i ->
+          Host.create sched ~id:(right_id i) ~nic_rate:access_rate
+            ~ifq_capacity ())
+    in
+    let router_l = Router.create sched ~id:1000 in
+    let router_r = Router.create sched ~id:1001 in
+    (* Bottleneck pipe between the routers, both directions. *)
+    let lr_link = Link.create sched ~delay:bottleneck_delay () in
+    let rl_link = Link.create sched ~delay:bottleneck_delay () in
+    Link.connect lr_link (Router.deliver router_r);
+    Link.connect rl_link (Router.deliver router_l);
+    let bottleneck_queue_lr =
+      make_queue ?red ~buffer_packets ~rate:bottleneck_rate ()
+    in
+    let bottleneck_queue_rl =
+      make_queue ?red ~buffer_packets ~rate:bottleneck_rate ()
+    in
+    let lr_port =
+      Router.add_port router_l ~queue:bottleneck_queue_lr
+        ~rate:bottleneck_rate ~link:lr_link
+    in
+    let rl_port =
+      Router.add_port router_r ~queue:bottleneck_queue_rl
+        ~rate:bottleneck_rate ~link:rl_link
+    in
+    (* Access wiring: host → router and router → host, per side. *)
+    let wire_host host router to_host_port_rate =
+      (* host uplink to router *)
+      let up = Link.create sched ~delay:access_delay () in
+      Link.connect up (Router.deliver router);
+      Host.attach_uplink host up;
+      (* router port back down to the host *)
+      let down = Link.create sched ~delay:access_delay () in
+      Link.connect down (Host.deliver host);
+      let q = Queue_disc.droptail ~capacity_packets:buffer_packets () in
+      let port = Router.add_port router ~queue:q ~rate:to_host_port_rate
+          ~link:down in
+      Router.route router ~dst:(Host.id host) port
+    in
+    Array.iter (fun h -> wire_host h router_l access_rate) left;
+    Array.iter (fun h -> wire_host h router_r access_rate) right;
+    (* Cross-bottleneck routes: anything for the far side goes over the
+       bottleneck port. *)
+    Array.iter
+      (fun h -> Router.route router_l ~dst:(Host.id h) lr_port)
+      right;
+    Array.iter
+      (fun h -> Router.route router_r ~dst:(Host.id h) rl_port)
+      left;
+    {
+      left;
+      right;
+      router_l;
+      router_r;
+      bottleneck_queue_lr;
+      bottleneck_queue_rl;
+    }
+end

@@ -1,0 +1,59 @@
+(** Canned topologies used by the experiments. *)
+
+(** Two hosts joined by a symmetric duplex pipe. The sender's NIC is the
+    path bottleneck, so queueing happens in the sender's IFQ — the
+    configuration of the paper's ANL→LBNL testbed. *)
+module Duplex : sig
+  type t = {
+    a : Host.t;
+    b : Host.t;
+    a_to_b : Link.t;
+    b_to_a : Link.t;
+  }
+
+  val create :
+    Sim.Scheduler.t ->
+    rate:Sim.Units.rate ->
+    one_way_delay:Sim.Time.t ->
+    ifq_capacity:int ->
+    ?loss_rate:float ->
+    ?ifq_red_ecn:Queue_disc.red_params ->
+    unit ->
+    t
+  (** Node ids: a = 0, b = 1. [loss_rate] applies to the a→b direction
+      only (data path). [ifq_red_ecn] switches both hosts' interface
+      queues to RED with ECN marking. *)
+end
+
+(** N left hosts — router L — bottleneck — router R — N right hosts.
+    Left host [i] talks to right host [i]. Router queues bound the
+    bottleneck; access links are fast relative to it. *)
+module Dumbbell : sig
+  type t = {
+    left : Host.t array;
+    right : Host.t array;
+    router_l : Router.t;
+    router_r : Router.t;
+    bottleneck_queue_lr : Queue_disc.t;
+    bottleneck_queue_rl : Queue_disc.t;
+  }
+
+  val create :
+    Sim.Scheduler.t ->
+    pairs:int ->
+    access_rate:Sim.Units.rate ->
+    access_delay:Sim.Time.t ->
+    bottleneck_rate:Sim.Units.rate ->
+    bottleneck_delay:Sim.Time.t ->
+    buffer_packets:int ->
+    ifq_capacity:int ->
+    ?red:Queue_disc.red_params ->
+    unit ->
+    t
+  (** Node ids: left hosts 0..pairs-1, right hosts 100..100+pairs-1,
+      routers 1000/1001. With [?red], the bottleneck queues run RED
+      instead of drop-tail. *)
+
+  val right_id : int -> int
+  (** Node id of right host [i]. *)
+end

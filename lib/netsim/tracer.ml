@@ -1,0 +1,34 @@
+type t = {
+  capacity : int;
+  buffer : string array;
+  mutable next : int;
+  mutable total : int;
+}
+
+let create ?(capacity = 10_000) () =
+  assert (capacity > 0);
+  { capacity; buffer = Array.make capacity ""; next = 0; total = 0 }
+
+let push t line =
+  t.buffer.(t.next) <- line;
+  t.next <- (t.next + 1) mod t.capacity;
+  t.total <- t.total + 1
+
+let record t ~now line =
+  push t (Printf.sprintf "%.6f %s" (Sim.Time.to_sec now) line)
+
+let tap t ~label link =
+  Link.add_tap link (fun now pkt ->
+      record t ~now
+        (Format.asprintf "%s %d->%d flow=%d %a" label pkt.Packet.src
+           pkt.Packet.dst pkt.Packet.flow Proto.Payload.pp pkt.Packet.payload))
+
+let lines t =
+  if t.total <= t.capacity then
+    Array.to_list (Array.sub t.buffer 0 t.total)
+  else
+    let first = t.next in
+    List.init t.capacity (fun i -> t.buffer.((first + i) mod t.capacity))
+
+let captured t = t.total
+let to_string t = String.concat "\n" (lines t) ^ "\n"

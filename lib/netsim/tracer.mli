@@ -1,0 +1,25 @@
+(** tcpdump-style text capture of packets crossing links.
+
+    A tracer keeps the most recent [capacity] formatted lines in a ring
+    buffer, so long simulations can leave one attached without unbounded
+    memory growth. *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Default capacity: 10_000 lines. *)
+
+val tap : t -> label:string -> Link.t -> unit
+(** Attach to a link; every transmitted packet becomes one line
+    "<time_s> <label> <src>-><dst> flow=<f> <payload>". *)
+
+val record : t -> now:Sim.Time.t -> string -> unit
+(** Append a custom line (timestamped like packet lines). *)
+
+val lines : t -> string list
+(** Captured lines, oldest first (at most [capacity]). *)
+
+val captured : t -> int
+(** Total lines ever captured (including evicted ones). *)
+
+val to_string : t -> string

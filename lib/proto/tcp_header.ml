@@ -1,0 +1,50 @@
+type flag = Syn | Fin | Rst | Ece | Cwr
+
+type t = {
+  src_port : int;
+  dst_port : int;
+  seq : Seqno.t;
+  ack : Seqno.t;
+  is_ack : bool;
+  flags : flag list;
+  wnd : int;
+  payload_len : int;
+  sack_blocks : (Seqno.t * Seqno.t) list;
+  ts_val : Sim.Time.t;
+  ts_ecr : Sim.Time.t;
+}
+
+let header_bytes = 40
+let wire_size t = t.payload_len + header_bytes
+
+let has_flag t f = List.mem f t.flags
+
+let data_end t =
+  let virtual_len =
+    t.payload_len + (if has_flag t Syn then 1 else 0)
+    + if has_flag t Fin then 1 else 0
+  in
+  Seqno.add t.seq virtual_len
+
+let pp fmt t =
+  let flag_str = function
+    | Syn -> "S"
+    | Fin -> "F"
+    | Rst -> "R"
+    | Ece -> "E"
+    | Cwr -> "W"
+  in
+  Format.fprintf fmt "seq=%a%s len=%d%s%s" Seqno.pp t.seq
+    (if t.is_ack then Format.asprintf " ack=%a" Seqno.pp t.ack else "")
+    t.payload_len
+    (match t.flags with
+    | [] -> ""
+    | fs -> " [" ^ String.concat "" (List.map flag_str fs) ^ "]")
+    (match t.sack_blocks with
+    | [] -> ""
+    | bs ->
+        " sack:"
+        ^ String.concat ","
+            (List.map
+               (fun (a, b) -> Format.asprintf "%a-%a" Seqno.pp a Seqno.pp b)
+               bs))

@@ -1,0 +1,73 @@
+type series = { label : string; points : (float * float) array }
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@' |]
+
+let of_series ~label s =
+  let times = Sim.Stats.Series.times s and values = Sim.Stats.Series.values s in
+  {
+    label;
+    points =
+      Array.init (Array.length times) (fun i ->
+          (Sim.Time.to_sec times.(i), values.(i)));
+  }
+
+let line_chart ?(width = 72) ?(height = 20) ?(x_label = "") ?(y_label = "")
+    ?(title = "") series_list =
+  let non_empty = List.filter (fun s -> Array.length s.points > 0) series_list in
+  if non_empty = [] then "(no data to chart)\n"
+  else begin
+    let fold f init =
+      List.fold_left
+        (fun acc s -> Array.fold_left f acc s.points)
+        init non_empty
+    in
+    let x_min = fold (fun acc (x, _) -> Float.min acc x) infinity in
+    let x_max = fold (fun acc (x, _) -> Float.max acc x) neg_infinity in
+    let y_min = Float.min 0. (fold (fun acc (_, y) -> Float.min acc y) infinity) in
+    let y_max = fold (fun acc (_, y) -> Float.max acc y) neg_infinity in
+    let y_max = if y_max <= y_min then y_min +. 1. else y_max in
+    let x_max = if x_max <= x_min then x_min +. 1. else x_max in
+    let canvas = Array.make_matrix height width ' ' in
+    let plot glyph (x, y) =
+      let cx =
+        int_of_float
+          (Float.round ((x -. x_min) /. (x_max -. x_min) *. float_of_int (width - 1)))
+      in
+      let cy =
+        int_of_float
+          (Float.round ((y -. y_min) /. (y_max -. y_min) *. float_of_int (height - 1)))
+      in
+      let row = height - 1 - cy in
+      if row >= 0 && row < height && cx >= 0 && cx < width then
+        canvas.(row).(cx) <- glyph
+    in
+    List.iteri
+      (fun i s ->
+        let glyph = glyphs.(i mod Array.length glyphs) in
+        Array.iter (plot glyph) s.points)
+      non_empty;
+    let buf = Buffer.create ((width + 12) * (height + 6)) in
+    if title <> "" then Buffer.add_string buf (title ^ "\n");
+    let legend =
+      String.concat "   "
+        (List.mapi
+           (fun i s ->
+             Printf.sprintf "%c %s" glyphs.(i mod Array.length glyphs) s.label)
+           non_empty)
+    in
+    Buffer.add_string buf (legend ^ "\n");
+    let y_axis_note =
+      Printf.sprintf "%s [%.4g .. %.4g]" y_label y_min y_max
+    in
+    Buffer.add_string buf (y_axis_note ^ "\n");
+    Array.iter
+      (fun row ->
+        Buffer.add_string buf "  |";
+        Buffer.add_string buf (String.init width (fun i -> row.(i)));
+        Buffer.add_char buf '\n')
+      canvas;
+    Buffer.add_string buf ("  +" ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "   %s [%.4g .. %.4g]\n" x_label x_min x_max);
+    Buffer.contents buf
+  end

@@ -1,0 +1,20 @@
+(** Terminal line charts, enough to eyeball the reproduced figures
+    without leaving the harness. Each series gets its own glyph; axes
+    are annotated with data ranges. *)
+
+type series = { label : string; points : (float * float) array }
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?title:string ->
+  series list ->
+  string
+(** Default canvas 72×20. X and Y ranges span all series; points are
+    nearest-cell rasterized; later series overwrite earlier ones where
+    they collide. Empty input yields a note instead of a chart. *)
+
+val of_series : label:string -> Sim.Stats.Series.t -> series
+(** Adapt a simulation time series (seconds on the x axis). *)

@@ -1,0 +1,38 @@
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+let write ~path ~header ~rows =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  (try
+     output_string oc (String.concat "," header);
+     output_char oc '\n';
+     List.iter
+       (fun row ->
+         output_string oc
+           (String.concat "," (List.map (Printf.sprintf "%.6g") row));
+         output_char oc '\n')
+       rows;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e)
+
+let write_string ~path content =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  (try
+     output_string oc content;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     raise e)
+
+let write_series ~path ~name s =
+  let rows =
+    List.map (fun (t, v) -> [ t; v ]) (Sim.Stats.Series.to_csv_rows s)
+  in
+  write ~path ~header:[ "time_s"; name ] ~rows

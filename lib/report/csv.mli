@@ -1,0 +1,14 @@
+(** Small CSV writer for experiment artefacts (results/ directory). *)
+
+val write :
+  path:string -> header:string list -> rows:float list list -> unit
+(** Create parent directories as needed and write one file. Cells are
+    formatted with ["%.6g"]. *)
+
+val write_series :
+  path:string -> name:string -> Sim.Stats.Series.t -> unit
+(** Two columns: time_s, <name>. *)
+
+val write_string : path:string -> string -> unit
+(** Write pre-formatted CSV content (e.g. {!Web100.Logger.to_csv}),
+    creating parent directories as needed. *)

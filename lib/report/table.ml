@@ -1,0 +1,40 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+
+let render ?(aligns = []) ~headers ~rows () =
+  let columns = List.length headers in
+  let normalize row =
+    let n = List.length row in
+    if n >= columns then row
+    else row @ List.init (columns - n) (fun _ -> "")
+  in
+  let rows = List.map normalize rows in
+  let all = headers :: rows in
+  let width i =
+    List.fold_left
+      (fun acc row -> Stdlib.max acc (String.length (List.nth row i)))
+      0 all
+  in
+  let widths = List.init columns width in
+  let align i =
+    match List.nth_opt aligns i with Some a -> a | None -> Left
+  in
+  let render_row row =
+    String.concat "  "
+      (List.mapi (fun i cell -> pad (align i) (List.nth widths i) cell) row)
+  in
+  let separator =
+    String.concat "  " (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    (render_row headers :: separator :: List.map render_row rows)
+  ^ "\n"
+
+let cell_f ?(decimals = 2) v = Printf.sprintf "%.*f" decimals v
+let cell_i v = string_of_int v

@@ -1,0 +1,99 @@
+type entry = {
+  time : Time.t;
+  seq : int;
+  action : unit -> unit;
+  mutable cancelled : bool;
+}
+
+type handle = entry
+
+type t = {
+  mutable heap : entry array;
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let dummy =
+  { time = Time.zero; seq = -1; action = (fun () -> ()); cancelled = true }
+
+let create ?(initial_capacity = 64) () =
+  let capacity = Stdlib.max 1 initial_capacity in
+  { heap = Array.make capacity dummy; size = 0; next_seq = 0 }
+
+(* (time, seq) lexicographic order: earlier time first, then FIFO. *)
+let before a b =
+  let c = Time.compare a.time b.time in
+  if c <> 0 then c < 0 else a.seq < b.seq
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if before t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let heap = Array.make (2 * Array.length t.heap) dummy in
+  Array.blit t.heap 0 heap 0 t.size;
+  t.heap <- heap
+
+let add t ~time action =
+  assert (not (Time.is_negative time));
+  if t.size = Array.length t.heap then grow t;
+  let entry = { time; seq = t.next_seq; action; cancelled = false } in
+  t.next_seq <- t.next_seq + 1;
+  t.heap.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1);
+  entry
+
+let cancel h = h.cancelled <- true
+let is_cancelled h = h.cancelled
+
+let remove_root t =
+  let root = t.heap.(0) in
+  t.size <- t.size - 1;
+  t.heap.(0) <- t.heap.(t.size);
+  t.heap.(t.size) <- dummy;
+  if t.size > 0 then sift_down t 0;
+  root
+
+let rec pop t =
+  if t.size = 0 then None
+  else
+    let root = remove_root t in
+    if root.cancelled then pop t else Some (root.time, root.action)
+
+let rec next_time t =
+  if t.size = 0 then None
+  else if t.heap.(0).cancelled then begin
+    ignore (remove_root t);
+    next_time t
+  end
+  else Some t.heap.(0).time
+
+let live_count t =
+  let n = ref 0 in
+  for i = 0 to t.size - 1 do
+    if not t.heap.(i).cancelled then incr n
+  done;
+  !n
+
+let is_empty t = live_count t = 0

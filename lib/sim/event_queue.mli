@@ -1,0 +1,37 @@
+(** Pending-event set for the discrete-event engine.
+
+    A growable binary min-heap ordered by (time, insertion sequence), so
+    events scheduled for the same instant fire in FIFO order — a property
+    the TCP model relies on (e.g. an ACK arriving before a timer set at
+    the same instant it was armed for). Cancellation is O(1) lazy: the
+    entry is flagged and skipped when it surfaces. *)
+
+type t
+
+type handle
+(** Token returned by {!add}, used to cancel the event. *)
+
+val create : ?initial_capacity:int -> unit -> t
+
+val add : t -> time:Time.t -> (unit -> unit) -> handle
+(** [add q ~time f] schedules [f] to fire at [time]. *)
+
+val cancel : handle -> unit
+(** [cancel h] prevents the event from firing. Idempotent; cancelling an
+    already-fired event is a no-op. *)
+
+val is_cancelled : handle -> bool
+
+val pop : t -> (Time.t * (unit -> unit)) option
+(** [pop q] removes and returns the earliest live event, or [None] if
+    the queue holds no live events. Cancelled entries are discarded. *)
+
+val next_time : t -> Time.t option
+(** Time of the earliest live event without removing it. *)
+
+val live_count : t -> int
+(** Number of scheduled, not-yet-cancelled events. O(n); intended for
+    tests and end-of-run sanity checks, not hot paths. *)
+
+val is_empty : t -> bool
+(** [is_empty q] is [live_count q = 0]. *)

@@ -1,0 +1,40 @@
+(** Deterministic random streams.
+
+    SplitMix64 core: tiny state, excellent statistical quality for
+    simulation workloads, and O(1) {!split} so independent model
+    components get independent streams from one master seed. *)
+
+type t
+
+val of_seed : int -> t
+
+val split : t -> t
+(** [split t] derives a stream statistically independent of [t]'s
+    subsequent output. *)
+
+val bits64 : t -> int64
+(** Next raw 64-bit value. *)
+
+val float : t -> float
+(** Uniform in [0, 1). *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [0, bound). [bound] must be positive. *)
+
+val bool : t -> bool
+
+val uniform : t -> lo:float -> hi:float -> float
+(** Uniform in [lo, hi). Requires [lo <= hi]. *)
+
+val exponential : t -> mean:float -> float
+(** Exponentially distributed with the given mean (> 0). *)
+
+val pareto : t -> shape:float -> scale:float -> float
+(** Pareto-distributed: values ≥ [scale], tail index [shape] (> 0). *)
+
+val normal : t -> mu:float -> sigma:float -> float
+(** Gaussian via Box–Muller (no cached spare; each call is independent
+    of previous state beyond the stream position). *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,68 @@
+type handle = Event_queue.handle
+
+type t = {
+  mutable clock : Time.t;
+  events : Event_queue.t;
+  random : Rng.t;
+}
+
+let create ?(seed = 1) () =
+  {
+    clock = Time.zero;
+    events = Event_queue.create ();
+    random = Rng.of_seed seed;
+  }
+
+let now t = t.clock
+let rng t = t.random
+
+let at t time action =
+  if Time.(time < t.clock) then
+    invalid_arg
+      (Format.asprintf "Scheduler.at: %a is before now (%a)" Time.pp time
+         Time.pp t.clock);
+  Event_queue.add t.events ~time action
+
+let after t delay action =
+  let delay = Time.max delay Time.zero in
+  Event_queue.add t.events ~time:(Time.add t.clock delay) action
+
+let every t ?start period action =
+  assert (Time.is_positive period);
+  let first =
+    match start with Some s -> s | None -> Time.add t.clock period
+  in
+  let cell = ref (Event_queue.add t.events ~time:first (fun () -> ())) in
+  Event_queue.cancel !cell;
+  let rec arm time =
+    cell :=
+      Event_queue.add t.events ~time (fun () ->
+          action ();
+          arm (Time.add time period))
+  in
+  arm first;
+  cell
+
+let cancel = Event_queue.cancel
+
+let step t =
+  match Event_queue.pop t.events with
+  | None -> false
+  | Some (time, action) ->
+      t.clock <- time;
+      action ();
+      true
+
+let run ?until t =
+  match until with
+  | None -> while step t do () done
+  | Some horizon ->
+      let continue = ref true in
+      while !continue do
+        match Event_queue.next_time t.events with
+        | Some time when Time.(time <= horizon) -> ignore (step t)
+        | Some _ | None -> continue := false
+      done;
+      if Time.(t.clock < horizon) then t.clock <- horizon
+
+let pending t = Event_queue.live_count t.events

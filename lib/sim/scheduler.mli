@@ -1,0 +1,49 @@
+(** Discrete-event simulation loop.
+
+    A scheduler owns the simulated clock and the pending-event set. All
+    model components share one scheduler and advance time only by firing
+    events; there is no wall-clock coupling, so runs are deterministic
+    given a fixed RNG seed. *)
+
+type t
+
+type handle = Event_queue.handle
+
+val create : ?seed:int -> unit -> t
+(** [create ~seed ()] makes a scheduler whose clock reads {!Time.zero}
+    and whose RNG is seeded with [seed] (default 1). *)
+
+val now : t -> Time.t
+(** Current simulated time. *)
+
+val rng : t -> Rng.t
+(** The simulation-wide random stream. Components needing independent
+    streams should {!Rng.split} it at setup time. *)
+
+val at : t -> Time.t -> (unit -> unit) -> handle
+(** [at t time f] schedules [f] for absolute [time]. Raises
+    [Invalid_argument] if [time] is in the past. *)
+
+val after : t -> Time.t -> (unit -> unit) -> handle
+(** [after t delay f] schedules [f] at [now t + delay]. A non-positive
+    delay is clamped to "immediately" (still dispatched through the event
+    loop, preserving run-to-completion semantics). *)
+
+val every : t -> ?start:Time.t -> Time.t -> (unit -> unit) -> handle ref
+(** [every t ~start period f] fires [f] at [start] (default: one period
+    from now) and then every [period]. Cancel via the returned ref, which
+    always holds the handle of the next pending occurrence. *)
+
+val cancel : handle -> unit
+
+val run : ?until:Time.t -> t -> unit
+(** [run ?until t] fires events in time order. With [until], stops once
+    the next event lies strictly beyond it and sets the clock to [until];
+    without it, runs until no live event remains. *)
+
+val step : t -> bool
+(** [step t] fires exactly the next event. Returns [false] when no live
+    event remains. *)
+
+val pending : t -> int
+(** Live events still scheduled (O(n); diagnostic use). *)

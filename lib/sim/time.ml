@@ -1,0 +1,48 @@
+type t = int64
+
+let zero = 0L
+let ns n = Int64.of_int n
+let us n = Int64.mul (Int64.of_int n) 1_000L
+let ms n = Int64.mul (Int64.of_int n) 1_000_000L
+let sec n = Int64.mul (Int64.of_int n) 1_000_000_000L
+
+let of_sec s = Int64.of_float (Float.round (s *. 1e9))
+let to_sec t = Int64.to_float t /. 1e9
+let of_ns_int64 t = t
+let to_ns_int64 t = t
+let to_ms t = Int64.to_float t /. 1e6
+
+let add = Int64.add
+let sub = Int64.sub
+let scale t k = Int64.of_float (Float.round (Int64.to_float t *. k))
+
+let div a b =
+  assert (b <> 0L);
+  Int64.to_float a /. Int64.to_float b
+
+let mul_int t n = Int64.mul t (Int64.of_int n)
+
+let compare = Int64.compare
+let equal = Int64.equal
+let ( < ) a b = Int64.compare a b < 0
+let ( <= ) a b = Int64.compare a b <= 0
+let ( > ) a b = Int64.compare a b > 0
+let ( >= ) a b = Int64.compare a b >= 0
+let min a b = if a <= b then a else b
+let max a b = if a >= b then a else b
+
+let is_negative t = t < 0L
+let is_positive t = t > 0L
+let infinity = Int64.max_int
+
+let pp fmt t =
+  let f = Int64.to_float t in
+  if Int64.equal t Int64.max_int then Format.fprintf fmt "inf"
+  else if Stdlib.( < ) (Float.abs f) 1e3 then Format.fprintf fmt "%Ldns" t
+  else if Stdlib.( < ) (Float.abs f) 1e6 then
+    Format.fprintf fmt "%.3gus" (f /. 1e3)
+  else if Stdlib.( < ) (Float.abs f) 1e9 then
+    Format.fprintf fmt "%.4gms" (f /. 1e6)
+  else Format.fprintf fmt "%.6gs" (f /. 1e9)
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,36 @@
+(** Bandwidths, byte counts and derived quantities.
+
+    Rates are plain floats in bits per second; this module centralises
+    the conversions and the serialization-delay arithmetic so the rest
+    of the code never multiplies by 8 in place. *)
+
+type rate = float
+(** Bits per second. *)
+
+val bps : float -> rate
+val kbps : float -> rate
+val mbps : float -> rate
+val gbps : float -> rate
+
+val rate_to_mbps : rate -> float
+
+val tx_time : rate -> bytes:int -> Time.t
+(** [tx_time r ~bytes] is the serialization delay of [bytes] at rate [r]. *)
+
+val bytes_in : rate -> Time.t -> float
+(** [bytes_in r t] is how many bytes rate [r] moves in duration [t]. *)
+
+val bdp_bytes : rate -> rtt:Time.t -> float
+(** Bandwidth-delay product in bytes. *)
+
+val bdp_packets : rate -> rtt:Time.t -> packet_bytes:int -> float
+(** BDP expressed in packets of the given size. *)
+
+val throughput_mbps : bytes:int -> elapsed:Time.t -> float
+(** Achieved goodput in Mbit/s; 0. for a non-positive duration. *)
+
+val pp_rate : Format.formatter -> rate -> unit
+(** Adaptive unit: bit/s, kbit/s, Mbit/s, Gbit/s. *)
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Adaptive unit: B, KiB, MiB, GiB. *)

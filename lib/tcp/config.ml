@@ -1,0 +1,32 @@
+type t = {
+  mss : int;
+  init_cwnd_segments : int;
+  init_ssthresh : float;
+  rcv_wnd : int;
+  min_rto : Sim.Time.t;
+  max_rto : Sim.Time.t;
+  delayed_ack : Sim.Time.t option;
+  local_congestion : Local_congestion.policy;
+  use_sack : bool;
+  dupack_threshold : int;
+  pacing : bool;
+  app_read_rate : Sim.Units.rate option;
+  slow_start_restart : bool;
+}
+
+let default =
+  {
+    mss = 1460;
+    init_cwnd_segments = 2;
+    init_ssthresh = infinity;
+    rcv_wnd = 16 * 1024 * 1024;
+    min_rto = Sim.Time.ms 200;
+    max_rto = Sim.Time.sec 60;
+    delayed_ack = Some (Sim.Time.ms 40);
+    local_congestion = Local_congestion.Halve;
+    use_sack = true;
+    dupack_threshold = 3;
+    pacing = false;
+    app_read_rate = None;
+    slow_start_restart = true;
+  }

@@ -1,0 +1,38 @@
+(** Per-connection tunables. *)
+
+type t = {
+  mss : int;                       (** payload bytes per segment *)
+  init_cwnd_segments : int;        (** initial window after handshake *)
+  init_ssthresh : float;           (** bytes; [infinity] = unbounded *)
+  rcv_wnd : int;                   (** receiver's advertised window, bytes *)
+  min_rto : Sim.Time.t;
+  max_rto : Sim.Time.t;
+  delayed_ack : Sim.Time.t option; (** ACK-every-2nd with this timeout;
+                                       [None] = ACK every segment *)
+  local_congestion : Local_congestion.policy;
+  use_sack : bool;                 (** SACK blocks + scoreboard recovery *)
+  dupack_threshold : int;          (** fast-retransmit trigger, default 3 *)
+  pacing : bool;
+      (** spread data segments at [gain·cwnd/srtt] instead of sending
+          back-to-back bursts (gain 2 in slow-start, 1.2 afterwards —
+          the sch_fq defaults). Retransmissions are never delayed. *)
+  app_read_rate : Sim.Units.rate option;
+      (** receiving application's consumption rate. [None] (default)
+          reads instantly, so the advertised window stays at [rcv_wnd].
+          With a finite rate, unread data builds a backlog in the
+          [rcv_wnd]-byte receive buffer and the advertised window
+          shrinks accordingly — the other "soft component" of §2. *)
+  slow_start_restart : bool;
+      (** RFC 2861 / Linux [tcp_slow_start_after_idle] (default true):
+          after an idle period longer than the RTO with nothing in
+          flight, reset the window to its initial value and re-enter
+          slow-start. Every burst of a disk-paced application then
+          replays the slow-start pathology — how a single transfer
+          accumulates several send-stalls (Figure 1). *)
+}
+
+val default : t
+(** MSS 1460, IW 2, ssthresh ∞, rwnd 16 MiB, RTO ∈ [200 ms, 60 s],
+    delayed ACKs at 40 ms (Linux's [TCP_DELACK_MIN]; a 200 ms timer
+    would race the 200 ms minimum RTO on odd tail segments), local
+    congestion [Halve], SACK on, dupack threshold 3. *)

@@ -1,0 +1,125 @@
+type t = {
+  name : string;
+  on_ack :
+    newly_acked:int -> cwnd:float -> mss:int -> srtt:Sim.Time.t option ->
+    min_rtt:Sim.Time.t option -> now:Sim.Time.t -> float;
+  on_loss : cwnd:float -> flight:int -> mss:int -> now:Sim.Time.t ->
+    float * float;
+  on_rto : cwnd:float -> flight:int -> mss:int -> float * float;
+  reset : unit -> unit;
+}
+
+let floor_window ~mss w = Float.max (2. *. float_of_int mss) w
+
+let reno () =
+  let on_ack ~newly_acked:_ ~cwnd ~mss ~srtt:_ ~min_rtt:_ ~now:_ =
+    let m = float_of_int mss in
+    cwnd +. (m *. m /. cwnd)
+  in
+  let halve ~flight ~mss =
+    floor_window ~mss (float_of_int flight /. 2.)
+  in
+  let on_loss ~cwnd:_ ~flight ~mss ~now:_ =
+    let ssthresh = halve ~flight ~mss in
+    (ssthresh, ssthresh)
+  in
+  let on_rto ~cwnd:_ ~flight ~mss =
+    (halve ~flight ~mss, float_of_int mss)
+  in
+  { name = "reno"; on_ack; on_loss; on_rto; reset = (fun () -> ()) }
+
+(* RFC 8312. Internal arithmetic in segments; time in seconds. *)
+let cubic ?(c = 0.4) ?(beta = 0.7) () =
+  let w_max = ref 0. in
+  let epoch_start = ref None in
+  let k = ref 0. in
+  let w_est_base = ref 0. in
+  let start_epoch ~now ~cwnd_seg =
+    epoch_start := Some now;
+    if !w_max < cwnd_seg then w_max := cwnd_seg;
+    k := Float.cbrt (!w_max *. (1. -. beta) /. c);
+    w_est_base := cwnd_seg
+  in
+  let on_ack ~newly_acked:_ ~cwnd ~mss ~srtt ~min_rtt:_ ~now =
+    let m = float_of_int mss in
+    let cwnd_seg = cwnd /. m in
+    (match !epoch_start with
+    | None -> start_epoch ~now ~cwnd_seg
+    | Some _ -> ());
+    let t_epoch =
+      match !epoch_start with
+      | Some t0 -> Sim.Time.to_sec (Sim.Time.sub now t0)
+      | None -> 0.
+    in
+    let rtt = match srtt with Some s -> Sim.Time.to_sec s | None -> 0.1 in
+    (* Target the cubic curve one RTT ahead. *)
+    let t = t_epoch +. rtt in
+    let w_cubic = (c *. ((t -. !k) ** 3.)) +. !w_max in
+    (* TCP-friendly region: emulate Reno's average rate. *)
+    let w_est =
+      !w_est_base
+      +. (3. *. (1. -. beta) /. (1. +. beta) *. (t_epoch /. Float.max rtt 1e-6))
+    in
+    let target = Float.max w_cubic w_est in
+    let next =
+      if target > cwnd_seg then
+        (* Spread the increase over the ACKs of one window. *)
+        cwnd_seg +. ((target -. cwnd_seg) /. Float.max cwnd_seg 1.)
+      else cwnd_seg +. (0.01 /. Float.max cwnd_seg 1.)
+    in
+    next *. m
+  in
+  let on_loss ~cwnd ~flight:_ ~mss ~now =
+    let m = float_of_int mss in
+    let cwnd_seg = cwnd /. m in
+    (* Fast convergence: release bandwidth when losses cluster. *)
+    if cwnd_seg < !w_max then w_max := cwnd_seg *. (1. +. beta) /. 2.
+    else w_max := cwnd_seg;
+    let next = floor_window ~mss (cwnd *. beta) in
+    epoch_start := Some now;
+    k := Float.cbrt (!w_max *. (1. -. beta) /. c);
+    w_est_base := next /. m;
+    (next, next)
+  in
+  let on_rto ~cwnd:_ ~flight ~mss =
+    let ssthresh = floor_window ~mss (float_of_int flight *. beta) in
+    epoch_start := None;
+    (ssthresh, float_of_int mss)
+  in
+  let reset () =
+    w_max := 0.;
+    epoch_start := None;
+    k := 0.;
+    w_est_base := 0.
+  in
+  { name = "cubic"; on_ack; on_loss; on_rto; reset }
+
+(* Vegas: delay-based backlog estimation, adjusted once per RTT. *)
+let vegas ?(alpha = 2.) ?(beta_seg = 4.) () =
+  let base = reno () in
+  let next_adjust = ref Sim.Time.zero in
+  let on_ack ~newly_acked ~cwnd ~mss ~srtt ~min_rtt ~now =
+    match (srtt, min_rtt) with
+    | Some rtt, Some base_rtt when Sim.Time.is_positive base_rtt ->
+        if Sim.Time.(now < !next_adjust) then cwnd
+        else begin
+          next_adjust := Sim.Time.add now rtt;
+          let m = float_of_int mss in
+          let rtt_s = Sim.Time.to_sec rtt in
+          let base_s = Sim.Time.to_sec base_rtt in
+          (* Segments parked in queues along the path. *)
+          let backlog = cwnd /. m *. ((rtt_s -. base_s) /. rtt_s) in
+          if backlog < alpha then cwnd +. m
+          else if backlog > beta_seg then floor_window ~mss (cwnd -. m)
+          else cwnd
+        end
+    | _ ->
+        base.on_ack ~newly_acked ~cwnd ~mss ~srtt ~min_rtt ~now
+  in
+  {
+    name = "vegas";
+    on_ack;
+    on_loss = base.on_loss;
+    on_rto = base.on_rto;
+    reset = (fun () -> next_adjust := Sim.Time.zero);
+  }

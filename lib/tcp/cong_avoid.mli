@@ -1,0 +1,35 @@
+(** Congestion-avoidance algorithms, pluggable per connection.
+
+    Windows are floats in bytes. Each algorithm owns the additive-
+    increase step during congestion avoidance and the multiplicative-
+    decrease applied on loss events; the sender drives everything else
+    (slow-start is a separate policy, see {!Slow_start}). *)
+
+type t = {
+  name : string;
+  on_ack :
+    newly_acked:int -> cwnd:float -> mss:int -> srtt:Sim.Time.t option ->
+    min_rtt:Sim.Time.t option -> now:Sim.Time.t -> float;
+      (** new cwnd after an ACK of new data while in congestion
+          avoidance *)
+  on_loss : cwnd:float -> flight:int -> mss:int -> now:Sim.Time.t ->
+    float * float;
+      (** (ssthresh, cwnd) after a fast-retransmit loss event *)
+  on_rto : cwnd:float -> flight:int -> mss:int -> float * float;
+      (** (ssthresh, cwnd) after a retransmission timeout *)
+  reset : unit -> unit;  (** clear epoch state (new connection reuse) *)
+}
+
+val reno : unit -> t
+(** AIMD: +MSS per RTT (MSS²/cwnd per ACK), halve on loss. *)
+
+val cubic : ?c:float -> ?beta:float -> unit -> t
+(** RFC 8312 CUBIC: window follows C·(t−K)³ + Wmax with β=0.7 decrease
+    and a TCP-friendly (Reno-tracking) lower bound. *)
+
+val vegas : ?alpha:float -> ?beta_seg:float -> unit -> t
+(** Vegas (Brakmo & Peterson): once per RTT estimate the backlog
+    [cwnd·(rtt − base_rtt)/rtt] in segments; grow by one MSS below
+    [alpha] (default 2), shrink by one above [beta_seg] (default 4),
+    hold in between. Falls back to Reno's increase until RTT estimates
+    exist. Loss reactions are Reno's. *)

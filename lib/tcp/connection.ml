@@ -1,0 +1,14 @@
+type t = { sender : Sender.t; receiver : Receiver.t; flow : int }
+
+let establish ~src ~dst ~flow ~ids ?config ?slow_start ?cong_avoid ?bytes
+    ?name () =
+  let receiver = Receiver.create ~host:dst ~flow ~ids ?config () in
+  let sender =
+    Sender.create ~host:src ~dst:(Netsim.Host.id dst) ~flow ~ids ?config
+      ?slow_start ?cong_avoid ?name ()
+  in
+  Sender.start sender ?bytes ();
+  { sender; receiver; flow }
+
+let goodput_mbps t ~at = Receiver.goodput_mbps t.receiver ~at
+let completed t ~bytes = Receiver.bytes_received t.receiver >= bytes

@@ -1,0 +1,12 @@
+type policy = Halve | Cwr | Ignore
+
+let to_string = function
+  | Halve -> "halve"
+  | Cwr -> "cwr"
+  | Ignore -> "ignore"
+
+let of_string = function
+  | "halve" -> Ok Halve
+  | "cwr" -> Ok Cwr
+  | "ignore" -> Ok Ignore
+  | other -> Error (Printf.sprintf "unknown local-congestion policy %S" other)

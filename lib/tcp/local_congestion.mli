@@ -1,0 +1,19 @@
+(** Reaction to send-stalls (IFQ-full on transmit).
+
+    Linux 2.4 — the kernel the paper modified — funnels a failed local
+    enqueue into the same code path as a network congestion signal.
+    The choice of reaction is the ablation axis of experiment E7. *)
+
+type policy =
+  | Halve
+      (** treat as congestion: ssthresh = flight/2, cwnd = ssthresh,
+          leave slow-start (the 2.4 behaviour the paper criticises) *)
+  | Cwr
+      (** milder congestion-window reduction: cwnd ×= 0.7, leave
+          slow-start, ssthresh untouched (2.6-era local-congestion) *)
+  | Ignore
+      (** count the stall and retry when the queue drains — the
+          hypothetical "fixed" kernel *)
+
+val to_string : policy -> string
+val of_string : string -> (policy, string) result

@@ -1,0 +1,663 @@
+type phase = Syn_sent | Slow_start_p | Cong_avoid_p | Fast_recovery
+
+let phase_to_string = function
+  | Syn_sent -> "syn-sent"
+  | Slow_start_p -> "slow-start"
+  | Cong_avoid_p -> "cong-avoid"
+  | Fast_recovery -> "fast-recovery"
+
+type t = {
+  host : Netsim.Host.t;
+  sched : Sim.Scheduler.t;
+  dst : int;
+  flow : int;
+  ids : Netsim.Packet.Id_source.source;
+  cfg : Config.t;
+  ss : Slow_start.t;
+  cc : Cong_avoid.t;
+  group : Web100.Group.t;
+  rtt : Rtt_estimator.t;
+  scoreboard : Sack_scoreboard.t;
+  retx_done : Interval_set.t;
+  iss : Proto.Seqno.t;
+  (* Unwrapped byte offsets: data byte 0 maps to seqno iss+1. *)
+  mutable una : int;
+  mutable nxt : int;
+  mutable total : int option;
+  mutable cwnd_b : float;
+  mutable ssthresh_b : float;
+  mutable rwnd : int;
+  mutable ph : phase;
+  mutable dupacks : int;
+  mutable recover : int;
+  mutable rto_handle : Sim.Scheduler.handle option;
+  mutable stalled : bool;
+  mutable pending_retx : (int * int) option;
+  mutable reaction_mark : int;
+  mutable complete_cbs : (unit -> unit) list;
+  mutable completed : bool;
+  mutable started : bool;
+  mutable bytes_sent_total : int;
+  mutable next_pace_time : Sim.Time.t;
+  mutable pace_timer : Sim.Scheduler.handle option;
+  mutable cwr_pending : bool; (* tell the peer we reduced (RFC 3168) *)
+  mutable last_data_send : Sim.Time.t;
+}
+
+let mssf t = float_of_int t.cfg.Config.mss
+
+let seq_of_offset t off = Proto.Seqno.add t.iss (1 + off)
+
+(* Unwrap a 32-bit ack back to an absolute offset, anchored at una:
+   valid because in-flight distances stay far below 2^31. *)
+let offset_of_seq t seqno =
+  t.una + Proto.Seqno.diff seqno (seq_of_offset t t.una)
+
+let flight_bytes t =
+  let raw = t.nxt - t.una in
+  if t.cfg.Config.use_sack then raw - Sack_scoreboard.sacked_bytes t.scoreboard
+  else raw
+
+(* --- web100 plumbing ------------------------------------------------- *)
+
+let counter t name = Web100.Group.counter t.group name
+let gauge t name = Web100.Group.gauge t.group name
+let bump ?by t name = Web100.Group.Counter.incr ?by (counter t name)
+
+let update_gauges t =
+  let set name v = Web100.Group.Gauge.set (gauge t name) v in
+  set Web100.Kis.cur_cwnd t.cwnd_b;
+  set Web100.Kis.cur_ssthresh
+    (if t.ssthresh_b = infinity then Float.max_float else t.ssthresh_b);
+  (match Rtt_estimator.srtt t.rtt with
+  | Some s -> set Web100.Kis.smoothed_rtt (Sim.Time.to_ms s)
+  | None -> ());
+  (match Rtt_estimator.min_rtt t.rtt with
+  | Some s -> set Web100.Kis.min_rtt (Sim.Time.to_ms s)
+  | None -> ());
+  set Web100.Kis.cur_rto (Sim.Time.to_ms (Rtt_estimator.rto t.rtt));
+  set Web100.Kis.cur_ifq
+    (float_of_int (Netsim.Ifq.occupancy (Netsim.Host.ifq t.host)))
+
+(* --- segment construction -------------------------------------------- *)
+
+let make_header t ~offset ~len ~flags =
+  {
+    Proto.Tcp_header.src_port = t.flow;
+    dst_port = t.flow;
+    seq = seq_of_offset t offset;
+    ack = Proto.Seqno.zero;
+    is_ack = false;
+    flags;
+    wnd = 0;
+    payload_len = len;
+    sack_blocks = [];
+    ts_val = Sim.Scheduler.now t.sched;
+    ts_ecr = Sim.Time.zero;
+  }
+
+let view t : Slow_start.view =
+  let ifq = Netsim.Host.ifq t.host in
+  {
+    Slow_start.now = (fun () -> Sim.Scheduler.now t.sched);
+    mss = t.cfg.Config.mss;
+    cwnd = (fun () -> t.cwnd_b);
+    ssthresh = (fun () -> t.ssthresh_b);
+    flight = (fun () -> flight_bytes t);
+    snd_una = (fun () -> t.una);
+    snd_nxt = (fun () -> t.nxt);
+    srtt = (fun () -> Rtt_estimator.srtt t.rtt);
+    min_rtt = (fun () -> Rtt_estimator.min_rtt t.rtt);
+    ifq_occupancy = (fun () -> Netsim.Ifq.occupancy ifq);
+    ifq_capacity = (fun () -> Netsim.Ifq.capacity ifq);
+  }
+
+(* --- local congestion (send-stall) ----------------------------------- *)
+
+let react_to_stall t =
+  bump t Web100.Kis.send_stall;
+  if t.una >= t.reaction_mark then begin
+    (* At most one window reduction per round trip, like the kernel. *)
+    t.reaction_mark <- t.nxt;
+    let mss = t.cfg.Config.mss in
+    let floor = 2. *. float_of_int mss in
+    match t.cfg.Config.local_congestion with
+    | Local_congestion.Halve ->
+        bump t Web100.Kis.congestion_signals;
+        t.ssthresh_b <-
+          Float.max floor (float_of_int (flight_bytes t) /. 2.);
+        t.cwnd_b <- t.ssthresh_b;
+        if t.ph = Slow_start_p then t.ph <- Cong_avoid_p
+    | Local_congestion.Cwr ->
+        bump t Web100.Kis.congestion_signals;
+        t.cwnd_b <- Float.max floor (t.cwnd_b *. 0.7);
+        if t.ph = Slow_start_p then t.ph <- Cong_avoid_p
+    | Local_congestion.Ignore -> ()
+  end
+
+(* --- transmission ----------------------------------------------------- *)
+
+(* Send data bytes [lo, hi); true on success, false on send-stall. *)
+let transmit_range t ~retx (lo, hi) =
+  let len = hi - lo in
+  assert (len > 0);
+  let flags =
+    if t.cwr_pending then [ Proto.Tcp_header.Cwr ] else []
+  in
+  let header = make_header t ~offset:lo ~len ~flags in
+  let pkt =
+    Netsim.Packet.make
+      ~id:(Netsim.Packet.Id_source.next t.ids)
+      ~flow:t.flow ~src:(Netsim.Host.id t.host) ~dst:t.dst
+      ~created:(Sim.Scheduler.now t.sched)
+      (Proto.Payload.Tcp header)
+  in
+  match Netsim.Host.send t.host pkt with
+  | `Sent ->
+      t.cwr_pending <- false;
+      t.last_data_send <- Sim.Scheduler.now t.sched;
+      bump t Web100.Kis.pkts_out;
+      bump ~by:len t Web100.Kis.data_bytes_out;
+      t.bytes_sent_total <- t.bytes_sent_total + len;
+      if retx then begin
+        bump t Web100.Kis.pkts_retrans;
+        bump ~by:len t Web100.Kis.bytes_retrans
+      end;
+      true
+  | `Stalled ->
+      t.stalled <- true;
+      react_to_stall t;
+      false
+
+let retransmit t (lo, hi) =
+  if not (transmit_range t ~retx:true (lo, hi)) then
+    t.pending_retx <- Some (lo, hi)
+
+let cancel_rto t =
+  match t.rto_handle with
+  | Some h ->
+      Sim.Scheduler.cancel h;
+      t.rto_handle <- None
+  | None -> ()
+
+let rec arm_rto t =
+  cancel_rto t;
+  let delay = Rtt_estimator.rto t.rtt in
+  t.rto_handle <- Some (Sim.Scheduler.after t.sched delay (fun () -> on_rto t))
+
+and on_rto t =
+  t.rto_handle <- None;
+  if t.ph = Syn_sent then begin
+    (* Lost SYN: back off and retry. *)
+    bump t Web100.Kis.timeouts;
+    Rtt_estimator.backoff t.rtt;
+    send_syn t;
+    arm_rto t
+  end
+  else if flight_bytes t > 0 || t.nxt > t.una then begin
+    bump t Web100.Kis.timeouts;
+    bump t Web100.Kis.congestion_signals;
+    let ssthresh', cwnd' =
+      t.cc.Cong_avoid.on_rto ~cwnd:t.cwnd_b ~flight:(flight_bytes t)
+        ~mss:t.cfg.Config.mss
+    in
+    t.ssthresh_b <- ssthresh';
+    t.cwnd_b <- cwnd';
+    (* Go-back-N: everything past the ACK point is presumed lost; the
+       SACK scoreboard is invalidated (RFC 6675 §5.1). *)
+    t.nxt <- t.una;
+    Sack_scoreboard.reset t.scoreboard;
+    Interval_set.remove_below t.retx_done max_int;
+    t.dupacks <- 0;
+    t.pending_retx <- None;
+    t.ss.Slow_start.reset ();
+    t.ph <- Slow_start_p;
+    Rtt_estimator.backoff t.rtt;
+    arm_rto t;
+    update_gauges t;
+    try_send t
+  end
+
+and send_syn t =
+  let header =
+    {
+      (make_header t ~offset:(-1) ~len:0 ~flags:[ Proto.Tcp_header.Syn ]) with
+      Proto.Tcp_header.seq = t.iss;
+    }
+  in
+  let pkt =
+    Netsim.Packet.make
+      ~id:(Netsim.Packet.Id_source.next t.ids)
+      ~flow:t.flow ~src:(Netsim.Host.id t.host) ~dst:t.dst
+      ~created:(Sim.Scheduler.now t.sched)
+      (Proto.Payload.Tcp header)
+  in
+  (match Netsim.Host.send t.host pkt with
+  | `Sent -> bump t Web100.Kis.pkts_out
+  | `Stalled -> react_to_stall t)
+
+(* During SACK recovery: fill holes first, then new data, respecting the
+   deflated pipe. *)
+and sack_recovery_send t =
+  let mss = t.cfg.Config.mss in
+  let continue = ref true in
+  while
+    !continue && (not t.stalled)
+    && float_of_int (flight_bytes t + mss) <= t.cwnd_b
+  do
+    match next_unfilled_hole t with
+    | Some (lo, hi) ->
+        Interval_set.add t.retx_done ~lo ~hi;
+        if transmit_range t ~retx:true (lo, hi) then ()
+        else begin
+          t.pending_retx <- Some (lo, hi);
+          continue := false
+        end
+    | None -> (
+        match new_data_range t with
+        | Some range ->
+            if transmit_range t ~retx:false range then t.nxt <- snd range
+            else continue := false
+        | None -> continue := false)
+  done
+
+and next_unfilled_hole t =
+  let mss = t.cfg.Config.mss in
+  let rec search from =
+    match Sack_scoreboard.next_hole t.scoreboard ~una:from ~mss with
+    | None -> None
+    | Some (lo, hi) ->
+        if Interval_set.contains_range t.retx_done ~lo ~hi then search hi
+        else Some (lo, hi)
+  in
+  search t.una
+
+and new_data_range t =
+  let mss = t.cfg.Config.mss in
+  let remaining =
+    match t.total with None -> mss | Some total -> total - t.nxt
+  in
+  let len = Stdlib.min mss remaining in
+  if len <= 0 then None else Some (t.nxt, t.nxt + len)
+
+(* Pacing: minimum spacing between data segments so the window is
+   released at gain·cwnd/srtt instead of in line-rate bursts. *)
+and pace_interval t ~bytes =
+  match Rtt_estimator.srtt t.rtt with
+  | None -> Sim.Time.zero
+  | Some srtt ->
+      let gain = if t.ph = Slow_start_p then 2.0 else 1.2 in
+      let rate_bytes_per_sec =
+        gain *. t.cwnd_b /. Float.max 1e-6 (Sim.Time.to_sec srtt)
+      in
+      Sim.Time.of_sec (float_of_int bytes /. rate_bytes_per_sec)
+
+and pace_gate t ~bytes =
+  (* true = clear to send now; false = deferred to the pacing timer. *)
+  if not t.cfg.Config.pacing then true
+  else begin
+    let now = Sim.Scheduler.now t.sched in
+    if Sim.Time.(now >= t.next_pace_time) then begin
+      t.next_pace_time <-
+        Sim.Time.add (Sim.Time.max now t.next_pace_time)
+          (pace_interval t ~bytes);
+      true
+    end
+    else begin
+      (if Option.is_none t.pace_timer then
+         let delay = Sim.Time.sub t.next_pace_time now in
+         t.pace_timer <-
+           Some
+             (Sim.Scheduler.after t.sched delay (fun () ->
+                  t.pace_timer <- None;
+                  try_send t)));
+      false
+    end
+  end
+
+(* RFC 2861: a connection idle past its RTO has lost its ACK clock; the
+   old window would be released as one huge burst. Linux restarts from
+   the initial window in slow-start — replaying, on every application
+   burst, exactly the pathology the paper studies. *)
+and maybe_idle_restart t =
+  if
+    t.cfg.Config.slow_start_restart && t.ph <> Syn_sent
+    && flight_bytes t = 0
+    && Sim.Time.(
+         Sim.Time.sub (Sim.Scheduler.now t.sched) t.last_data_send
+         > Rtt_estimator.rto t.rtt)
+  then begin
+    let iw =
+      float_of_int (t.cfg.Config.init_cwnd_segments * t.cfg.Config.mss)
+    in
+    if t.cwnd_b > iw then begin
+      t.cwnd_b <- iw;
+      t.ss.Slow_start.reset ();
+      t.ph <- Slow_start_p
+    end
+  end
+
+and try_send t =
+  if t.started && (not t.completed) && (not t.stalled) && t.ph <> Syn_sent
+  then begin
+    maybe_idle_restart t;
+    (match t.pending_retx with
+    | Some range ->
+        t.pending_retx <- None;
+        retransmit t range
+    | None -> ());
+    if (not t.stalled) && t.ph = Fast_recovery && t.cfg.Config.use_sack then
+      sack_recovery_send t
+    else begin
+      let wnd = Float.min t.cwnd_b (float_of_int t.rwnd) in
+      let continue = ref true in
+      while !continue && not t.stalled do
+        match new_data_range t with
+        | Some ((lo, hi) as range)
+          when float_of_int (flight_bytes t + (hi - lo)) <= wnd ->
+            if not (pace_gate t ~bytes:(hi - lo)) then continue := false
+            else if transmit_range t ~retx:false range then t.nxt <- hi
+            else continue := false
+        | Some _ | None -> continue := false
+      done
+    end;
+    if flight_bytes t > 0 && Option.is_none t.rto_handle then arm_rto t;
+    update_gauges t
+  end
+
+(* --- ACK processing --------------------------------------------------- *)
+
+let check_complete t =
+  match t.total with
+  | Some total when (not t.completed) && t.una >= total ->
+      t.completed <- true;
+      cancel_rto t;
+      List.iter (fun cb -> cb ()) (List.rev t.complete_cbs)
+  | Some _ | None -> ()
+
+let enter_fast_recovery t =
+  bump t Web100.Kis.fast_retran;
+  bump t Web100.Kis.congestion_signals;
+  let mss = t.cfg.Config.mss in
+  let ssthresh', cwnd' =
+    t.cc.Cong_avoid.on_loss ~cwnd:t.cwnd_b ~flight:(flight_bytes t) ~mss
+      ~now:(Sim.Scheduler.now t.sched)
+  in
+  t.ssthresh_b <- ssthresh';
+  t.recover <- t.nxt;
+  Interval_set.remove_below t.retx_done max_int;
+  t.ph <- Fast_recovery;
+  if t.cfg.Config.use_sack then begin
+    t.cwnd_b <- cwnd';
+    let hole_hi = Stdlib.min (t.una + mss) t.nxt in
+    Interval_set.add t.retx_done ~lo:t.una ~hi:hole_hi;
+    retransmit t (t.una, hole_hi);
+    if not t.stalled then sack_recovery_send t
+  end
+  else begin
+    (* NewReno: retransmit the presumed-lost head and inflate by the
+       three duplicates (RFC 5681 §3.2). *)
+    t.cwnd_b <- cwnd' +. (3. *. float_of_int mss);
+    let hole_hi = Stdlib.min (t.una + mss) t.nxt in
+    retransmit t (t.una, hole_hi)
+  end;
+  arm_rto t
+
+let on_dupack t header =
+  bump t Web100.Kis.dup_acks_in;
+  t.dupacks <- t.dupacks + 1;
+  (if t.cfg.Config.use_sack then
+     let blocks =
+       List.map
+         (fun (a, b) -> (offset_of_seq t a, offset_of_seq t b))
+         header.Proto.Tcp_header.sack_blocks
+     in
+     Sack_scoreboard.record t.scoreboard ~blocks ~una:t.una);
+  match t.ph with
+  | Fast_recovery ->
+      if t.cfg.Config.use_sack then sack_recovery_send t
+      else begin
+        (* Window inflation: each duplicate signals a departure. *)
+        t.cwnd_b <- t.cwnd_b +. mssf t;
+        try_send t
+      end
+  | Slow_start_p | Cong_avoid_p ->
+      if t.dupacks >= t.cfg.Config.dupack_threshold && flight_bytes t > 0
+      then enter_fast_recovery t
+  | Syn_sent -> ()
+
+let on_new_ack t ~newly ~rtt_sample header =
+  let mss = t.cfg.Config.mss in
+  let floor = 2. *. float_of_int mss in
+  t.dupacks <- 0;
+  Rtt_estimator.reset_backoff t.rtt;
+  if t.cfg.Config.use_sack then begin
+    Sack_scoreboard.advance_una t.scoreboard t.una;
+    let blocks =
+      List.map
+        (fun (a, b) -> (offset_of_seq t a, offset_of_seq t b))
+        header.Proto.Tcp_header.sack_blocks
+    in
+    if blocks <> [] then
+      Sack_scoreboard.record t.scoreboard ~blocks ~una:t.una
+  end;
+  (match t.ph with
+  | Fast_recovery ->
+      if t.una >= t.recover then begin
+        (* Full acknowledgment: deflate and resume avoidance. *)
+        t.cwnd_b <- Float.max floor t.ssthresh_b;
+        t.ph <- Cong_avoid_p;
+        Interval_set.remove_below t.retx_done max_int
+      end
+      else if t.cfg.Config.use_sack then sack_recovery_send t
+      else begin
+        (* NewReno partial ACK: next hole is also lost. *)
+        let hole_hi = Stdlib.min (t.una + mss) t.nxt in
+        retransmit t (t.una, hole_hi);
+        t.cwnd_b <-
+          Float.max floor
+            (t.cwnd_b -. float_of_int newly +. float_of_int mss);
+        arm_rto t
+      end
+  | Slow_start_p ->
+      bump t Web100.Kis.slow_start;
+      let decision =
+        t.ss.Slow_start.on_ack (view t) ~newly_acked:newly ~rtt_sample
+      in
+      t.cwnd_b <- Float.max floor (t.cwnd_b +. decision.Slow_start.cwnd_delta);
+      if decision.Slow_start.exit_slow_start then begin
+        t.ssthresh_b <- t.cwnd_b;
+        t.ph <- Cong_avoid_p
+      end
+      else if t.cwnd_b >= t.ssthresh_b then t.ph <- Cong_avoid_p
+  | Cong_avoid_p ->
+      bump t Web100.Kis.cong_avoid;
+      t.cwnd_b <-
+        t.cc.Cong_avoid.on_ack ~newly_acked:newly ~cwnd:t.cwnd_b ~mss
+          ~srtt:(Rtt_estimator.srtt t.rtt)
+          ~min_rtt:(Rtt_estimator.min_rtt t.rtt)
+          ~now:(Sim.Scheduler.now t.sched)
+  | Syn_sent -> ());
+  if flight_bytes t > 0 then arm_rto t else cancel_rto t;
+  check_complete t;
+  try_send t
+
+let handle_ack t header =
+  bump t Web100.Kis.acks_in;
+  let now = Sim.Scheduler.now t.sched in
+  let rtt_sample =
+    let ecr = header.Proto.Tcp_header.ts_ecr in
+    if Sim.Time.(ecr > Sim.Time.zero) then begin
+      let sample = Sim.Time.sub now ecr in
+      Rtt_estimator.sample t.rtt sample;
+      Some sample
+    end
+    else None
+  in
+  let prev_rwnd = t.rwnd in
+  t.rwnd <- Stdlib.max 0 header.Proto.Tcp_header.wnd;
+  Web100.Group.Gauge.set
+    (gauge t Web100.Kis.max_rwin_rcvd)
+    (Float.max
+       (Web100.Group.Gauge.value (gauge t Web100.Kis.max_rwin_rcvd))
+       (float_of_int t.rwnd));
+  (* ECN echo: same once-per-window multiplicative decrease as a loss,
+     but nothing needs retransmitting (RFC 3168 §6.1.2). *)
+  if
+    Proto.Tcp_header.has_flag header Proto.Tcp_header.Ece
+    && t.ph <> Syn_sent && t.ph <> Fast_recovery
+    && t.una >= t.reaction_mark
+  then begin
+    t.reaction_mark <- t.nxt;
+    bump t Web100.Kis.congestion_signals;
+    let mss = t.cfg.Config.mss in
+    let ssthresh', cwnd' =
+      t.cc.Cong_avoid.on_loss ~cwnd:t.cwnd_b ~flight:(flight_bytes t) ~mss
+        ~now
+    in
+    t.ssthresh_b <- ssthresh';
+    t.cwnd_b <- cwnd';
+    if t.ph = Slow_start_p then t.ph <- Cong_avoid_p;
+    t.cwr_pending <- true
+  end;
+  if t.ph = Syn_sent then begin
+    if Proto.Tcp_header.has_flag header Proto.Tcp_header.Syn then begin
+      (* SYN/ACK: connection established. *)
+      cancel_rto t;
+      Rtt_estimator.reset_backoff t.rtt;
+      t.ph <- Slow_start_p;
+      t.cwnd_b <-
+        float_of_int (t.cfg.Config.init_cwnd_segments * t.cfg.Config.mss);
+      update_gauges t;
+      try_send t
+    end
+  end
+  else begin
+    let ack_off = offset_of_seq t header.Proto.Tcp_header.ack in
+    if ack_off > t.una && ack_off <= t.una + (1 lsl 30) then begin
+      (* An ACK above snd_nxt is possible after go-back-N regressed
+         snd_nxt: the receiver is acknowledging pre-timeout data. The
+         data exists; resynchronize snd_nxt instead of dropping the
+         ACK (which would deadlock the connection). *)
+      if ack_off > t.nxt then t.nxt <- ack_off;
+      let newly = ack_off - t.una in
+      t.una <- ack_off;
+      if t.una >= t.reaction_mark then t.reaction_mark <- t.una;
+      on_new_ack t ~newly ~rtt_sample header
+    end
+    else if
+      ack_off = t.una && t.nxt > t.una
+      && header.Proto.Tcp_header.payload_len = 0
+    then
+      if t.rwnd = prev_rwnd then on_dupack t header
+      else
+        (* Same ACK point but a changed window: a window update, not a
+           duplicate (RFC 5681 §2). The reopened window may unblock us. *)
+        try_send t
+    else if t.rwnd > prev_rwnd then try_send t
+  end;
+  update_gauges t
+
+let handle_packet t pkt =
+  match pkt.Netsim.Packet.payload with
+  | Proto.Payload.Tcp header when header.Proto.Tcp_header.is_ack ->
+      handle_ack t header
+  | Proto.Payload.Tcp _ | Proto.Payload.Udp _ -> ()
+
+(* --- construction ------------------------------------------------------ *)
+
+let create ~host ~dst ~flow ~ids ?(config = Config.default)
+    ?(slow_start = Slow_start.standard ()) ?(cong_avoid = Cong_avoid.reno ())
+    ?(name = "sender") () =
+  let sched = Netsim.Host.scheduler host in
+  let t =
+    {
+      host;
+      sched;
+      dst;
+      flow;
+      ids;
+      cfg = config;
+      ss = slow_start;
+      cc = cong_avoid;
+      group = Web100.Group.create ~conn_name:name ();
+      rtt =
+        Rtt_estimator.create ~min_rto:config.Config.min_rto
+          ~max_rto:config.Config.max_rto ();
+      scoreboard = Sack_scoreboard.create ();
+      retx_done = Interval_set.create ();
+      iss = Proto.Seqno.of_int (0x1000 + (flow * 0x2711));
+      una = 0;
+      nxt = 0;
+      total = None;
+      cwnd_b = float_of_int (config.Config.init_cwnd_segments * config.Config.mss);
+      ssthresh_b = config.Config.init_ssthresh;
+      rwnd = config.Config.rcv_wnd;
+      ph = Syn_sent;
+      dupacks = 0;
+      recover = 0;
+      rto_handle = None;
+      stalled = false;
+      pending_retx = None;
+      reaction_mark = 0;
+      complete_cbs = [];
+      completed = false;
+      started = false;
+      bytes_sent_total = 0;
+      next_pace_time = Sim.Time.zero;
+      pace_timer = None;
+      cwr_pending = false;
+      last_data_send = Sim.Time.zero;
+    }
+  in
+  Netsim.Host.register_flow host ~flow (fun pkt -> handle_packet t pkt);
+  Netsim.Ifq.on_space (Netsim.Host.ifq host) (fun () ->
+      if t.stalled then begin
+        t.stalled <- false;
+        try_send t
+      end);
+  t
+
+let start t ?bytes () =
+  if t.started then invalid_arg "Sender.start: already started";
+  t.started <- true;
+  t.total <- bytes;
+  send_syn t;
+  arm_rto t;
+  update_gauges t
+
+let supply t n =
+  if n <= 0 then invalid_arg "Sender.supply: need a positive byte count";
+  match t.total with
+  | None ->
+      invalid_arg "Sender.supply: connection already sends unlimited data"
+  | Some total ->
+      t.total <- Some (total + n);
+      t.completed <- false;
+      if t.started then try_send t
+
+let on_complete t cb = t.complete_cbs <- cb :: t.complete_cbs
+
+(* --- accessors --------------------------------------------------------- *)
+
+let phase t = t.ph
+let cwnd t = t.cwnd_b
+let ssthresh t = t.ssthresh_b
+let flight t = flight_bytes t
+let bytes_acked t = t.una
+let bytes_sent t = t.bytes_sent_total
+let srtt t = Rtt_estimator.srtt t.rtt
+let min_rtt t = Rtt_estimator.min_rtt t.rtt
+let rto t = Rtt_estimator.rto t.rtt
+let send_stalls t = Web100.Group.Counter.value (counter t Web100.Kis.send_stall)
+
+let congestion_signals t =
+  Web100.Group.Counter.value (counter t Web100.Kis.congestion_signals)
+
+let timeouts t = Web100.Group.Counter.value (counter t Web100.Kis.timeouts)
+
+let retransmits t =
+  Web100.Group.Counter.value (counter t Web100.Kis.pkts_retrans)
+
+let stats t = t.group
+let slow_start_name t = t.ss.Slow_start.name

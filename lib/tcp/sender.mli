@@ -1,0 +1,74 @@
+(** TCP sender endpoint.
+
+    One direction of data transfer: this endpoint emits SYN + data
+    segments through its host's interface queue and consumes the ACK
+    stream. Congestion control is split into a {!Slow_start} policy
+    (the paper's axis) and a {!Cong_avoid} algorithm, with fast
+    retransmit / NewReno or SACK-based recovery and RFC 6298 timeouts.
+    Send-stalls reported by the host IFQ feed the configured
+    {!Local_congestion} policy — the pathway the paper studies. *)
+
+type phase = Syn_sent | Slow_start_p | Cong_avoid_p | Fast_recovery
+(** After a retransmission timeout the sender re-enters [Slow_start_p]
+    (with the slow-start policy reset), mirroring RFC 5681. *)
+
+val phase_to_string : phase -> string
+
+type t
+
+val create :
+  host:Netsim.Host.t ->
+  dst:int ->
+  flow:int ->
+  ids:Netsim.Packet.Id_source.source ->
+  ?config:Config.t ->
+  ?slow_start:Slow_start.t ->
+  ?cong_avoid:Cong_avoid.t ->
+  ?name:string ->
+  unit ->
+  t
+(** Builds the endpoint and registers it for [flow] on [host]. The
+    default policies are [Slow_start.standard] and [Cong_avoid.reno]. *)
+
+val start : t -> ?bytes:int -> unit -> unit
+(** Open the connection (SYN) and stream [bytes] of application data
+    (default: unlimited). Must be called once. *)
+
+val supply : t -> int -> unit
+(** Application write: make [n] more bytes available on a bounded
+    connection (raises [Invalid_argument] on an unlimited one, which
+    already has everything to send). Used by bursty sources such as
+    [Workload.Chunked]. *)
+
+val on_complete : t -> (unit -> unit) -> unit
+(** Callback when every requested byte has been cumulatively ACKed.
+    Never fires for unlimited transfers. *)
+
+(** {2 Introspection} *)
+
+val phase : t -> phase
+
+val cwnd : t -> float
+(** Congestion window, bytes. *)
+
+val ssthresh : t -> float
+
+val flight : t -> int
+(** Un-SACKed outstanding bytes. *)
+
+val bytes_acked : t -> int
+
+val bytes_sent : t -> int
+(** Data bytes handed to the IFQ (retransmissions included). *)
+
+val srtt : t -> Sim.Time.t option
+val min_rtt : t -> Sim.Time.t option
+val rto : t -> Sim.Time.t
+val send_stalls : t -> int
+val congestion_signals : t -> int
+val timeouts : t -> int
+val retransmits : t -> int
+val stats : t -> Web100.Group.t
+(** The web100 instrument group; gauges are refreshed on every event. *)
+
+val slow_start_name : t -> string

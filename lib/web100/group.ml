@@ -1,0 +1,66 @@
+type var = Counter_var of int ref | Gauge_var of float ref
+
+type t = { name : string; vars : (string, var) Hashtbl.t }
+
+module Counter = struct
+  type c = int ref
+
+  let incr ?(by = 1) c = c := !c + by
+  let value c = !c
+end
+
+module Gauge = struct
+  type g = float ref
+
+  let set g v = g := v
+  let value g = !g
+end
+
+let create ?(conn_name = "conn") () =
+  { name = conn_name; vars = Hashtbl.create 32 }
+
+let conn_name t = t.name
+
+let counter t name =
+  match Hashtbl.find_opt t.vars name with
+  | Some (Counter_var c) -> c
+  | Some (Gauge_var _) ->
+      invalid_arg (name ^ " is registered as a gauge, not a counter")
+  | None ->
+      let c = ref 0 in
+      Hashtbl.add t.vars name (Counter_var c);
+      c
+
+let gauge t name =
+  match Hashtbl.find_opt t.vars name with
+  | Some (Gauge_var g) -> g
+  | Some (Counter_var _) ->
+      invalid_arg (name ^ " is registered as a counter, not a gauge")
+  | None ->
+      let g = ref 0. in
+      Hashtbl.add t.vars name (Gauge_var g);
+      g
+
+let read t name =
+  match Hashtbl.find_opt t.vars name with
+  | Some (Counter_var c) -> Some (float_of_int !c)
+  | Some (Gauge_var g) -> Some !g
+  | None -> None
+
+let snapshot t =
+  Hashtbl.fold
+    (fun name var acc ->
+      let v =
+        match var with
+        | Counter_var c -> float_of_int !c
+        | Gauge_var g -> !g
+      in
+      (name, v) :: acc)
+    t.vars []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s:@,%a@]" t.name
+    (Format.pp_print_list (fun fmt (k, v) ->
+         Format.fprintf fmt "  %-20s %.6g" k v))
+    (snapshot t)

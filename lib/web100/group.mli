@@ -1,0 +1,36 @@
+(** A per-connection instrument group: named counters and gauges, in the
+    spirit of a web100 connection's variable file. Variables are created
+    on first access, so instrumented code never needs a registration
+    step. *)
+
+type t
+
+module Counter : sig
+  type c
+
+  val incr : ?by:int -> c -> unit
+  val value : c -> int
+end
+
+module Gauge : sig
+  type g
+
+  val set : g -> float -> unit
+  val value : g -> float
+end
+
+val create : ?conn_name:string -> unit -> t
+val conn_name : t -> string
+
+val counter : t -> string -> Counter.c
+(** Find-or-create. The same name always yields the same counter. *)
+
+val gauge : t -> string -> Gauge.g
+
+val read : t -> string -> float option
+(** Current value of a variable by name (counters as floats). *)
+
+val snapshot : t -> (string * float) list
+(** All variables, sorted by name. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,42 @@
+let pkts_out = "PktsOut"
+let data_bytes_out = "DataBytesOut"
+let pkts_retrans = "PktsRetrans"
+let bytes_retrans = "BytesRetrans"
+let congestion_signals = "CongestionSignals"
+let send_stall = "SendStall"
+let timeouts = "Timeouts"
+let dup_acks_in = "DupAcksIn"
+let fast_retran = "FastRetran"
+let acks_in = "AcksIn"
+let cur_cwnd = "CurCwnd"
+let cur_ssthresh = "CurSsthresh"
+let smoothed_rtt = "SmoothedRTT"
+let cur_rto = "CurRTO"
+let min_rtt = "MinRTT"
+let max_rwin_rcvd = "MaxRwinRcvd"
+let slow_start = "SlowStart"
+let cong_avoid = "CongAvoid"
+let cur_ifq = "CurIFQ"
+
+let all =
+  [
+    pkts_out;
+    data_bytes_out;
+    pkts_retrans;
+    bytes_retrans;
+    congestion_signals;
+    send_stall;
+    timeouts;
+    dup_acks_in;
+    fast_retran;
+    acks_in;
+    cur_cwnd;
+    cur_ssthresh;
+    smoothed_rtt;
+    cur_rto;
+    min_rtt;
+    max_rwin_rcvd;
+    slow_start;
+    cong_avoid;
+    cur_ifq;
+  ]

@@ -1,0 +1,26 @@
+(** Canonical names for the web100 Kernel Instrument Set variables this
+    reproduction maintains, matching the draft-mathis-tcp-mib / web100
+    spelling so logs line up with the paper's tooling. *)
+
+val pkts_out : string            (* "PktsOut" *)
+val data_bytes_out : string      (* "DataBytesOut" *)
+val pkts_retrans : string        (* "PktsRetrans" *)
+val bytes_retrans : string       (* "BytesRetrans" *)
+val congestion_signals : string  (* "CongestionSignals" *)
+val send_stall : string          (* "SendStall" *)
+val timeouts : string            (* "Timeouts" *)
+val dup_acks_in : string         (* "DupAcksIn" *)
+val fast_retran : string         (* "FastRetran" *)
+val acks_in : string             (* "AcksIn" *)
+val cur_cwnd : string            (* "CurCwnd" (bytes) *)
+val cur_ssthresh : string        (* "CurSsthresh" (bytes) *)
+val smoothed_rtt : string        (* "SmoothedRTT" (ms) *)
+val cur_rto : string             (* "CurRTO" (ms) *)
+val min_rtt : string             (* "MinRTT" (ms) *)
+val max_rwin_rcvd : string       (* "MaxRwinRcvd" *)
+val slow_start : string          (* "SlowStart" — transitions into SS *)
+val cong_avoid : string          (* "CongAvoid" — cwnd increases in CA *)
+val cur_ifq : string             (* "CurIFQ" — extension: IFQ occupancy *)
+
+val all : string list
+(** Every name above, in a stable order (used by CSV headers). *)

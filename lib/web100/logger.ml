@@ -1,0 +1,56 @@
+type t = {
+  sched : Sim.Scheduler.t;
+  group : Group.t;
+  vars : string list;
+  table : (string, Sim.Stats.Series.t) Hashtbl.t;
+  ticks : Sim.Time.t list ref; (* reversed *)
+  handle : Sim.Scheduler.handle ref;
+}
+
+let start sched ~period ~vars group =
+  let table = Hashtbl.create (List.length vars) in
+  List.iter
+    (fun v -> Hashtbl.add table v (Sim.Stats.Series.create ~name:v ()))
+    vars;
+  let ticks = ref [] in
+  let sample () =
+    let now = Sim.Scheduler.now sched in
+    ticks := now :: !ticks;
+    List.iter
+      (fun v ->
+        let value = Option.value ~default:0. (Group.read group v) in
+        Sim.Stats.Series.add (Hashtbl.find table v) now value)
+      vars
+  in
+  let handle = Sim.Scheduler.every sched period sample in
+  { sched; group; vars; table; ticks; handle }
+
+let stop t = Sim.Scheduler.cancel !(t.handle)
+
+let series t name =
+  match Hashtbl.find_opt t.table name with
+  | Some s -> s
+  | None -> raise Not_found
+
+let to_csv t =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "time_s";
+  List.iter
+    (fun v ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf v)
+    t.vars;
+  Buffer.add_char buf '\n';
+  let times = List.rev !(t.ticks) in
+  List.iteri
+    (fun i tick ->
+      Buffer.add_string buf (Printf.sprintf "%.6f" (Sim.Time.to_sec tick));
+      List.iter
+        (fun v ->
+          let s = Hashtbl.find t.table v in
+          let value = (Sim.Stats.Series.values s).(i) in
+          Buffer.add_string buf (Printf.sprintf ",%.6g" value))
+        t.vars;
+      Buffer.add_char buf '\n')
+    times;
+  Buffer.contents buf

@@ -1,0 +1,19 @@
+(** Periodic sampler turning a {!Group} into per-variable time series —
+    the equivalent of polling a web100 connection's variable file, which
+    is how the paper's Figure 1 data was gathered. *)
+
+type t
+
+val start :
+  Sim.Scheduler.t -> period:Sim.Time.t -> vars:string list -> Group.t -> t
+(** Sample the listed variables every [period], starting one period from
+    now, until {!stop}. Variables missing from the group sample as 0. *)
+
+val stop : t -> unit
+
+val series : t -> string -> Sim.Stats.Series.t
+(** The sampled series for a variable. Raises [Not_found] for variables
+    not in the [vars] list. *)
+
+val to_csv : t -> string
+(** "time_s,var1,var2,..." header plus one row per sample tick. *)

@@ -1,0 +1,33 @@
+type t = { time : Sim.Time.t; values : (string * float) list (* sorted *) }
+
+let take ~now group = { time = now; values = Group.snapshot group }
+let at t = t.time
+let value t name = List.assoc_opt name t.values
+
+let delta ~older ~newer =
+  if Sim.Time.(newer.time < older.time) then
+    invalid_arg "Snapshot.delta: newer precedes older";
+  let names =
+    List.sort_uniq compare
+      (List.map fst older.values @ List.map fst newer.values)
+  in
+  List.map
+    (fun name ->
+      let v snapshot = Option.value ~default:0. (value snapshot name) in
+      (name, v newer -. v older))
+    names
+
+let rate ~older ~newer name =
+  let elapsed = Sim.Time.to_sec (Sim.Time.sub newer.time older.time) in
+  if elapsed <= 0. then invalid_arg "Snapshot.rate: no elapsed time";
+  match List.assoc_opt name (delta ~older ~newer) with
+  | Some d -> d /. elapsed
+  | None -> 0.
+
+let pp_delta fmt ~older ~newer =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun (name, d) ->
+      if d <> 0. then Format.fprintf fmt "%-20s %+.6g@," name d)
+    (delta ~older ~newer);
+  Format.fprintf fmt "@]"

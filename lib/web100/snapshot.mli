@@ -1,0 +1,19 @@
+(** Point-in-time copies of an instrument group and deltas between them
+    — the web100 userland workflow (readvars, deltavars). *)
+
+type t
+
+val take : now:Sim.Time.t -> Group.t -> t
+val at : t -> Sim.Time.t
+val value : t -> string -> float option
+
+val delta : older:t -> newer:t -> (string * float) list
+(** Per-variable [newer - older], sorted by name. Variables missing on
+    one side are treated as 0 there. Raises [Invalid_argument] if
+    [newer] precedes [older]. *)
+
+val rate : older:t -> newer:t -> string -> float
+(** [delta / elapsed_seconds] for one variable; 0 if absent. Raises on
+    zero or negative elapsed time. *)
+
+val pp_delta : Format.formatter -> older:t -> newer:t -> unit

@@ -1,0 +1,26 @@
+type t = {
+  conn : Tcp.Connection.t;
+  sched : Sim.Scheduler.t;
+  mutable finished_at : Sim.Time.t option;
+}
+
+let start ~src ~dst ~flow ~ids ?config ?slow_start ?cong_avoid ?bytes ?name
+    () =
+  let sched = Netsim.Host.scheduler src in
+  let conn =
+    Tcp.Connection.establish ~src ~dst ~flow ~ids ?config ?slow_start
+      ?cong_avoid ?bytes ?name ()
+  in
+  let t = { conn; sched; finished_at = None } in
+  (match bytes with
+  | Some n ->
+      Tcp.Receiver.expect conn.Tcp.Connection.receiver ~bytes:n (fun () ->
+          t.finished_at <- Some (Sim.Scheduler.now sched))
+  | None -> ());
+  t
+
+let connection t = t.conn
+let sender t = t.conn.Tcp.Connection.sender
+let receiver t = t.conn.Tcp.Connection.receiver
+let completion_time t = t.finished_at
+let goodput_mbps t ~at = Tcp.Connection.goodput_mbps t.conn ~at

@@ -1,0 +1,115 @@
+type completed = {
+  flow : int;
+  size : int;
+  started : Sim.Time.t;
+  finished : Sim.Time.t;
+}
+
+type t = {
+  src : Netsim.Host.t;
+  dst : Netsim.Host.t;
+  sched : Sim.Scheduler.t;
+  ids : Netsim.Packet.Id_source.source;
+  rng : Sim.Rng.t;
+  arrival_rate : float;
+  mean_size : int;
+  pareto_shape : float;
+  config : Tcp.Config.t;
+  slow_start : unit -> Tcp.Slow_start.t;
+  stop_at : Sim.Time.t option;
+  mutable next_flow : int;
+  mutable launched : int;
+  mutable finished : completed list; (* newest first *)
+  mutable running : bool;
+}
+
+let draw_size t =
+  (* Pareto with the requested mean: scale = mean·(shape−1)/shape. *)
+  let shape = t.pareto_shape in
+  let scale = float_of_int t.mean_size *. (shape -. 1.) /. shape in
+  let s = Sim.Rng.pareto t.rng ~shape ~scale in
+  Stdlib.max 1 (int_of_float s)
+
+let launch t =
+  let flow = t.next_flow in
+  t.next_flow <- flow + 1;
+  t.launched <- t.launched + 1;
+  let size = draw_size t in
+  let started = Sim.Scheduler.now t.sched in
+  let receiver =
+    Tcp.Receiver.create ~host:t.dst ~flow ~ids:t.ids ~config:t.config ()
+  in
+  let sender =
+    Tcp.Sender.create ~host:t.src ~dst:(Netsim.Host.id t.dst) ~flow
+      ~ids:t.ids ~config:t.config ~slow_start:(t.slow_start ())
+      ~name:(Printf.sprintf "short-%d" flow)
+      ()
+  in
+  Tcp.Receiver.expect receiver ~bytes:size (fun () ->
+      t.finished <-
+        { flow; size; started; finished = Sim.Scheduler.now t.sched }
+        :: t.finished;
+      (* Release demux entries so long runs don't accumulate handlers. *)
+      Netsim.Host.unregister_flow t.dst ~flow;
+      Netsim.Host.unregister_flow t.src ~flow);
+  Tcp.Sender.start sender ~bytes:size ()
+
+let rec arrival t () =
+  if t.running then begin
+    let now = Sim.Scheduler.now t.sched in
+    let expired =
+      match t.stop_at with Some s -> Sim.Time.(now >= s) | None -> false
+    in
+    if expired then t.running <- false
+    else begin
+      launch t;
+      let gap =
+        Sim.Rng.exponential t.rng ~mean:(1. /. t.arrival_rate)
+      in
+      ignore (Sim.Scheduler.after t.sched (Sim.Time.of_sec gap) (arrival t))
+    end
+  end
+
+let start ~src ~dst ~ids ~rng ~arrival_rate ?(mean_size = 30 * 1024)
+    ?(pareto_shape = 1.2) ?(first_flow = 10_000)
+    ?(config = Tcp.Config.default)
+    ?(slow_start = fun () -> Tcp.Slow_start.standard ()) ?stop_at () =
+  assert (arrival_rate > 0.);
+  let t =
+    {
+      src;
+      dst;
+      sched = Netsim.Host.scheduler src;
+      ids;
+      rng;
+      arrival_rate;
+      mean_size;
+      pareto_shape;
+      config;
+      slow_start;
+      stop_at;
+      next_flow = first_flow;
+      launched = 0;
+      finished = [];
+      running = true;
+    }
+  in
+  let first_gap = Sim.Rng.exponential rng ~mean:(1. /. arrival_rate) in
+  ignore (Sim.Scheduler.after t.sched (Sim.Time.of_sec first_gap) (arrival t));
+  t
+
+let stop t = t.running <- false
+let launched t = t.launched
+let completions t = List.rev t.finished
+
+let mean_completion_time t =
+  match t.finished with
+  | [] -> 0.
+  | l ->
+      let sum =
+        List.fold_left
+          (fun acc (c : completed) ->
+            acc +. Sim.Time.to_sec (Sim.Time.sub c.finished c.started))
+          0. l
+      in
+      sum /. float_of_int (List.length l)

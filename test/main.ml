@@ -1,0 +1,26 @@
+let () =
+  Alcotest.run "restricted-slow-start"
+    [
+      ("sim.time", Test_time.suite);
+      ("sim.event-queue", Test_event_queue.suite);
+      ("sim.scheduler", Test_scheduler.suite);
+      ("sim.rng", Test_rng.suite);
+      ("sim.stats", Test_stats.suite);
+      ("sim.units", Test_units.suite);
+      ("proto.seqno", Test_seqno.suite);
+      ("netsim.queue-disc", Test_queue_disc.suite);
+      ("netsim.components", Test_netsim.suite);
+      ("control", Test_control.suite);
+      ("web100", Test_web100.suite);
+      ("tcp.interval-set", Test_interval_set.suite);
+      ("tcp.rtt-estimator", Test_rtt_estimator.suite);
+      ("tcp.sack-reorder", Test_sack_reorder.suite);
+      ("tcp.slow-start", Test_slow_start.suite);
+      ("tcp.cong-avoid", Test_cong_avoid.suite);
+      ("tcp.shared-rss", Test_shared_rss.suite);
+      ("tcp.recovery", Test_recovery.suite);
+      ("tcp.integration", Test_tcp_integration.suite);
+      ("workload", Test_workload.suite);
+      ("report", Test_report.suite);
+      ("core", Test_core.suite);
+    ]

@@ -1,0 +1,170 @@
+let mss = 1460
+
+let test_reno_additive_increase () =
+  let cc = Tcp.Cong_avoid.reno () in
+  let cwnd = 10. *. float_of_int mss in
+  let next =
+    cc.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd ~mss ~srtt:None ~min_rtt:None
+      ~now:Sim.Time.zero
+  in
+  (* +MSS²/cwnd per ACK: ten ACKs make one MSS per RTT. *)
+  Alcotest.(check (float 1e-6)) "increment" (float_of_int mss /. 10.)
+    (next -. cwnd)
+
+let test_reno_halves_on_loss () =
+  let cc = Tcp.Cong_avoid.reno () in
+  let flight = 20 * mss in
+  let ssthresh, cwnd =
+    cc.Tcp.Cong_avoid.on_loss ~cwnd:(20. *. float_of_int mss) ~flight ~mss
+      ~now:Sim.Time.zero
+  in
+  Alcotest.(check (float 1e-6)) "ssthresh = flight/2"
+    (10. *. float_of_int mss) ssthresh;
+  Alcotest.(check (float 1e-6)) "cwnd follows" ssthresh cwnd
+
+let test_reno_floor () =
+  let cc = Tcp.Cong_avoid.reno () in
+  let ssthresh, _ =
+    cc.Tcp.Cong_avoid.on_loss ~cwnd:(float_of_int mss) ~flight:mss ~mss
+      ~now:Sim.Time.zero
+  in
+  Alcotest.(check (float 1e-6)) "floor 2 MSS" (2. *. float_of_int mss) ssthresh
+
+let test_reno_rto () =
+  let cc = Tcp.Cong_avoid.reno () in
+  let ssthresh, cwnd =
+    cc.Tcp.Cong_avoid.on_rto ~cwnd:(40. *. float_of_int mss)
+      ~flight:(40 * mss) ~mss
+  in
+  Alcotest.(check (float 1e-6)) "ssthresh" (20. *. float_of_int mss) ssthresh;
+  Alcotest.(check (float 1e-6)) "loss window = 1 MSS" (float_of_int mss) cwnd
+
+let test_cubic_beta_decrease () =
+  let cc = Tcp.Cong_avoid.cubic () in
+  let cwnd = 100. *. float_of_int mss in
+  let ssthresh, next =
+    cc.Tcp.Cong_avoid.on_loss ~cwnd ~flight:(100 * mss) ~mss
+      ~now:(Sim.Time.sec 1)
+  in
+  Alcotest.(check (float 1e-6)) "beta = 0.7" (0.7 *. cwnd) next;
+  Alcotest.(check (float 1e-6)) "ssthresh matches" next ssthresh
+
+let test_cubic_grows_toward_wmax () =
+  let cc = Tcp.Cong_avoid.cubic () in
+  let m = float_of_int mss in
+  (* Establish an epoch with W_max = 100 segments. *)
+  let _, after_loss =
+    cc.Tcp.Cong_avoid.on_loss ~cwnd:(100. *. m) ~flight:(100 * mss) ~mss
+      ~now:Sim.Time.zero
+  in
+  let cwnd = ref after_loss in
+  let srtt = Some (Sim.Time.ms 60) in
+  for i = 1 to 2000 do
+    let now = Sim.Time.ms (i * 10) in
+    cwnd :=
+      cc.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd:!cwnd ~mss ~srtt ~min_rtt:None ~now
+  done;
+  (* After 20 s the cubic curve has recovered past the old maximum. *)
+  Alcotest.(check bool) "recovers toward W_max" true (!cwnd > 95. *. m);
+  Alcotest.(check bool) "keeps probing beyond" true (!cwnd > 100. *. m)
+
+let test_cubic_reset () =
+  let cc = Tcp.Cong_avoid.cubic () in
+  let m = float_of_int mss in
+  ignore
+    (cc.Tcp.Cong_avoid.on_loss ~cwnd:(100. *. m) ~flight:(100 * mss) ~mss
+       ~now:Sim.Time.zero);
+  cc.Tcp.Cong_avoid.reset ();
+  (* After reset, growth restarts from a fresh epoch without blowing up. *)
+  let next =
+    cc.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd:(10. *. m) ~mss
+      ~srtt:(Some (Sim.Time.ms 60)) ~min_rtt:None ~now:(Sim.Time.sec 5)
+  in
+  Alcotest.(check bool) "sane growth" true (next >= 10. *. m && next < 20. *. m)
+
+let test_names () =
+  Alcotest.(check string) "reno" "reno" (Tcp.Cong_avoid.reno ()).Tcp.Cong_avoid.name;
+  Alcotest.(check string) "cubic" "cubic"
+    (Tcp.Cong_avoid.cubic ()).Tcp.Cong_avoid.name
+
+let test_vegas_backlog_regulation () =
+  let cc = Tcp.Cong_avoid.vegas () in
+  let m = float_of_int mss in
+  let base_rtt = Some (Sim.Time.ms 60) in
+  (* Backlog 0 (rtt = base): grow. *)
+  let grown =
+    cc.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd:(100. *. m) ~mss
+      ~srtt:(Some (Sim.Time.ms 60)) ~min_rtt:base_rtt ~now:(Sim.Time.sec 1)
+  in
+  Alcotest.(check (float 1e-6)) "grows below alpha" (101. *. m) grown;
+  (* Large backlog: cwnd 100 seg, rtt 90 vs base 60 → backlog ≈ 33 seg. *)
+  let cc2 = Tcp.Cong_avoid.vegas () in
+  let shrunk =
+    cc2.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd:(100. *. m) ~mss
+      ~srtt:(Some (Sim.Time.ms 90)) ~min_rtt:base_rtt ~now:(Sim.Time.sec 1)
+  in
+  Alcotest.(check (float 1e-6)) "shrinks above beta" (99. *. m) shrunk;
+  (* In the dead band (backlog = 3 with alpha 2, beta 4): hold. *)
+  let cc3 = Tcp.Cong_avoid.vegas () in
+  let held =
+    cc3.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd:(100. *. m) ~mss
+      ~srtt:(Some (Sim.Time.of_sec 0.0618557))
+      ~min_rtt:base_rtt ~now:(Sim.Time.sec 1)
+  in
+  Alcotest.(check (float 1e-6)) "holds in dead band" (100. *. m) held
+
+let test_vegas_once_per_rtt () =
+  let cc = Tcp.Cong_avoid.vegas () in
+  let m = float_of_int mss in
+  let ack now cwnd =
+    cc.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd ~mss
+      ~srtt:(Some (Sim.Time.ms 60))
+      ~min_rtt:(Some (Sim.Time.ms 60))
+      ~now
+  in
+  let w1 = ack (Sim.Time.ms 100) (100. *. m) in
+  (* Second ACK 10 ms later: inside the same RTT, no further change. *)
+  let w2 = ack (Sim.Time.ms 110) w1 in
+  Alcotest.(check (float 1e-6)) "one adjustment per RTT" w1 w2;
+  let w3 = ack (Sim.Time.ms 170) w2 in
+  Alcotest.(check (float 1e-6)) "adjusts next RTT" (w2 +. m) w3
+
+let test_vegas_fallback_without_rtt () =
+  let cc = Tcp.Cong_avoid.vegas () in
+  let m = float_of_int mss in
+  let next =
+    cc.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd:(10. *. m) ~mss
+      ~srtt:None ~min_rtt:None ~now:Sim.Time.zero
+  in
+  Alcotest.(check (float 1e-6)) "reno-like without estimates"
+    ((10. *. m) +. (m /. 10.))
+    next
+
+let qcheck_reno_monotone =
+  QCheck.Test.make ~name:"reno on_ack strictly increases cwnd" ~count:200
+    QCheck.(int_range 2 10_000)
+    (fun segs ->
+      let cc = Tcp.Cong_avoid.reno () in
+      let cwnd = float_of_int (segs * mss) in
+      cc.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd ~mss ~srtt:None
+        ~min_rtt:None ~now:Sim.Time.zero
+      > cwnd)
+
+let suite =
+  [
+    Alcotest.test_case "reno additive increase" `Quick
+      test_reno_additive_increase;
+    Alcotest.test_case "reno halves on loss" `Quick test_reno_halves_on_loss;
+    Alcotest.test_case "reno floor" `Quick test_reno_floor;
+    Alcotest.test_case "reno RTO" `Quick test_reno_rto;
+    Alcotest.test_case "cubic beta decrease" `Quick test_cubic_beta_decrease;
+    Alcotest.test_case "cubic growth toward W_max" `Quick
+      test_cubic_grows_toward_wmax;
+    Alcotest.test_case "cubic reset" `Quick test_cubic_reset;
+    Alcotest.test_case "algorithm names" `Quick test_names;
+    Alcotest.test_case "vegas backlog regulation" `Quick
+      test_vegas_backlog_regulation;
+    Alcotest.test_case "vegas once per RTT" `Quick test_vegas_once_per_rtt;
+    Alcotest.test_case "vegas fallback" `Quick test_vegas_fallback_without_rtt;
+    QCheck_alcotest.to_alcotest qcheck_reno_monotone;
+  ]

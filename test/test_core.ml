@@ -1,0 +1,175 @@
+(* Scenario construction, Run harness and experiment drivers (short
+   horizons to stay fast — the full horizons run in bench/). *)
+
+let test_scenario_defaults () =
+  let s = Core.Scenario.anl_lbnl () in
+  Alcotest.(check (float 1e-6)) "BDP = 500 pkts" 500.
+    (Core.Scenario.bdp_packets s);
+  Alcotest.(check int) "sender id" 0
+    (Netsim.Host.id (Core.Scenario.sender_host s));
+  Alcotest.(check int) "receiver id" 1
+    (Netsim.Host.id (Core.Scenario.receiver_host s));
+  Alcotest.(check int) "ifq capacity" 100
+    (Netsim.Ifq.capacity (Core.Scenario.sender_ifq s))
+
+let short_spec slow_start =
+  {
+    Core.Run.default_spec with
+    duration = Sim.Time.sec 3;
+    slow_start;
+    sample_period = Sim.Time.ms 100;
+  }
+
+let test_run_bulk_standard () =
+  let r = Core.Run.bulk (short_spec "standard") in
+  Alcotest.(check string) "label defaults to policy" "standard"
+    r.Core.Run.label;
+  Alcotest.(check bool) "goodput positive" true (r.Core.Run.goodput_mbps > 1.);
+  Alcotest.(check bool) "utilization consistent" true
+    (Float.abs (r.Core.Run.utilization -. (r.Core.Run.goodput_mbps /. 100.))
+     < 1e-9);
+  Alcotest.(check bool) "series populated" true
+    (Sim.Stats.Series.length r.Core.Run.cwnd_series > 20)
+
+let test_run_bulk_restricted_beats_standard () =
+  let std = Core.Run.bulk (short_spec "standard") in
+  let rss = Core.Run.bulk (short_spec "restricted") in
+  Alcotest.(check bool) "RSS ahead after 3s" true
+    (rss.Core.Run.goodput_mbps > std.Core.Run.goodput_mbps);
+  Alcotest.(check int) "RSS stall-free" 0 rss.Core.Run.send_stalls
+
+let test_run_completion () =
+  let spec = { (short_spec "standard") with Core.Run.bytes = Some 100_000 } in
+  let r = Core.Run.bulk spec in
+  match r.Core.Run.completion with
+  | Some t -> Alcotest.(check bool) "completed quickly" true
+                (Sim.Time.to_sec t < 1.)
+  | None -> Alcotest.fail "transfer did not complete"
+
+let test_run_determinism () =
+  let a = Core.Run.bulk (short_spec "standard") in
+  let b = Core.Run.bulk (short_spec "standard") in
+  Alcotest.(check (float 0.)) "identical goodput" a.Core.Run.goodput_mbps
+    b.Core.Run.goodput_mbps;
+  Alcotest.(check int) "identical stalls" a.Core.Run.send_stalls
+    b.Core.Run.send_stalls
+
+let test_run_rejects_bogus_policy () =
+  Alcotest.(check bool) "invalid_arg on bogus policy" true
+    (try
+       ignore (Core.Run.bulk (short_spec "bogus"));
+       false
+     with Invalid_argument _ -> true)
+
+let test_fig1_short () =
+  let r = Core.Experiments.Fig1.run ~duration:(Sim.Time.sec 3) () in
+  let std = r.Core.Experiments.Fig1.standard in
+  let rss = r.Core.Experiments.Fig1.restricted in
+  Alcotest.(check bool) "standard stalls" true (std.Core.Run.send_stalls >= 1);
+  Alcotest.(check int) "RSS clean" 0 rss.Core.Run.send_stalls;
+  (* The stalls series is a cumulative counter: non-decreasing. *)
+  let v = Sim.Stats.Series.values std.Core.Run.stalls_series in
+  let monotone = ref true in
+  Array.iteri (fun i x -> if i > 0 && x < v.(i - 1) then monotone := false) v;
+  Alcotest.(check bool) "cumulative monotone" true !monotone
+
+let test_table1_short () =
+  let rows = Core.Experiments.Table1.run ~durations:[ 3. ] () in
+  match rows with
+  | [ row ] ->
+      Alcotest.(check bool) "improvement positive" true
+        (row.Core.Experiments.Table1.improvement_pct > 0.)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_variants_short () =
+  let rows = Core.Experiments.Variants.run ~duration:(Sim.Time.sec 3) () in
+  Alcotest.(check (list string)) "order and labels"
+    [ "standard"; "abc"; "limited"; "hystart"; "restricted" ]
+    (List.map (fun r -> r.Core.Run.label) rows)
+
+let test_ifq_sweep_short () =
+  let rows =
+    Core.Experiments.Ifq_sweep.run ~sizes:[ 50; 200 ]
+      ~duration:(Sim.Time.sec 3) ()
+  in
+  Alcotest.(check int) "two rows" 2 (List.length rows);
+  List.iter
+    (fun (r : Core.Experiments.Ifq_sweep.row) ->
+      Alcotest.(check bool) "RSS >= std on paper path" true
+        (r.Core.Experiments.Ifq_sweep.restricted.Core.Run.goodput_mbps
+         >= 0.8
+            *. r.Core.Experiments.Ifq_sweep.standard.Core.Run.goodput_mbps))
+    rows
+
+let test_fairness_short () =
+  let r = Core.Experiments.Fairness.run ~duration:(Sim.Time.sec 5) () in
+  Alcotest.(check bool) "Jain in (0,1]" true
+    (r.Core.Experiments.Fairness.jain_index > 0.
+    && r.Core.Experiments.Fairness.jain_index <= 1.);
+  Alcotest.(check bool) "both flows progress" true
+    (r.Core.Experiments.Fairness.reno_mbps > 0.
+    && r.Core.Experiments.Fairness.restricted_mbps > 0.)
+
+let test_latency_experiment_short () =
+  let rows = Core.Experiments.Latency.run ~duration:(Sim.Time.sec 5) () in
+  Alcotest.(check int) "four rows" 4 (List.length rows);
+  (match rows with
+  | std :: rss09 :: _ ->
+      (* RSS's standing queue must show up as added one-way delay. *)
+      Alcotest.(check bool) "rss delay above standard" true
+        (rss09.Core.Experiments.Latency.mean_delay_ms
+        > std.Core.Experiments.Latency.mean_delay_ms +. 5.);
+      Alcotest.(check bool) "delays above propagation floor" true
+        (std.Core.Experiments.Latency.mean_delay_ms >= 30.)
+  | _ -> Alcotest.fail "unexpected row shape");
+  (* Lower set points give monotonically lower delay. *)
+  let delays =
+    List.map (fun r -> r.Core.Experiments.Latency.mean_delay_ms) (List.tl rows)
+  in
+  Alcotest.(check bool) "set point orders delay" true
+    (List.sort (fun a b -> compare b a) delays = delays)
+
+let test_calibrate_plant_responds () =
+  let plant = Core.Calibrate.sim_plant () () in
+  (* Tiny window: IFQ stays empty. *)
+  let y_small = plant ~dt:0.5 ~u:4. in
+  Alcotest.(check (float 1.)) "empty at small window" 0. y_small;
+  (* Large window: the queue must fill (BDP 500 + slack). *)
+  let y = ref 0. in
+  for _ = 1 to 6 do
+    y := plant ~dt:0.5 ~u:700.
+  done;
+  Alcotest.(check bool) "queue builds at big window" true (!y > 50.)
+
+let test_tuned_config () =
+  let cfg =
+    Core.Calibrate.tuned_config { Control.Tuning.kc = 1.; tc = 0.12 }
+  in
+  Alcotest.(check (float 1e-9)) "paper rule Kp" 0.33
+    cfg.Tcp.Slow_start.gains.Control.Pid.kp;
+  Alcotest.(check (float 1e-9)) "paper rule Ti" 0.06
+    cfg.Tcp.Slow_start.gains.Control.Pid.ti;
+  Alcotest.(check (float 1e-9)) "setpoint fraction" 0.9
+    cfg.Tcp.Slow_start.setpoint_fraction
+
+let suite =
+  [
+    Alcotest.test_case "scenario defaults" `Quick test_scenario_defaults;
+    Alcotest.test_case "run bulk standard" `Quick test_run_bulk_standard;
+    Alcotest.test_case "run: RSS beats standard" `Quick
+      test_run_bulk_restricted_beats_standard;
+    Alcotest.test_case "run completion" `Quick test_run_completion;
+    Alcotest.test_case "run determinism" `Quick test_run_determinism;
+    Alcotest.test_case "bogus policy rejected" `Quick
+      test_run_rejects_bogus_policy;
+    Alcotest.test_case "fig1 (short)" `Quick test_fig1_short;
+    Alcotest.test_case "table1 (short)" `Quick test_table1_short;
+    Alcotest.test_case "variants (short)" `Quick test_variants_short;
+    Alcotest.test_case "ifq sweep (short)" `Quick test_ifq_sweep_short;
+    Alcotest.test_case "fairness (short)" `Slow test_fairness_short;
+    Alcotest.test_case "latency experiment (short)" `Quick
+      test_latency_experiment_short;
+    Alcotest.test_case "calibration plant responds" `Slow
+      test_calibrate_plant_responds;
+    Alcotest.test_case "tuned config" `Quick test_tuned_config;
+  ]

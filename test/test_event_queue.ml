@@ -1,0 +1,114 @@
+let test_fifo_same_time () =
+  let q = Sim.Event_queue.create () in
+  let order = ref [] in
+  let note tag () = order := tag :: !order in
+  ignore (Sim.Event_queue.add q ~time:(Sim.Time.ms 1) (note "a"));
+  ignore (Sim.Event_queue.add q ~time:(Sim.Time.ms 1) (note "b"));
+  ignore (Sim.Event_queue.add q ~time:(Sim.Time.ms 1) (note "c"));
+  let rec drain () =
+    match Sim.Event_queue.pop q with
+    | Some (_, f) ->
+        f ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list string)) "FIFO at equal times" [ "a"; "b"; "c" ]
+    (List.rev !order)
+
+let test_time_order () =
+  let q = Sim.Event_queue.create ~initial_capacity:1 () in
+  let times = [ 5; 1; 4; 2; 3; 9; 7; 8; 6; 0 ] in
+  List.iter
+    (fun ms -> ignore (Sim.Event_queue.add q ~time:(Sim.Time.ms ms) (fun () -> ())))
+    times;
+  let popped = ref [] in
+  let rec drain () =
+    match Sim.Event_queue.pop q with
+    | Some (t, _) ->
+        popped := Sim.Time.to_ms t :: !popped;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check (list (float 1e-9)))
+    "ascending"
+    [ 0.; 1.; 2.; 3.; 4.; 5.; 6.; 7.; 8.; 9. ]
+    (List.rev !popped)
+
+let test_cancel () =
+  let q = Sim.Event_queue.create () in
+  let fired = ref 0 in
+  let h1 = Sim.Event_queue.add q ~time:(Sim.Time.ms 1) (fun () -> incr fired) in
+  let _h2 = Sim.Event_queue.add q ~time:(Sim.Time.ms 2) (fun () -> incr fired) in
+  Sim.Event_queue.cancel h1;
+  Alcotest.(check bool) "is_cancelled" true (Sim.Event_queue.is_cancelled h1);
+  Alcotest.(check int) "live_count" 1 (Sim.Event_queue.live_count q);
+  let rec drain () =
+    match Sim.Event_queue.pop q with
+    | Some (_, f) ->
+        f ();
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "only live event fired" 1 !fired;
+  (* Cancelling after the fact is a harmless no-op. *)
+  Sim.Event_queue.cancel h1
+
+let test_empty () =
+  let q = Sim.Event_queue.create () in
+  Alcotest.(check bool) "is_empty" true (Sim.Event_queue.is_empty q);
+  Alcotest.(check bool) "pop none" true (Sim.Event_queue.pop q = None);
+  Alcotest.(check bool) "next_time none" true
+    (Sim.Event_queue.next_time q = None)
+
+let test_next_time_skips_cancelled () =
+  let q = Sim.Event_queue.create () in
+  let h = Sim.Event_queue.add q ~time:(Sim.Time.ms 1) (fun () -> ()) in
+  ignore (Sim.Event_queue.add q ~time:(Sim.Time.ms 2) (fun () -> ()));
+  Sim.Event_queue.cancel h;
+  (match Sim.Event_queue.next_time q with
+  | Some t ->
+      Alcotest.(check (float 1e-9)) "skips cancelled head" 2. (Sim.Time.to_ms t)
+  | None -> Alcotest.fail "expected a live event")
+
+let qcheck_heap_order =
+  QCheck.Test.make ~name:"pop yields non-decreasing times" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 200) (int_bound 10_000))
+    (fun times ->
+      let q = Sim.Event_queue.create () in
+      List.iter
+        (fun ms ->
+          ignore (Sim.Event_queue.add q ~time:(Sim.Time.us ms) (fun () -> ())))
+        times;
+      let rec drain prev =
+        match Sim.Event_queue.pop q with
+        | None -> true
+        | Some (t, _) -> if Sim.Time.(t >= prev) then drain t else false
+      in
+      drain Sim.Time.zero)
+
+let qcheck_cancel_count =
+  QCheck.Test.make ~name:"live_count tracks cancellations" ~count:100
+    QCheck.(pair (int_bound 50) (int_bound 50))
+    (fun (keep, cancel) ->
+      let q = Sim.Event_queue.create () in
+      let handles =
+        List.init (keep + cancel) (fun i ->
+            Sim.Event_queue.add q ~time:(Sim.Time.us i) (fun () -> ()))
+      in
+      List.iteri (fun i h -> if i < cancel then Sim.Event_queue.cancel h) handles;
+      Sim.Event_queue.live_count q = keep)
+
+let suite =
+  [
+    Alcotest.test_case "FIFO at equal times" `Quick test_fifo_same_time;
+    Alcotest.test_case "time ordering" `Quick test_time_order;
+    Alcotest.test_case "cancellation" `Quick test_cancel;
+    Alcotest.test_case "empty queue" `Quick test_empty;
+    Alcotest.test_case "next_time skips cancelled" `Quick
+      test_next_time_skips_cancelled;
+    QCheck_alcotest.to_alcotest qcheck_heap_order;
+    QCheck_alcotest.to_alcotest qcheck_cancel_count;
+  ]

@@ -1,0 +1,278 @@
+(* Link, NIC, IFQ, Host, Router and topology wiring. *)
+
+let udp_pkt ?(size = 1000) ~id ~src ~dst () =
+  Netsim.Packet.make ~id ~flow:9 ~src ~dst ~created:Sim.Time.zero
+    (Proto.Payload.Udp { seq = id; payload_len = size })
+
+let test_link_delay () =
+  let s = Sim.Scheduler.create () in
+  let link = Netsim.Link.create s ~delay:(Sim.Time.ms 10) () in
+  let arrived = ref None in
+  Netsim.Link.connect link (fun _ -> arrived := Some (Sim.Scheduler.now s));
+  Netsim.Link.transmit link (udp_pkt ~id:0 ~src:0 ~dst:1 ());
+  Sim.Scheduler.run s;
+  (match !arrived with
+  | Some t -> Alcotest.(check (float 1e-9)) "propagation" 10. (Sim.Time.to_ms t)
+  | None -> Alcotest.fail "packet never arrived");
+  Alcotest.(check int) "delivered" 1 (Netsim.Link.delivered link);
+  Alcotest.(check int) "in flight drained" 0 (Netsim.Link.in_flight link)
+
+let test_link_loss () =
+  let s = Sim.Scheduler.create () in
+  let link =
+    Netsim.Link.create s ~delay:(Sim.Time.ms 1) ~loss_rate:0.5
+      ~rng:(Sim.Rng.of_seed 4) ()
+  in
+  let count = ref 0 in
+  Netsim.Link.connect link (fun _ -> incr count);
+  for i = 0 to 999 do
+    Netsim.Link.transmit link (udp_pkt ~id:i ~src:0 ~dst:1 ())
+  done;
+  Sim.Scheduler.run s;
+  Alcotest.(check int) "conservation" 1000 (!count + Netsim.Link.lost link);
+  Alcotest.(check bool) "roughly half lost" true
+    (Netsim.Link.lost link > 400 && Netsim.Link.lost link < 600)
+
+let test_link_unconnected () =
+  let s = Sim.Scheduler.create () in
+  let link = Netsim.Link.create s ~delay:(Sim.Time.ms 1) () in
+  Alcotest.check_raises "transmit unconnected"
+    (Invalid_argument "Link.transmit: link not connected") (fun () ->
+      Netsim.Link.transmit link (udp_pkt ~id:0 ~src:0 ~dst:1 ()))
+
+let test_nic_serialization () =
+  let s = Sim.Scheduler.create () in
+  let q = Netsim.Queue_disc.droptail ~capacity_packets:10 () in
+  (* 1 Mbit/s: a 1028-byte datagram takes 8.224 ms on the wire. *)
+  let nic = Netsim.Nic.create s ~rate:(Sim.Units.mbps 1.) ~queue:q in
+  let link = Netsim.Link.create s ~delay:Sim.Time.zero () in
+  let arrivals = ref [] in
+  Netsim.Link.connect link (fun _ -> arrivals := Sim.Scheduler.now s :: !arrivals);
+  Netsim.Nic.attach nic link;
+  ignore (Netsim.Queue_disc.enqueue q ~now:Sim.Time.zero (udp_pkt ~id:0 ~src:0 ~dst:1 ()));
+  ignore (Netsim.Queue_disc.enqueue q ~now:Sim.Time.zero (udp_pkt ~id:1 ~src:0 ~dst:1 ()));
+  Netsim.Nic.kick nic;
+  Sim.Scheduler.run s;
+  (match List.rev !arrivals with
+  | [ t1; t2 ] ->
+      Alcotest.(check (float 1e-6)) "first serialization" 8.224
+        (Sim.Time.to_ms t1);
+      Alcotest.(check (float 1e-6)) "back-to-back" 16.448 (Sim.Time.to_ms t2)
+  | _ -> Alcotest.fail "expected two arrivals");
+  Alcotest.(check int) "tx packets" 2 (Netsim.Nic.tx_packets nic);
+  Alcotest.(check int) "tx bytes" 2056 (Netsim.Nic.tx_bytes nic);
+  Alcotest.(check bool) "idle after drain" false (Netsim.Nic.busy nic)
+
+let test_ifq_stall_and_space () =
+  let s = Sim.Scheduler.create () in
+  let ifq = Netsim.Ifq.create s ~capacity:2 () in
+  let stall_hits = ref 0 and space_hits = ref 0 in
+  Netsim.Ifq.on_stall ifq (fun () -> incr stall_hits);
+  Netsim.Ifq.on_space ifq (fun () -> incr space_hits);
+  Alcotest.(check bool) "enq 1" true
+    (Netsim.Ifq.try_enqueue ifq (udp_pkt ~id:0 ~src:0 ~dst:1 ()));
+  Alcotest.(check bool) "enq 2" true
+    (Netsim.Ifq.try_enqueue ifq (udp_pkt ~id:1 ~src:0 ~dst:1 ()));
+  Alcotest.(check bool) "enq 3 stalls" false
+    (Netsim.Ifq.try_enqueue ifq (udp_pkt ~id:2 ~src:0 ~dst:1 ()));
+  Alcotest.(check int) "stall hook" 1 !stall_hits;
+  Alcotest.(check int) "stall counter" 1 (Netsim.Ifq.stalls ifq);
+  Alcotest.(check int) "occupancy" 2 (Netsim.Ifq.occupancy ifq);
+  Alcotest.(check int) "headroom" 0 (Netsim.Ifq.headroom ifq);
+  (* Simulate the NIC pulling one packet. *)
+  ignore (Netsim.Queue_disc.dequeue (Netsim.Ifq.queue ifq) ~now:Sim.Time.zero);
+  Netsim.Ifq.note_dequeue ifq;
+  Alcotest.(check int) "space hook after full->notfull" 1 !space_hits;
+  ignore (Netsim.Queue_disc.dequeue (Netsim.Ifq.queue ifq) ~now:Sim.Time.zero);
+  Netsim.Ifq.note_dequeue ifq;
+  Alcotest.(check int) "no second space hook" 1 !space_hits
+
+let test_host_demux () =
+  let s = Sim.Scheduler.create () in
+  let host =
+    Netsim.Host.create s ~id:5 ~nic_rate:(Sim.Units.mbps 100.) ~ifq_capacity:10 ()
+  in
+  let got_flow = ref [] and got_default = ref 0 in
+  Netsim.Host.register_flow host ~flow:9 (fun pkt ->
+      got_flow := pkt.Netsim.Packet.id :: !got_flow);
+  Netsim.Host.set_default_handler host (fun _ -> incr got_default);
+  Netsim.Host.deliver host (udp_pkt ~id:1 ~src:0 ~dst:5 ());
+  let other =
+    Netsim.Packet.make ~id:2 ~flow:777 ~src:0 ~dst:5 ~created:Sim.Time.zero
+      (Proto.Payload.Udp { seq = 0; payload_len = 10 })
+  in
+  Netsim.Host.deliver host other;
+  Alcotest.(check (list int)) "flow handler" [ 1 ] !got_flow;
+  Alcotest.(check int) "default handler" 1 !got_default;
+  Alcotest.(check int) "rx packets" 2 (Netsim.Host.rx_packets host);
+  Netsim.Host.unregister_flow host ~flow:9;
+  Netsim.Host.deliver host (udp_pkt ~id:3 ~src:0 ~dst:5 ());
+  Alcotest.(check int) "after unregister -> default" 2 !got_default
+
+let test_duplex_end_to_end () =
+  let s = Sim.Scheduler.create () in
+  let d =
+    Netsim.Topology.Duplex.create s ~rate:(Sim.Units.mbps 100.)
+      ~one_way_delay:(Sim.Time.ms 5) ~ifq_capacity:10 ()
+  in
+  let arrived = ref None in
+  Netsim.Host.register_flow d.Netsim.Topology.Duplex.b ~flow:9 (fun _ ->
+      arrived := Some (Sim.Scheduler.now s));
+  (match Netsim.Host.send d.Netsim.Topology.Duplex.a (udp_pkt ~id:0 ~src:0 ~dst:1 ()) with
+  | `Sent -> ()
+  | `Stalled -> Alcotest.fail "unexpected stall");
+  Sim.Scheduler.run s;
+  match !arrived with
+  | Some t ->
+      (* 5 ms propagation + 82.24 µs serialization at 100 Mbit/s. *)
+      Alcotest.(check (float 1e-3)) "arrival time" 5.082 (Sim.Time.to_ms t)
+  | None -> Alcotest.fail "no delivery"
+
+let test_router_routing_and_drops () =
+  let s = Sim.Scheduler.create () in
+  let r = Netsim.Router.create s ~id:1000 in
+  let q = Netsim.Queue_disc.droptail ~capacity_packets:2 () in
+  let link = Netsim.Link.create s ~delay:Sim.Time.zero () in
+  let received = ref 0 in
+  Netsim.Link.connect link (fun _ -> incr received);
+  let port = Netsim.Router.add_port r ~queue:q ~rate:(Sim.Units.mbps 1.) ~link in
+  Netsim.Router.route r ~dst:7 port;
+  (* Three quick deliveries: capacity 2 -> the third drops (the NIC has
+     no time to drain at 1 Mbit/s within the same instant)... the first
+     is immediately pulled by the NIC, so 1 in service + 2 queued. *)
+  for i = 0 to 3 do
+    Netsim.Router.deliver r (udp_pkt ~id:i ~src:0 ~dst:7 ())
+  done;
+  Netsim.Router.deliver r (udp_pkt ~id:99 ~src:0 ~dst:12345 ());
+  Sim.Scheduler.run s;
+  Alcotest.(check int) "no-route counted" 1 (Netsim.Router.no_route r);
+  Alcotest.(check int) "forwarded + dropped = offered" 4
+    (Netsim.Router.forwarded r + Netsim.Router.dropped r);
+  Alcotest.(check bool) "something dropped" true (Netsim.Router.dropped r >= 1);
+  Alcotest.(check int) "delivered matches forwarded" (Netsim.Router.forwarded r)
+    !received
+
+let test_dumbbell_cross_traffic () =
+  let s = Sim.Scheduler.create () in
+  let net =
+    Netsim.Topology.Dumbbell.create s ~pairs:2
+      ~access_rate:(Sim.Units.mbps 100.)
+      ~access_delay:(Sim.Time.ms 1)
+      ~bottleneck_rate:(Sim.Units.mbps 10.)
+      ~bottleneck_delay:(Sim.Time.ms 5) ~buffer_packets:20 ~ifq_capacity:50 ()
+  in
+  let got = Array.make 2 0 in
+  Array.iteri
+    (fun i host ->
+      Netsim.Host.register_flow host ~flow:9 (fun _ -> got.(i) <- got.(i) + 1))
+    net.Netsim.Topology.Dumbbell.right;
+  (* Each left host sends one datagram to its partner. *)
+  Array.iteri
+    (fun i host ->
+      let dst = Netsim.Topology.Dumbbell.right_id i in
+      ignore (Netsim.Host.send host (udp_pkt ~id:i ~src:(Netsim.Host.id host) ~dst ())))
+    net.Netsim.Topology.Dumbbell.left;
+  Sim.Scheduler.run s;
+  Alcotest.(check (list int)) "pairwise delivery" [ 1; 1 ]
+    (Array.to_list got)
+
+let test_flow_monitor () =
+  let s = Sim.Scheduler.create () in
+  let m = Netsim.Flow_monitor.create s ~name:"m" () in
+  let inner = ref 0 in
+  let handler = Netsim.Flow_monitor.wrap m (fun _ -> incr inner) in
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 10) (fun () ->
+      handler (udp_pkt ~id:0 ~src:0 ~dst:1 ())));
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 20) (fun () ->
+      handler (udp_pkt ~id:1 ~src:0 ~dst:1 ())));
+  Sim.Scheduler.run s;
+  Alcotest.(check int) "wrapped handler called" 2 !inner;
+  Alcotest.(check int) "packets" 2 (Netsim.Flow_monitor.packets m);
+  Alcotest.(check int) "bytes" 2056 (Netsim.Flow_monitor.bytes m);
+  (* 2056 bytes over the 10ms first-to-last window = 1.6448 Mbit/s. *)
+  Alcotest.(check (float 1e-3)) "throughput" 1.6448
+    (Netsim.Flow_monitor.throughput_mbps m)
+
+let string_contains haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec go i =
+    i + n <= h && (String.sub haystack i n = needle || go (i + 1))
+  in
+  go 0
+
+let test_link_tap_and_tracer () =
+  let s = Sim.Scheduler.create () in
+  let link = Netsim.Link.create s ~delay:(Sim.Time.ms 1) () in
+  Netsim.Link.connect link (fun _ -> ());
+  let tracer = Netsim.Tracer.create ~capacity:4 () in
+  Netsim.Tracer.tap tracer ~label:"a->b" link;
+  let seen = ref 0 in
+  Netsim.Link.add_tap link (fun _ _ -> incr seen);
+  for i = 0 to 9 do
+    Netsim.Link.transmit link (udp_pkt ~id:i ~src:0 ~dst:1 ())
+  done;
+  Sim.Scheduler.run s;
+  Alcotest.(check int) "tap saw everything" 10 !seen;
+  Alcotest.(check int) "total captured" 10 (Netsim.Tracer.captured tracer);
+  let lines = Netsim.Tracer.lines tracer in
+  Alcotest.(check int) "ring keeps last 4" 4 (List.length lines);
+  (* Oldest surviving line is packet #6 (datagram seq 6). *)
+  (match lines with
+  | first :: _ ->
+      Alcotest.(check bool) "ring evicts oldest" true
+        (string_contains first "UDP(#6");
+      Alcotest.(check bool) "label present" true
+        (string_contains first "a->b")
+  | [] -> Alcotest.fail "no lines");
+  Alcotest.(check bool) "to_string renders" true
+    (String.length (Netsim.Tracer.to_string tracer) > 0)
+
+let test_drop_filter () =
+  let s = Sim.Scheduler.create () in
+  let link = Netsim.Link.create s ~delay:(Sim.Time.ms 1) () in
+  let got = ref [] in
+  Netsim.Link.connect link (fun pkt -> got := pkt.Netsim.Packet.id :: !got);
+  Netsim.Link.set_drop_filter link (fun pkt -> pkt.Netsim.Packet.id mod 2 = 0);
+  for i = 0 to 9 do
+    Netsim.Link.transmit link (udp_pkt ~id:i ~src:0 ~dst:1 ())
+  done;
+  Sim.Scheduler.run s;
+  Alcotest.(check (list int)) "odd ids survive" [ 1; 3; 5; 7; 9 ]
+    (List.sort compare !got);
+  Alcotest.(check int) "drops counted" 5 (Netsim.Link.lost link)
+
+let qcheck_tracer_ring =
+  QCheck.Test.make ~name:"tracer ring keeps exactly min(total,capacity)"
+    ~count:100
+    QCheck.(pair (int_range 1 50) (int_range 0 200))
+    (fun (capacity, events) ->
+      let t = Netsim.Tracer.create ~capacity () in
+      for i = 0 to events - 1 do
+        Netsim.Tracer.record t ~now:(Sim.Time.us i) (string_of_int i)
+      done;
+      let lines = Netsim.Tracer.lines t in
+      List.length lines = Stdlib.min events capacity
+      && Netsim.Tracer.captured t = events
+      &&
+      (* Surviving lines are the most recent, in order. *)
+      match List.rev lines with
+      | [] -> events = 0
+      | last :: _ -> string_contains last (string_of_int (events - 1)))
+
+let suite =
+  [
+    Alcotest.test_case "link tap + tracer" `Quick test_link_tap_and_tracer;
+    Alcotest.test_case "drop filter" `Quick test_drop_filter;
+    QCheck_alcotest.to_alcotest qcheck_tracer_ring;
+    Alcotest.test_case "link delay" `Quick test_link_delay;
+    Alcotest.test_case "link loss" `Quick test_link_loss;
+    Alcotest.test_case "link unconnected" `Quick test_link_unconnected;
+    Alcotest.test_case "nic serialization" `Quick test_nic_serialization;
+    Alcotest.test_case "ifq stall/space hooks" `Quick test_ifq_stall_and_space;
+    Alcotest.test_case "host demux" `Quick test_host_demux;
+    Alcotest.test_case "duplex end-to-end" `Quick test_duplex_end_to_end;
+    Alcotest.test_case "router routing and drops" `Quick
+      test_router_routing_and_drops;
+    Alcotest.test_case "dumbbell pairwise" `Quick test_dumbbell_cross_traffic;
+    Alcotest.test_case "flow monitor" `Quick test_flow_monitor;
+  ]

@@ -1,0 +1,110 @@
+let test_table_render () =
+  let out =
+    Report.Table.render
+      ~aligns:[ Report.Table.Left; Report.Table.Right ]
+      ~headers:[ "name"; "value" ]
+      ~rows:[ [ "alpha"; "1" ]; [ "b"; "22" ] ]
+      ()
+  in
+  let lines = String.split_on_char '\n' (String.trim out) in
+  Alcotest.(check int) "4 lines" 4 (List.length lines);
+  Alcotest.(check string) "header" "name   value" (List.hd lines);
+  Alcotest.(check bool) "right-aligned digits" true
+    (String.length (List.nth lines 2) = String.length (List.nth lines 3))
+
+let test_table_pads_short_rows () =
+  let out =
+    Report.Table.render ~headers:[ "a"; "b"; "c" ] ~rows:[ [ "x" ] ] ()
+  in
+  Alcotest.(check bool) "renders without exception" true
+    (String.length out > 0)
+
+let test_cells () =
+  Alcotest.(check string) "float cell" "3.14" (Report.Table.cell_f 3.14159);
+  Alcotest.(check string) "decimals" "3.1416"
+    (Report.Table.cell_f ~decimals:4 3.14159);
+  Alcotest.(check string) "int cell" "42" (Report.Table.cell_i 42)
+
+let test_chart_renders () =
+  let series =
+    {
+      Report.Ascii_chart.label = "x";
+      points = Array.init 50 (fun i -> (float_of_int i, Float.sin (float_of_int i /. 5.)));
+    }
+  in
+  let out = Report.Ascii_chart.line_chart ~width:40 ~height:10 [ series ] in
+  let lines = String.split_on_char '\n' out in
+  Alcotest.(check bool) "has legend" true
+    (List.exists (fun l -> String.length l > 0 && String.contains l 'x') lines);
+  Alcotest.(check bool) "has axis" true
+    (List.exists (fun l -> String.contains l '+') lines);
+  Alcotest.(check bool) "plots glyphs" true (String.contains out '*')
+
+let test_chart_empty () =
+  Alcotest.(check string) "empty note" "(no data to chart)\n"
+    (Report.Ascii_chart.line_chart [])
+
+let test_chart_of_series () =
+  let s = Sim.Stats.Series.create ~name:"y" () in
+  Sim.Stats.Series.add s (Sim.Time.sec 1) 5.;
+  Sim.Stats.Series.add s (Sim.Time.sec 2) 7.;
+  let adapted = Report.Ascii_chart.of_series ~label:"y" s in
+  Alcotest.(check int) "points" 2 (Array.length adapted.Report.Ascii_chart.points);
+  let x, y = adapted.Report.Ascii_chart.points.(1) in
+  Alcotest.(check (float 1e-9)) "x seconds" 2. x;
+  Alcotest.(check (float 1e-9)) "y value" 7. y
+
+let test_csv_write () =
+  let dir = Filename.temp_file "rss" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "sub/test.csv" in
+  Report.Csv.write ~path ~header:[ "a"; "b" ]
+    ~rows:[ [ 1.; 2. ]; [ 3.5; 4.25 ] ];
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  Alcotest.(check (list string)) "file contents"
+    [ "a,b"; "1,2"; "3.5,4.25" ]
+    (List.rev !lines)
+
+let test_csv_series () =
+  let dir = Filename.temp_file "rss" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "series.csv" in
+  let s = Sim.Stats.Series.create ~name:"v" () in
+  Sim.Stats.Series.add s (Sim.Time.ms 500) 1.5;
+  Report.Csv.write_series ~path ~name:"v" s;
+  let ic = open_in path in
+  let header = input_line ic in
+  let row = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "header" "time_s,v" header;
+  Alcotest.(check string) "row" "0.5,1.5" row
+
+let test_csv_write_string () =
+  let dir = Filename.temp_file "rss" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "log.csv" in
+  Report.Csv.write_string ~path "a,b\n1,2\n";
+  let ic = open_in path in
+  let header = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "verbatim contents" "a,b" header
+
+let suite =
+  [
+    Alcotest.test_case "csv write_string" `Quick test_csv_write_string;
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "table pads short rows" `Quick
+      test_table_pads_short_rows;
+    Alcotest.test_case "cells" `Quick test_cells;
+    Alcotest.test_case "chart renders" `Quick test_chart_renders;
+    Alcotest.test_case "chart empty" `Quick test_chart_empty;
+    Alcotest.test_case "chart of_series" `Quick test_chart_of_series;
+    Alcotest.test_case "csv write" `Quick test_csv_write;
+    Alcotest.test_case "csv series" `Quick test_csv_series;
+  ]

@@ -1,0 +1,129 @@
+(* SACK scoreboard and receiver reorder buffer. *)
+
+module Sb = Tcp.Sack_scoreboard
+module Rb = Tcp.Reorder_buffer
+
+let test_scoreboard_record () =
+  let sb = Sb.create () in
+  Sb.record sb ~blocks:[ (3000, 4460) ] ~una:1460;
+  Alcotest.(check int) "sacked bytes" 1460 (Sb.sacked_bytes sb);
+  Alcotest.(check bool) "is_sacked inside" true
+    (Sb.is_sacked sb ~lo:3000 ~hi:4460);
+  Alcotest.(check bool) "not sacked below" false
+    (Sb.is_sacked sb ~lo:1460 ~hi:2920)
+
+let test_scoreboard_next_hole () =
+  let sb = Sb.create () in
+  Sb.record sb ~blocks:[ (2920, 4380); (5840, 7300) ] ~una:1460;
+  (match Sb.next_hole sb ~una:1460 ~mss:1460 with
+  | Some (lo, hi) ->
+      Alcotest.(check (pair int int)) "first hole" (1460, 2920) (lo, hi)
+  | None -> Alcotest.fail "expected a hole");
+  (* Holes are clipped to MSS. *)
+  let sb2 = Sb.create () in
+  Sb.record sb2 ~blocks:[ (10_000, 11_000) ] ~una:0;
+  match Sb.next_hole sb2 ~una:0 ~mss:1460 with
+  | Some (lo, hi) -> Alcotest.(check (pair int int)) "clipped" (0, 1460) (lo, hi)
+  | None -> Alcotest.fail "expected a hole"
+
+let test_scoreboard_no_hole_above_sack () =
+  let sb = Sb.create () in
+  Sb.record sb ~blocks:[ (0, 1460) ] ~una:0;
+  Sb.advance_una sb 1460;
+  Alcotest.(check bool) "no hole when nothing above" true
+    (Sb.next_hole sb ~una:1460 ~mss:1460 = None)
+
+let test_scoreboard_advance_una () =
+  let sb = Sb.create () in
+  Sb.record sb ~blocks:[ (2920, 5840) ] ~una:0;
+  Sb.advance_una sb 4380;
+  Alcotest.(check int) "trimmed below una" 1460 (Sb.sacked_bytes sb)
+
+let test_scoreboard_reset () =
+  let sb = Sb.create () in
+  Sb.record sb ~blocks:[ (2920, 5840) ] ~una:0;
+  Sb.reset sb;
+  Alcotest.(check int) "cleared" 0 (Sb.sacked_bytes sb)
+
+let test_scoreboard_holes_count () =
+  let sb = Sb.create () in
+  Sb.record sb ~blocks:[ (2920, 4380); (5840, 7300); (8760, 10220) ] ~una:1460;
+  Alcotest.(check int) "three holes" 3 (Sb.holes sb)
+
+let test_scoreboard_ignores_below_una () =
+  let sb = Sb.create () in
+  Sb.record sb ~blocks:[ (0, 1460) ] ~una:1460;
+  Alcotest.(check int) "stale block discarded" 0 (Sb.sacked_bytes sb)
+
+let test_reorder_in_order () =
+  let rb = Rb.create () in
+  Rb.insert rb ~expected:0 ~lo:0 ~hi:1460;
+  Alcotest.(check int) "deliverable" 1460 (Rb.deliverable_up_to rb ~from:0);
+  Alcotest.(check int) "no ooo" 0 (Rb.segments_out_of_order rb)
+
+let test_reorder_gap_fill () =
+  let rb = Rb.create () in
+  Rb.insert rb ~expected:0 ~lo:1460 ~hi:2920;
+  Alcotest.(check int) "blocked by hole" 0 (Rb.deliverable_up_to rb ~from:0);
+  Alcotest.(check int) "one ooo" 1 (Rb.segments_out_of_order rb);
+  Rb.insert rb ~expected:0 ~lo:0 ~hi:1460;
+  Alcotest.(check int) "hole filled" 2920 (Rb.deliverable_up_to rb ~from:0)
+
+let test_reorder_sack_blocks () =
+  let rb = Rb.create () in
+  Rb.insert rb ~expected:0 ~lo:2920 ~hi:4380;
+  Rb.insert rb ~expected:0 ~lo:5840 ~hi:7300;
+  let blocks = Rb.sack_blocks rb ~above:0 ~max_blocks:4 in
+  Alcotest.(check (list (pair int int)))
+    "two blocks"
+    [ (2920, 4380); (5840, 7300) ]
+    blocks;
+  let only_one = Rb.sack_blocks rb ~above:0 ~max_blocks:1 in
+  Alcotest.(check int) "max_blocks respected" 1 (List.length only_one);
+  let above = Rb.sack_blocks rb ~above:3000 ~max_blocks:4 in
+  Alcotest.(check (list (pair int int)))
+    "clamped above"
+    [ (3000, 4380); (5840, 7300) ]
+    above
+
+let test_reorder_consume () =
+  let rb = Rb.create () in
+  Rb.insert rb ~expected:0 ~lo:0 ~hi:2920;
+  Rb.consume_below rb 1460;
+  Alcotest.(check int) "buffered shrinks" 1460 (Rb.buffered_bytes rb)
+
+(* Property: any arrival order delivers the same contiguous prefix. *)
+let qcheck_reorder_any_order =
+  QCheck.Test.make ~name:"reorder buffer order-insensitive" ~count:200
+    QCheck.(list_of_size (Gen.int_range 1 30) (int_bound 29))
+    (fun segment_indexes ->
+      let mss = 100 in
+      let rb = Rb.create () in
+      List.iter
+        (fun i -> Rb.insert rb ~expected:0 ~lo:(i * mss) ~hi:((i + 1) * mss))
+        segment_indexes;
+      let distinct = List.sort_uniq compare segment_indexes in
+      let rec prefix_len k = function
+        | x :: rest when x = k -> prefix_len (k + 1) rest
+        | _ -> k
+      in
+      let expected = prefix_len 0 distinct * mss in
+      Rb.deliverable_up_to rb ~from:0 = expected)
+
+let suite =
+  [
+    Alcotest.test_case "scoreboard record" `Quick test_scoreboard_record;
+    Alcotest.test_case "scoreboard next hole" `Quick test_scoreboard_next_hole;
+    Alcotest.test_case "no hole above SACK" `Quick
+      test_scoreboard_no_hole_above_sack;
+    Alcotest.test_case "advance una" `Quick test_scoreboard_advance_una;
+    Alcotest.test_case "reset" `Quick test_scoreboard_reset;
+    Alcotest.test_case "holes count" `Quick test_scoreboard_holes_count;
+    Alcotest.test_case "stale blocks ignored" `Quick
+      test_scoreboard_ignores_below_una;
+    Alcotest.test_case "reorder in-order" `Quick test_reorder_in_order;
+    Alcotest.test_case "reorder gap fill" `Quick test_reorder_gap_fill;
+    Alcotest.test_case "reorder SACK blocks" `Quick test_reorder_sack_blocks;
+    Alcotest.test_case "reorder consume" `Quick test_reorder_consume;
+    QCheck_alcotest.to_alcotest qcheck_reorder_any_order;
+  ]

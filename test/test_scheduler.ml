@@ -1,0 +1,108 @@
+let test_run_order () =
+  let s = Sim.Scheduler.create () in
+  let log = ref [] in
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 5) (fun () -> log := 5 :: !log));
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 1) (fun () -> log := 1 :: !log));
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 3) (fun () -> log := 3 :: !log));
+  Sim.Scheduler.run s;
+  Alcotest.(check (list int)) "events in order" [ 1; 3; 5 ] (List.rev !log);
+  Alcotest.(check (float 1e-9)) "clock at last event" 5.
+    (Sim.Time.to_ms (Sim.Scheduler.now s))
+
+let test_until () =
+  let s = Sim.Scheduler.create () in
+  let fired = ref 0 in
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 1) (fun () -> incr fired));
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 10) (fun () -> incr fired));
+  Sim.Scheduler.run ~until:(Sim.Time.ms 5) s;
+  Alcotest.(check int) "only early event" 1 !fired;
+  Alcotest.(check (float 1e-9)) "clock advanced to horizon" 5.
+    (Sim.Time.to_ms (Sim.Scheduler.now s));
+  Sim.Scheduler.run s;
+  Alcotest.(check int) "remaining event fires later" 2 !fired
+
+let test_nested_scheduling () =
+  let s = Sim.Scheduler.create () in
+  let log = ref [] in
+  ignore
+    (Sim.Scheduler.at s (Sim.Time.ms 1) (fun () ->
+         log := "outer" :: !log;
+         ignore
+           (Sim.Scheduler.after s (Sim.Time.ms 1) (fun () ->
+                log := "inner" :: !log))));
+  Sim.Scheduler.run s;
+  Alcotest.(check (list string)) "nested event fires" [ "outer"; "inner" ]
+    (List.rev !log);
+  Alcotest.(check (float 1e-9)) "final clock" 2.
+    (Sim.Time.to_ms (Sim.Scheduler.now s))
+
+let test_past_rejected () =
+  let s = Sim.Scheduler.create () in
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 2) (fun () -> ()));
+  Sim.Scheduler.run s;
+  Alcotest.check_raises "at in the past"
+    (Invalid_argument "Scheduler.at: 1ms is before now (2ms)") (fun () ->
+      ignore (Sim.Scheduler.at s (Sim.Time.ms 1) (fun () -> ())))
+
+let test_negative_delay_clamped () =
+  let s = Sim.Scheduler.create () in
+  let fired = ref false in
+  ignore (Sim.Scheduler.after s (Sim.Time.ms (-5)) (fun () -> fired := true));
+  Sim.Scheduler.run s;
+  Alcotest.(check bool) "fires immediately" true !fired
+
+let test_every () =
+  let s = Sim.Scheduler.create () in
+  let count = ref 0 in
+  let handle = Sim.Scheduler.every s (Sim.Time.ms 10) (fun () -> incr count) in
+  Sim.Scheduler.run ~until:(Sim.Time.ms 55) s;
+  Alcotest.(check int) "5 periods in 55ms" 5 !count;
+  Sim.Scheduler.cancel !handle;
+  Sim.Scheduler.run ~until:(Sim.Time.ms 200) s;
+  Alcotest.(check int) "cancelled periodic stops" 5 !count
+
+let test_cancel_pending () =
+  let s = Sim.Scheduler.create () in
+  let fired = ref false in
+  let h = Sim.Scheduler.at s (Sim.Time.ms 1) (fun () -> fired := true) in
+  Sim.Scheduler.cancel h;
+  Sim.Scheduler.run s;
+  Alcotest.(check bool) "cancelled stays silent" false !fired
+
+let test_step () =
+  let s = Sim.Scheduler.create () in
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 1) (fun () -> ()));
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 2) (fun () -> ()));
+  Alcotest.(check bool) "step 1" true (Sim.Scheduler.step s);
+  Alcotest.(check bool) "step 2" true (Sim.Scheduler.step s);
+  Alcotest.(check bool) "step empty" false (Sim.Scheduler.step s);
+  Alcotest.(check int) "nothing pending" 0 (Sim.Scheduler.pending s)
+
+let test_determinism () =
+  let run () =
+    let s = Sim.Scheduler.create ~seed:99 () in
+    let acc = ref [] in
+    for i = 1 to 20 do
+      ignore
+        (Sim.Scheduler.at s
+           (Sim.Time.us (Sim.Rng.int (Sim.Scheduler.rng s) 1000))
+           (fun () -> acc := i :: !acc))
+    done;
+    Sim.Scheduler.run s;
+    !acc
+  in
+  Alcotest.(check (list int)) "same seed, same order" (run ()) (run ())
+
+let suite =
+  [
+    Alcotest.test_case "run order" `Quick test_run_order;
+    Alcotest.test_case "run ~until" `Quick test_until;
+    Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
+    Alcotest.test_case "past events rejected" `Quick test_past_rejected;
+    Alcotest.test_case "negative delay clamped" `Quick
+      test_negative_delay_clamped;
+    Alcotest.test_case "periodic events" `Quick test_every;
+    Alcotest.test_case "cancel pending" `Quick test_cancel_pending;
+    Alcotest.test_case "manual stepping" `Quick test_step;
+    Alcotest.test_case "determinism" `Quick test_determinism;
+  ]

@@ -1,0 +1,100 @@
+let seq = Proto.Seqno.of_int
+
+let test_basic_order () =
+  Alcotest.(check bool) "lt" true (Proto.Seqno.lt (seq 1) (seq 2));
+  Alcotest.(check bool) "leq eq" true (Proto.Seqno.leq (seq 2) (seq 2));
+  Alcotest.(check bool) "gt" true (Proto.Seqno.gt (seq 3) (seq 2));
+  Alcotest.(check bool) "geq" true (Proto.Seqno.geq (seq 3) (seq 3))
+
+let test_wraparound () =
+  let near_max = Proto.Seqno.of_int 0xFFFF_FFF0 in
+  let wrapped = Proto.Seqno.add near_max 0x20 in
+  Alcotest.(check int) "wraps to small" 0x10
+    (Int32.to_int (Proto.Seqno.to_int32 wrapped));
+  (* Modular order: the wrapped value is "after" near_max. *)
+  Alcotest.(check bool) "wrapped gt" true (Proto.Seqno.gt wrapped near_max);
+  Alcotest.(check int) "diff across wrap" 0x20
+    (Proto.Seqno.diff wrapped near_max)
+
+let test_diff_negative () =
+  Alcotest.(check int) "backward diff" (-100)
+    (Proto.Seqno.diff (seq 0) (seq 100))
+
+let test_min_max_modular () =
+  let a = Proto.Seqno.of_int 0xFFFF_FFFE in
+  let b = Proto.Seqno.add a 10 in
+  Alcotest.(check bool) "max picks later" true
+    (Proto.Seqno.equal (Proto.Seqno.max a b) b);
+  Alcotest.(check bool) "min picks earlier" true
+    (Proto.Seqno.equal (Proto.Seqno.min a b) a)
+
+let qcheck_add_diff =
+  QCheck.Test.make ~name:"diff (add s n) s = n (|n| < 2^31)" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFFF) (int_range (-1_000_000) 1_000_000))
+    (fun (base, n) ->
+      let s = Proto.Seqno.of_int base in
+      Proto.Seqno.diff (Proto.Seqno.add s n) s = n)
+
+let qcheck_order_antisym =
+  QCheck.Test.make ~name:"lt antisymmetric within half-window" ~count:500
+    QCheck.(pair (int_bound 0xFFFFFFF) (int_range 1 1_000_000))
+    (fun (base, n) ->
+      let a = Proto.Seqno.of_int base in
+      let b = Proto.Seqno.add a n in
+      Proto.Seqno.lt a b && not (Proto.Seqno.lt b a))
+
+let test_header_sizes () =
+  let header =
+    {
+      Proto.Tcp_header.src_port = 1;
+      dst_port = 1;
+      seq = seq 0;
+      ack = seq 0;
+      is_ack = false;
+      flags = [];
+      wnd = 65535;
+      payload_len = 1460;
+      sack_blocks = [];
+      ts_val = Sim.Time.zero;
+      ts_ecr = Sim.Time.zero;
+    }
+  in
+  Alcotest.(check int) "wire size" 1500 (Proto.Tcp_header.wire_size header);
+  Alcotest.(check int) "payload wire size" 1500
+    (Proto.Payload.wire_size (Proto.Payload.Tcp header));
+  Alcotest.(check int) "udp wire size" 1028
+    (Proto.Payload.wire_size (Proto.Payload.Udp { seq = 0; payload_len = 1000 }))
+
+let test_data_end () =
+  let base =
+    {
+      Proto.Tcp_header.src_port = 1;
+      dst_port = 1;
+      seq = seq 100;
+      ack = seq 0;
+      is_ack = false;
+      flags = [];
+      wnd = 0;
+      payload_len = 50;
+      sack_blocks = [];
+      ts_val = Sim.Time.zero;
+      ts_ecr = Sim.Time.zero;
+    }
+  in
+  Alcotest.(check int) "data_end plain" 150
+    (Int32.to_int (Proto.Seqno.to_int32 (Proto.Tcp_header.data_end base)));
+  let syn = { base with Proto.Tcp_header.flags = [ Proto.Tcp_header.Syn ] } in
+  Alcotest.(check int) "SYN occupies one" 151
+    (Int32.to_int (Proto.Seqno.to_int32 (Proto.Tcp_header.data_end syn)))
+
+let suite =
+  [
+    Alcotest.test_case "basic order" `Quick test_basic_order;
+    Alcotest.test_case "wraparound" `Quick test_wraparound;
+    Alcotest.test_case "negative diff" `Quick test_diff_negative;
+    Alcotest.test_case "modular min/max" `Quick test_min_max_modular;
+    QCheck_alcotest.to_alcotest qcheck_add_diff;
+    QCheck_alcotest.to_alcotest qcheck_order_antisym;
+    Alcotest.test_case "header sizes" `Quick test_header_sizes;
+    Alcotest.test_case "data_end with flags" `Quick test_data_end;
+  ]

@@ -1,0 +1,93 @@
+(* Host-wide shared RSS controller (the E15 extension). *)
+
+let make_path () =
+  let sched = Sim.Scheduler.create ~seed:6 () in
+  let path =
+    Netsim.Topology.Duplex.create sched ~rate:(Sim.Units.mbps 100.)
+      ~one_way_delay:(Sim.Time.ms 30) ~ifq_capacity:100 ()
+  in
+  (sched, path, Netsim.Packet.Id_source.create ())
+
+let run_streams ~n ~horizon =
+  let sched, path, ids = make_path () in
+  let controller =
+    Tcp.Shared_rss.create sched
+      ~ifq:(Netsim.Host.ifq path.Netsim.Topology.Duplex.a)
+      ()
+  in
+  let conns =
+    List.init n (fun i ->
+        Tcp.Connection.establish ~src:path.Netsim.Topology.Duplex.a
+          ~dst:path.Netsim.Topology.Duplex.b ~flow:(i + 1) ~ids
+          ~slow_start:(Tcp.Shared_rss.policy controller)
+          ())
+  in
+  Sim.Scheduler.run ~until:horizon sched;
+  (controller, conns, path)
+
+let test_single_member_matches_solo () =
+  let controller, conns, path = run_streams ~n:1 ~horizon:(Sim.Time.sec 10) in
+  let conn = List.hd conns in
+  Alcotest.(check int) "one member" 1 (Tcp.Shared_rss.members controller);
+  Alcotest.(check int) "no stalls" 0
+    (Tcp.Sender.send_stalls conn.Tcp.Connection.sender);
+  Alcotest.(check bool) "fills the pipe" true
+    (Tcp.Receiver.goodput_mbps conn.Tcp.Connection.receiver
+       ~at:(Sim.Time.sec 10)
+    > 85.);
+  (* The queue is regulated near the set point. *)
+  let occ =
+    Netsim.Ifq.mean_occupancy (Netsim.Host.ifq path.Netsim.Topology.Duplex.a)
+  in
+  Alcotest.(check bool) "queue near 90" true (occ > 60. && occ <= 95.);
+  Alcotest.(check bool) "budget near pipe+setpoint" true
+    (Tcp.Shared_rss.commanded_window_segments controller > 500.)
+
+let test_four_members_no_contention () =
+  let controller, conns, _ = run_streams ~n:4 ~horizon:(Sim.Time.sec 15) in
+  Alcotest.(check int) "four members" 4 (Tcp.Shared_rss.members controller);
+  let stalls =
+    List.fold_left
+      (fun acc (c : Tcp.Connection.t) ->
+        acc + Tcp.Sender.send_stalls c.Tcp.Connection.sender)
+      0 conns
+  in
+  Alcotest.(check int) "no stalls with shared controller" 0 stalls;
+  let goodputs =
+    List.map
+      (fun (c : Tcp.Connection.t) ->
+        Tcp.Receiver.goodput_mbps c.Tcp.Connection.receiver
+          ~at:(Sim.Time.sec 15))
+      conns
+  in
+  let total = List.fold_left ( +. ) 0. goodputs in
+  Alcotest.(check bool) "aggregate fills the pipe" true (total > 85.);
+  (* Even split: every flow within 25% of the mean. *)
+  let mean = total /. 4. in
+  List.iter
+    (fun g ->
+      if Float.abs (g -. mean) > 0.25 *. mean then
+        Alcotest.failf "unfair split: %f vs mean %f" g mean)
+    goodputs
+
+let test_policy_name_and_reset () =
+  let sched, path, _ = make_path () in
+  let controller =
+    Tcp.Shared_rss.create sched
+      ~ifq:(Netsim.Host.ifq path.Netsim.Topology.Duplex.a)
+      ()
+  in
+  let p = Tcp.Shared_rss.policy controller in
+  Alcotest.(check string) "name" "restricted-shared" p.Tcp.Slow_start.name;
+  p.Tcp.Slow_start.reset ();
+  Alcotest.(check int) "members counted" 1
+    (Tcp.Shared_rss.members controller)
+
+let suite =
+  [
+    Alcotest.test_case "single member ~ solo RSS" `Quick
+      test_single_member_matches_solo;
+    Alcotest.test_case "four members, no contention" `Quick
+      test_four_members_no_contention;
+    Alcotest.test_case "policy name/reset" `Quick test_policy_name_and_reset;
+  ]

@@ -1,0 +1,120 @@
+let test_summary_basic () =
+  let s = Sim.Stats.Summary.create () in
+  List.iter (Sim.Stats.Summary.add s) [ 2.; 4.; 4.; 4.; 5.; 5.; 7.; 9. ];
+  Alcotest.(check int) "count" 8 (Sim.Stats.Summary.count s);
+  Alcotest.(check (float 1e-9)) "mean" 5. (Sim.Stats.Summary.mean s);
+  Alcotest.(check (float 1e-9)) "min" 2. (Sim.Stats.Summary.min s);
+  Alcotest.(check (float 1e-9)) "max" 9. (Sim.Stats.Summary.max s);
+  Alcotest.(check (float 1e-9)) "total" 40. (Sim.Stats.Summary.total s);
+  (* Population variance of this data is 4; sample variance 32/7. *)
+  Alcotest.(check (float 1e-9)) "sample variance" (32. /. 7.)
+    (Sim.Stats.Summary.variance s)
+
+let test_summary_empty () =
+  let s = Sim.Stats.Summary.create () in
+  Alcotest.(check (float 0.)) "mean of empty" 0. (Sim.Stats.Summary.mean s);
+  Alcotest.(check (float 0.)) "variance of empty" 0.
+    (Sim.Stats.Summary.variance s)
+
+let test_summary_merge () =
+  let a = Sim.Stats.Summary.create () and b = Sim.Stats.Summary.create () in
+  let whole = Sim.Stats.Summary.create () in
+  let data1 = [ 1.; 2.; 3. ] and data2 = [ 10.; 20.; 30.; 40. ] in
+  List.iter (Sim.Stats.Summary.add a) data1;
+  List.iter (Sim.Stats.Summary.add b) data2;
+  List.iter (Sim.Stats.Summary.add whole) (data1 @ data2);
+  let merged = Sim.Stats.Summary.merge a b in
+  Alcotest.(check int) "count" (Sim.Stats.Summary.count whole)
+    (Sim.Stats.Summary.count merged);
+  Alcotest.(check (float 1e-9)) "mean" (Sim.Stats.Summary.mean whole)
+    (Sim.Stats.Summary.mean merged);
+  Alcotest.(check (float 1e-6)) "variance" (Sim.Stats.Summary.variance whole)
+    (Sim.Stats.Summary.variance merged)
+
+let qcheck_welford_vs_naive =
+  QCheck.Test.make ~name:"Welford matches naive two-pass" ~count:200
+    QCheck.(list_of_size (Gen.int_range 2 100) (float_bound_exclusive 1000.))
+    (fun xs ->
+      let s = Sim.Stats.Summary.create () in
+      List.iter (Sim.Stats.Summary.add s) xs;
+      let n = float_of_int (List.length xs) in
+      let mean = List.fold_left ( +. ) 0. xs /. n in
+      let var =
+        List.fold_left (fun acc x -> acc +. ((x -. mean) ** 2.)) 0. xs
+        /. (n -. 1.)
+      in
+      Float.abs (Sim.Stats.Summary.mean s -. mean) < 1e-6 *. (1. +. mean)
+      && Float.abs (Sim.Stats.Summary.variance s -. var) < 1e-6 *. (1. +. var))
+
+let test_histogram () =
+  let h = Sim.Stats.Histogram.create ~lo:0. ~hi:10. ~bins:10 in
+  for i = 0 to 99 do
+    Sim.Stats.Histogram.add h (float_of_int i /. 10.)
+  done;
+  Alcotest.(check int) "count" 100 (Sim.Stats.Histogram.count h);
+  Alcotest.(check int) "bin 0 has 10" 10 (Sim.Stats.Histogram.bin_count h 0);
+  Alcotest.(check int) "no overflow" 0 (Sim.Stats.Histogram.overflow h);
+  Sim.Stats.Histogram.add h (-1.);
+  Sim.Stats.Histogram.add h 11.;
+  Alcotest.(check int) "underflow" 1 (Sim.Stats.Histogram.underflow h);
+  Alcotest.(check int) "overflow" 1 (Sim.Stats.Histogram.overflow h);
+  let median = Sim.Stats.Histogram.quantile h 0.5 in
+  Alcotest.(check bool) "median near 5" true (Float.abs (median -. 5.) < 0.6)
+
+let test_histogram_validation () =
+  Alcotest.check_raises "hi <= lo"
+    (Invalid_argument "Histogram.create: hi must exceed lo") (fun () ->
+      ignore (Sim.Stats.Histogram.create ~lo:1. ~hi:1. ~bins:4));
+  let h = Sim.Stats.Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  Alcotest.check_raises "empty quantile"
+    (Invalid_argument "Histogram.quantile: empty histogram") (fun () ->
+      ignore (Sim.Stats.Histogram.quantile h 0.5))
+
+let test_time_weighted () =
+  let g = Sim.Stats.Time_weighted.create ~now:Sim.Time.zero ~init:0. in
+  Sim.Stats.Time_weighted.set g ~now:(Sim.Time.sec 1) 10.;
+  Sim.Stats.Time_weighted.set g ~now:(Sim.Time.sec 3) 0.;
+  (* 1s at 0, 2s at 10, 1s at 0 → mean over 4s = 20/4 = 5. *)
+  Alcotest.(check (float 1e-9)) "time-weighted mean" 5.
+    (Sim.Stats.Time_weighted.mean g ~now:(Sim.Time.sec 4));
+  Alcotest.(check (float 1e-9)) "peak" 10. (Sim.Stats.Time_weighted.max g);
+  Alcotest.(check (float 1e-9)) "current value" 0.
+    (Sim.Stats.Time_weighted.value g)
+
+let test_time_weighted_zero_elapsed () =
+  let g = Sim.Stats.Time_weighted.create ~now:Sim.Time.zero ~init:7. in
+  Alcotest.(check (float 1e-9)) "mean with no elapsed time" 7.
+    (Sim.Stats.Time_weighted.mean g ~now:Sim.Time.zero)
+
+let test_series () =
+  let s = Sim.Stats.Series.create ~name:"x" () in
+  Alcotest.(check bool) "empty last" true (Sim.Stats.Series.last_value s = None);
+  for i = 1 to 40 do
+    Sim.Stats.Series.add s (Sim.Time.ms (i * 10)) (float_of_int i)
+  done;
+  Alcotest.(check int) "length" 40 (Sim.Stats.Series.length s);
+  Alcotest.(check bool) "last" true
+    (Sim.Stats.Series.last_value s = Some 40.);
+  Alcotest.(check (float 1e-9)) "sample before first" 0.
+    (Sim.Stats.Series.sample s ~at:(Sim.Time.ms 5));
+  Alcotest.(check (float 1e-9)) "sample exact" 3.
+    (Sim.Stats.Series.sample s ~at:(Sim.Time.ms 30));
+  Alcotest.(check (float 1e-9)) "sample between" 3.
+    (Sim.Stats.Series.sample s ~at:(Sim.Time.ms 39));
+  Alcotest.(check (float 1e-9)) "sample after last" 40.
+    (Sim.Stats.Series.sample s ~at:(Sim.Time.sec 100));
+  Alcotest.(check int) "csv rows" 40 (List.length (Sim.Stats.Series.to_csv_rows s))
+
+let suite =
+  [
+    Alcotest.test_case "summary basics" `Quick test_summary_basic;
+    Alcotest.test_case "summary empty" `Quick test_summary_empty;
+    Alcotest.test_case "summary merge" `Quick test_summary_merge;
+    QCheck_alcotest.to_alcotest qcheck_welford_vs_naive;
+    Alcotest.test_case "histogram" `Quick test_histogram;
+    Alcotest.test_case "histogram validation" `Quick test_histogram_validation;
+    Alcotest.test_case "time-weighted gauge" `Quick test_time_weighted;
+    Alcotest.test_case "time-weighted zero elapsed" `Quick
+      test_time_weighted_zero_elapsed;
+    Alcotest.test_case "series" `Quick test_series;
+  ]

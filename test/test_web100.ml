@@ -1,0 +1,118 @@
+let test_counter () =
+  let g = Web100.Group.create () in
+  let c = Web100.Group.counter g Web100.Kis.pkts_out in
+  Web100.Group.Counter.incr c;
+  Web100.Group.Counter.incr ~by:5 c;
+  Alcotest.(check int) "value" 6 (Web100.Group.Counter.value c);
+  (* Same name yields the same counter. *)
+  let c' = Web100.Group.counter g Web100.Kis.pkts_out in
+  Web100.Group.Counter.incr c';
+  Alcotest.(check int) "aliased" 7 (Web100.Group.Counter.value c)
+
+let test_gauge () =
+  let g = Web100.Group.create () in
+  let cwnd = Web100.Group.gauge g Web100.Kis.cur_cwnd in
+  Web100.Group.Gauge.set cwnd 14600.;
+  Alcotest.(check (float 0.)) "gauge" 14600. (Web100.Group.Gauge.value cwnd)
+
+let test_kind_mismatch () =
+  let g = Web100.Group.create () in
+  ignore (Web100.Group.counter g "X");
+  Alcotest.check_raises "counter as gauge"
+    (Invalid_argument "X is registered as a counter, not a gauge") (fun () ->
+      ignore (Web100.Group.gauge g "X"))
+
+let test_read_snapshot () =
+  let g = Web100.Group.create ~conn_name:"c1" () in
+  Alcotest.(check string) "name" "c1" (Web100.Group.conn_name g);
+  Alcotest.(check bool) "missing reads None" true
+    (Web100.Group.read g "Nope" = None);
+  Web100.Group.Counter.incr ~by:3 (Web100.Group.counter g "B");
+  Web100.Group.Gauge.set (Web100.Group.gauge g "A") 1.5;
+  Alcotest.(check bool) "read counter" true (Web100.Group.read g "B" = Some 3.);
+  Alcotest.(check (list (pair string (float 0.))))
+    "snapshot sorted"
+    [ ("A", 1.5); ("B", 3.) ]
+    (Web100.Group.snapshot g)
+
+let test_kis_names () =
+  Alcotest.(check bool) "all nonempty" true
+    (List.for_all (fun n -> String.length n > 0) Web100.Kis.all);
+  let sorted = List.sort_uniq compare Web100.Kis.all in
+  Alcotest.(check int) "no duplicates" (List.length Web100.Kis.all)
+    (List.length sorted)
+
+let test_logger () =
+  let sched = Sim.Scheduler.create () in
+  let g = Web100.Group.create () in
+  let c = Web100.Group.counter g Web100.Kis.pkts_out in
+  ignore
+    (Sim.Scheduler.every sched (Sim.Time.ms 10) (fun () ->
+         Web100.Group.Counter.incr c));
+  let logger =
+    Web100.Logger.start sched ~period:(Sim.Time.ms 25)
+      ~vars:[ Web100.Kis.pkts_out; Web100.Kis.cur_cwnd ] g
+  in
+  Sim.Scheduler.run ~until:(Sim.Time.ms 100) sched;
+  Web100.Logger.stop logger;
+  let s = Web100.Logger.series logger Web100.Kis.pkts_out in
+  Alcotest.(check int) "4 samples in 100ms" 4 (Sim.Stats.Series.length s);
+  (* At t=25ms two 10ms ticks have fired. *)
+  Alcotest.(check (float 0.)) "first sample value" 2.
+    (Sim.Stats.Series.values s).(0);
+  Alcotest.(check bool) "unknown series raises" true
+    (try
+       ignore (Web100.Logger.series logger "nope");
+       false
+     with Not_found -> true);
+  let csv = Web100.Logger.to_csv logger in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "csv rows" 5 (List.length lines);
+  Alcotest.(check string) "csv header" "time_s,PktsOut,CurCwnd"
+    (List.hd lines)
+
+let test_snapshot_delta () =
+  let g = Web100.Group.create () in
+  let c = Web100.Group.counter g "PktsOut" in
+  Web100.Group.Gauge.set (Web100.Group.gauge g "CurCwnd") 1000.;
+  let s1 = Web100.Snapshot.take ~now:(Sim.Time.sec 1) g in
+  Web100.Group.Counter.incr ~by:500 c;
+  Web100.Group.Gauge.set (Web100.Group.gauge g "CurCwnd") 4000.;
+  let s2 = Web100.Snapshot.take ~now:(Sim.Time.sec 3) g in
+  Alcotest.(check (option (float 0.))) "value lookup" (Some 0.)
+    (Web100.Snapshot.value s1 "PktsOut");
+  Alcotest.(check (list (pair string (float 0.))))
+    "delta"
+    [ ("CurCwnd", 3000.); ("PktsOut", 500.) ]
+    (Web100.Snapshot.delta ~older:s1 ~newer:s2);
+  Alcotest.(check (float 1e-9)) "rate: 500 pkts over 2 s" 250.
+    (Web100.Snapshot.rate ~older:s1 ~newer:s2 "PktsOut");
+  Alcotest.(check (float 0.)) "rate of unknown var" 0.
+    (Web100.Snapshot.rate ~older:s1 ~newer:s2 "Nope");
+  Alcotest.(check bool) "reversed order raises" true
+    (try
+       ignore (Web100.Snapshot.delta ~older:s2 ~newer:s1);
+       false
+     with Invalid_argument _ -> true)
+
+let test_snapshot_missing_vars () =
+  let g = Web100.Group.create () in
+  let s1 = Web100.Snapshot.take ~now:Sim.Time.zero g in
+  Web100.Group.Counter.incr (Web100.Group.counter g "New");
+  let s2 = Web100.Snapshot.take ~now:(Sim.Time.sec 1) g in
+  Alcotest.(check (list (pair string (float 0.))))
+    "var appearing mid-flight" [ ("New", 1.) ]
+    (Web100.Snapshot.delta ~older:s1 ~newer:s2)
+
+let suite =
+  [
+    Alcotest.test_case "snapshot delta" `Quick test_snapshot_delta;
+    Alcotest.test_case "snapshot missing vars" `Quick
+      test_snapshot_missing_vars;
+    Alcotest.test_case "counter" `Quick test_counter;
+    Alcotest.test_case "gauge" `Quick test_gauge;
+    Alcotest.test_case "kind mismatch" `Quick test_kind_mismatch;
+    Alcotest.test_case "read/snapshot" `Quick test_read_snapshot;
+    Alcotest.test_case "KIS names" `Quick test_kis_names;
+    Alcotest.test_case "periodic logger" `Quick test_logger;
+  ]
