@@ -3,8 +3,13 @@
    indexed in DESIGN.md §5, then runs Bechamel microbenchmarks of the
    substrate. CSV artefacts land in results/.
 
-   Usage: dune exec bench/main.exe [section ...]
-   Sections: fig1 table1 e2 e3 e4 e5 e6 e7 e8 micro (default: all). *)
+   Usage: dune exec bench/main.exe -- [--jobs N] [section ...]
+   Sections: fig1 table1 e2 e3 e4 e5 e6 e7 e8 micro (default: all).
+
+   --jobs N runs the independent experiment cells of each section on an
+   N-domain Engine.Pool (default: Domain.recommended_domain_count; 1
+   disables parallelism). Results are aggregated in canonical order, so
+   the tables and results/*.csv are byte-identical for every N. *)
 
 let results_dir = "results"
 
@@ -49,9 +54,9 @@ let print_runs rows =
 
 (* ------------------------------------------------------------------ *)
 
-let fig1 () =
+let fig1 pool =
   section "Figure 1 — cumulative send-stall signals, 0-25 s";
-  let r = Core.Experiments.Fig1.run () in
+  let r = Core.Experiments.Fig1.run ?pool () in
   let std = r.Core.Experiments.Fig1.standard in
   let rss = r.Core.Experiments.Fig1.restricted in
   print_string
@@ -86,9 +91,9 @@ let fig1 () =
     ~path:(Filename.concat results_dir "fig1_restricted_cwnd.csv")
     ~name:"cwnd_segments" rss.Core.Run.cwnd_series
 
-let table1 () =
+let table1 pool =
   section "Table 1 — §4 throughput claim (paper: ~40% improvement)";
-  let rows = Core.Experiments.Table1.run () in
+  let rows = Core.Experiments.Table1.run ?pool () in
   let cells =
     List.map
       (fun (row : Core.Experiments.Table1.row) ->
@@ -127,14 +132,14 @@ let table1 () =
            ])
          rows)
 
-let e2 () =
+let e2 pool =
   section "E2 — slow-start variant comparison (25 s, paper path)";
-  let rows = Core.Experiments.Variants.run () in
+  let rows = Core.Experiments.Variants.run ?pool () in
   print_runs (List.map run_row rows)
 
-let e3 () =
+let e3 pool =
   section "E3 — throughput vs interface-queue size (std vs RSS, 20 s)";
-  let rows = Core.Experiments.Ifq_sweep.run () in
+  let rows = Core.Experiments.Ifq_sweep.run ?pool () in
   let cells =
     List.map
       (fun (r : Core.Experiments.Ifq_sweep.row) ->
@@ -178,9 +183,9 @@ let e3 () =
            ])
          rows)
 
-let e4 () =
+let e4 pool =
   section "E4 — throughput vs round-trip time (std vs RSS, 20 s)";
-  let rows = Core.Experiments.Rtt_sweep.run () in
+  let rows = Core.Experiments.Rtt_sweep.run ?pool () in
   let cells =
     List.map
       (fun (r : Core.Experiments.Rtt_sweep.row) ->
@@ -214,9 +219,9 @@ let e4 () =
            ])
          rows)
 
-let e5 () =
+let e5 pool =
   section "E5 — slow-start overshoot loss at a network bottleneck (15 s)";
-  let rows = Core.Experiments.Burst_loss.run () in
+  let rows = Core.Experiments.Burst_loss.run ?pool () in
   let cells =
     List.map
       (fun (r : Core.Experiments.Burst_loss.row) ->
@@ -249,9 +254,9 @@ let e5 () =
      IFQ sensor — RSS controls host soft components, not network queues\n\
      (the paper's stated scope).\n"
 
-let e6 () =
+let e6 pool =
   section "E6 — PID tuning ablation (ZN experiment on the live simulator)";
-  let r = Core.Experiments.Pid_ablation.run () in
+  let r = Core.Experiments.Pid_ablation.run ?pool () in
   (match r.Core.Experiments.Pid_ablation.measured with
   | Ok critical ->
       Format.printf "measured critical point: %a@."
@@ -286,14 +291,14 @@ let e6 () =
          ]
        ~rows:cells ())
 
-let e7 () =
+let e7 pool =
   section "E7 — local-congestion policy ablation (standard slow-start, 25 s)";
-  let rows = Core.Experiments.Local_cong_ablation.run () in
+  let rows = Core.Experiments.Local_cong_ablation.run ?pool () in
   print_runs (List.map (fun (_, r) -> run_row r) rows)
 
-let e8 () =
+let e8 pool =
   section "E8 — friendliness: RSS vs Reno on a shared bottleneck (40 s)";
-  let r = Core.Experiments.Fairness.run () in
+  let r = Core.Experiments.Fairness.run ?pool () in
   Printf.printf
     "reno flow: %.2f Mb/s   rss flow: %.2f Mb/s   Jain index: %.4f\n\
      control (reno vs reno): Jain %.4f\n"
@@ -302,9 +307,9 @@ let e8 () =
     r.Core.Experiments.Fairness.jain_index
     r.Core.Experiments.Fairness.reno_vs_reno_jain
 
-let e9 () =
+let e9 pool =
   section "E9 — gain scheduling: fixed vs RTT-adaptive RSS (20 s)";
-  let rows = Core.Experiments.Adaptive_gains.run () in
+  let rows = Core.Experiments.Adaptive_gains.run ?pool () in
   let cells =
     List.map
       (fun (r : Core.Experiments.Adaptive_gains.row) ->
@@ -350,18 +355,18 @@ let e9 () =
            ])
          rows)
 
-let e10 () =
+let e10 pool =
   section "E10 — does pacing alone prevent send-stalls? (25 s)";
-  let rows = Core.Experiments.Pacing.run () in
+  let rows = Core.Experiments.Pacing.run ?pool () in
   print_runs (List.map run_row rows);
   print_string
     "note: pacing spreads the slow-start bursts so the IFQ fills later\n\
      and more smoothly, but exponential growth still pushes the window\n\
      past BDP + IFQ; only the closed-loop controller stops short of it.\n"
 
-let e11 () =
+let e11 pool =
   section "E11 — parallel GridFTP-style streams sharing one host (20 s)";
-  let rows = Core.Experiments.Parallel_streams.run () in
+  let rows = Core.Experiments.Parallel_streams.run ?pool () in
   let cells =
     List.map
       (fun (r : Core.Experiments.Parallel_streams.row) ->
@@ -400,9 +405,9 @@ let e11 () =
      controller whose budget (and burst allowance) the members split —\n\
      stall-free at every stream count with near-perfect Jain fairness.\n"
 
-let e12 () =
+let e12 pool =
   section "E12 — ECN marking on the local qdisc vs the RSS controller (25 s)";
-  let rows = Core.Experiments.Local_ecn.run () in
+  let rows = Core.Experiments.Local_ecn.run ?pool () in
   let cells =
     List.map
       (fun (r : Core.Experiments.Local_ecn.row) ->
@@ -436,10 +441,10 @@ let e12 () =
      triggers a multiplicative halving, so the window saws below the\n\
      pipe; the controller regulates to the set point instead.\n"
 
-let e13 () =
+let e13 pool =
   section
     "E13 — disk-paced application: the Figure-1 staircase mechanism (25 s)";
-  let rows = Core.Experiments.Chunked_app.run () in
+  let rows = Core.Experiments.Chunked_app.run ?pool () in
   print_string
     (Report.Ascii_chart.line_chart
        ~title:"cumulative send-stalls, 6MB chunk every 3s"
@@ -487,9 +492,9 @@ let e13 () =
         ~name:"cum_send_stalls" r.Core.Experiments.Chunked_app.stalls_series)
     rows
 
-let e14 () =
+let e14 pool =
   section "E14 — the latency cost of a standing queue (20 s)";
-  let rows = Core.Experiments.Latency.run () in
+  let rows = Core.Experiments.Latency.run ?pool () in
   let cells =
     List.map
       (fun (r : Core.Experiments.Latency.row) ->
@@ -520,7 +525,7 @@ let e14 () =
 
 (* ------------------------------------------------------------------ *)
 
-let microbenches () =
+let microbenches _pool =
   section "Microbenchmarks (Bechamel, monotonic clock)";
   let open Bechamel in
   let test_event_queue =
@@ -644,18 +649,49 @@ let sections =
   ]
 
 let () =
+  let jobs = ref (Engine.Pool.default_jobs ()) in
+  let set_jobs v =
+    match int_of_string_opt v with
+    | Some n when n >= 1 -> jobs := n
+    | Some _ | None ->
+        Printf.eprintf "--jobs expects a positive integer, got %S\n" v;
+        exit 2
+  in
+  let rec parse names = function
+    | [] -> List.rev names
+    | ("--jobs" | "-j") :: v :: rest ->
+        set_jobs v;
+        parse names rest
+    | ("--jobs" | "-j") :: [] ->
+        prerr_endline "--jobs expects a value";
+        exit 2
+    | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs="
+      ->
+        set_jobs (String.sub arg 7 (String.length arg - 7));
+        parse names rest
+    | arg :: rest -> parse (arg :: names) rest
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map fst sections
+    match parse [] (List.tl (Array.to_list Sys.argv)) with
+    | [] -> List.map fst sections
+    | names -> names
   in
   List.iter
     (fun name ->
-      match List.assoc_opt name sections with
-      | Some f -> f ()
-      | None ->
-          Printf.eprintf "unknown section %S (known: %s)\n" name
-            (String.concat ", " (List.map fst sections));
-          exit 2)
+      if not (List.mem_assoc name sections) then begin
+        Printf.eprintf "unknown section %S (known: %s)\n" name
+          (String.concat ", " (List.map fst sections));
+        exit 2
+      end)
     requested;
-  Printf.printf "\nCSV artefacts written under %s/.\n" results_dir
+  let t0 = Unix.gettimeofday () in
+  let run_sections pool =
+    List.iter (fun name -> (List.assoc name sections) pool) requested
+  in
+  if !jobs > 1 then
+    Engine.Pool.with_pool ~jobs:!jobs (fun pool -> run_sections (Some pool))
+  else run_sections None;
+  Printf.printf "\nCSV artefacts written under %s/.\n" results_dir;
+  Printf.printf "total wall-clock %.1f s with --jobs %d\n"
+    (Unix.gettimeofday () -. t0)
+    !jobs

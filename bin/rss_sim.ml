@@ -159,17 +159,44 @@ let run_cmd =
 (* --- compare ------------------------------------------------------------ *)
 
 let compare_cmd =
-  let action rate_mbps rtt_ms ifq duration_s seed loss =
+  let jobs =
+    let doc =
+      "Worker domains for the four policy runs (default: all cores; 1 \
+       disables parallelism). Output is identical for any value."
+    in
+    let positive =
+      let parse s =
+        match Arg.conv_parser Arg.int s with
+        | Ok n when n >= 1 -> Ok n
+        | Ok n -> Error (`Msg (Printf.sprintf "expected N >= 1, got %d" n))
+        | Error _ as e -> e
+      in
+      Arg.conv (parse, Arg.conv_printer Arg.int)
+    in
+    Arg.(
+      value
+      & opt positive (Engine.Pool.default_jobs ())
+      & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let action jobs rate_mbps rtt_ms ifq duration_s seed loss =
     let spec = spec_of ~rate_mbps ~rtt_ms ~ifq ~duration_s ~seed ~loss in
-    List.iter
-      (fun name ->
-        print_result
-          (Core.Run.bulk ~label:name { spec with Core.Run.slow_start = name }))
-      [ "standard"; "limited"; "hystart"; "restricted" ]
+    let cells =
+      List.map
+        (fun name -> (Some name, { spec with Core.Run.slow_start = name }))
+        [ "standard"; "limited"; "hystart"; "restricted" ]
+    in
+    let results =
+      if jobs > 1 then
+        Engine.Pool.with_pool ~jobs (fun pool ->
+            Core.Run.bulk_batch ~pool cells)
+      else Core.Run.bulk_batch cells
+    in
+    List.iter print_result results
   in
   let term =
     Term.(
-      const action $ rate_mbps $ rtt_ms $ ifq $ duration_s $ seed $ loss)
+      const action $ jobs $ rate_mbps $ rtt_ms $ ifq $ duration_s $ seed
+      $ loss)
   in
   Cmd.v
     (Cmd.info "compare"

@@ -1,3 +1,16 @@
+(* Each driver submits its independent experiment cells (variant ×
+   duration × parameter point) as tasks on an optional Engine pool;
+   [?pool = None] is the sequential path. Cells at the same parameter
+   point share one seed (fair variant comparison); distinct points get
+   seeds derived with [Sim.Rng.derive_seed] so no two cells ever share
+   a random stream. Results are aggregated in the cell list's order,
+   so parallel output is bit-identical to sequential. *)
+
+let pmap ?pool ~label f xs =
+  match pool with
+  | None -> List.map f xs
+  | Some pool -> Engine.Pool.map pool ~label ~f xs
+
 module Fig1 = struct
   type t = {
     standard : Run.result;
@@ -5,15 +18,17 @@ module Fig1 = struct
     duration : Sim.Time.t;
   }
 
-  let run ?(duration = Sim.Time.sec 25) () =
+  let run ?pool ?(duration = Sim.Time.sec 25) () =
     let spec = { Run.default_spec with duration } in
-    {
-      standard =
-        Run.bulk ~label:"standard" { spec with slow_start = "standard" };
-      restricted =
-        Run.bulk ~label:"restricted" { spec with slow_start = "restricted" };
-      duration;
-    }
+    match
+      Run.bulk_batch ?pool
+        [
+          (Some "standard", { spec with Run.slow_start = "standard" });
+          (Some "restricted", { spec with Run.slow_start = "restricted" });
+        ]
+    with
+    | [ standard; restricted ] -> { standard; restricted; duration }
+    | _ -> assert false
 end
 
 module Table1 = struct
@@ -26,36 +41,57 @@ module Table1 = struct
     restricted_stalls : int;
   }
 
-  let run ?(durations = [ 25.; 60. ]) () =
-    List.map
-      (fun d ->
-        let spec =
-          { Run.default_spec with duration = Sim.Time.of_sec d }
-        in
-        let std = Run.bulk { spec with slow_start = "standard" } in
-        let rss = Run.bulk { spec with slow_start = "restricted" } in
-        {
-          duration_s = d;
-          standard_mbps = std.Run.goodput_mbps;
-          restricted_mbps = rss.Run.goodput_mbps;
-          improvement_pct =
-            (if std.Run.goodput_mbps > 0. then
-               100.
-               *. (rss.Run.goodput_mbps -. std.Run.goodput_mbps)
-               /. std.Run.goodput_mbps
-             else 0.);
-          standard_stalls = std.Run.send_stalls;
-          restricted_stalls = rss.Run.send_stalls;
-        })
-      durations
+  let run ?pool ?(durations = [ 25.; 60. ]) () =
+    let specs =
+      List.concat
+        (List.mapi
+           (fun i d ->
+             let spec =
+               {
+                 Run.default_spec with
+                 duration = Sim.Time.of_sec d;
+                 seed =
+                   Sim.Rng.derive_seed ~root:Run.default_spec.Run.seed
+                     ~stream:i;
+               }
+             in
+             [
+               (None, { spec with Run.slow_start = "standard" });
+               (None, { spec with Run.slow_start = "restricted" });
+             ])
+           durations)
+    in
+    let results = Run.bulk_batch ?pool specs in
+    let rec rows ds rs =
+      match (ds, rs) with
+      | [], [] -> []
+      | d :: ds, std :: rss :: rs ->
+          {
+            duration_s = d;
+            standard_mbps = std.Run.goodput_mbps;
+            restricted_mbps = rss.Run.goodput_mbps;
+            improvement_pct =
+              (if std.Run.goodput_mbps > 0. then
+                 100.
+                 *. (rss.Run.goodput_mbps -. std.Run.goodput_mbps)
+                 /. std.Run.goodput_mbps
+               else 0.);
+            standard_stalls = std.Run.send_stalls;
+            restricted_stalls = rss.Run.send_stalls;
+          }
+          :: rows ds rs
+      | _ -> assert false
+    in
+    rows durations results
 end
 
 module Variants = struct
-  let run ?(duration = Sim.Time.sec 25) () =
+  let run ?pool ?(duration = Sim.Time.sec 25) () =
     let spec = { Run.default_spec with duration } in
-    List.map
-      (fun name -> Run.bulk ~label:name { spec with slow_start = name })
-      [ "standard"; "abc"; "limited"; "hystart"; "restricted" ]
+    Run.bulk_batch ?pool
+      (List.map
+         (fun name -> (Some name, { spec with Run.slow_start = name }))
+         [ "standard"; "abc"; "limited"; "hystart"; "restricted" ])
 end
 
 module Ifq_sweep = struct
@@ -65,19 +101,38 @@ module Ifq_sweep = struct
     restricted : Run.result;
   }
 
-  let run ?(sizes = [ 25; 50; 100; 200; 400; 800 ])
+  let run ?pool ?(sizes = [ 25; 50; 100; 200; 400; 800 ])
       ?(duration = Sim.Time.sec 20) () =
-    List.map
-      (fun size ->
-        let spec =
-          { Run.default_spec with duration; ifq_capacity = size }
-        in
-        {
-          ifq_capacity = size;
-          standard = Run.bulk { spec with slow_start = "standard" };
-          restricted = Run.bulk { spec with slow_start = "restricted" };
-        })
-      sizes
+    let specs =
+      List.concat
+        (List.mapi
+           (fun i size ->
+             let spec =
+               {
+                 Run.default_spec with
+                 duration;
+                 ifq_capacity = size;
+                 seed =
+                   Sim.Rng.derive_seed ~root:Run.default_spec.Run.seed
+                     ~stream:i;
+               }
+             in
+             [
+               (None, { spec with Run.slow_start = "standard" });
+               (None, { spec with Run.slow_start = "restricted" });
+             ])
+           sizes)
+    in
+    let results = Run.bulk_batch ?pool specs in
+    let rec rows ss rs =
+      match (ss, rs) with
+      | [], [] -> []
+      | size :: ss, std :: rss :: rs ->
+          { ifq_capacity = size; standard = std; restricted = rss }
+          :: rows ss rs
+      | _ -> assert false
+    in
+    rows sizes results
 end
 
 module Rtt_sweep = struct
@@ -87,23 +142,37 @@ module Rtt_sweep = struct
     restricted : Run.result;
   }
 
-  let run ?(rtts_ms = [ 10; 30; 60; 120; 200 ])
+  let run ?pool ?(rtts_ms = [ 10; 30; 60; 120; 200 ])
       ?(duration = Sim.Time.sec 20) () =
-    List.map
-      (fun rtt ->
-        let spec =
-          {
-            Run.default_spec with
-            duration;
-            one_way_delay = Sim.Time.ms (rtt / 2);
-          }
-        in
-        {
-          rtt_ms = rtt;
-          standard = Run.bulk { spec with slow_start = "standard" };
-          restricted = Run.bulk { spec with slow_start = "restricted" };
-        })
-      rtts_ms
+    let specs =
+      List.concat
+        (List.mapi
+           (fun i rtt ->
+             let spec =
+               {
+                 Run.default_spec with
+                 duration;
+                 one_way_delay = Sim.Time.ms (rtt / 2);
+                 seed =
+                   Sim.Rng.derive_seed ~root:Run.default_spec.Run.seed
+                     ~stream:i;
+               }
+             in
+             [
+               (None, { spec with Run.slow_start = "standard" });
+               (None, { spec with Run.slow_start = "restricted" });
+             ])
+           rtts_ms)
+    in
+    let results = Run.bulk_batch ?pool specs in
+    let rec rows rtts rs =
+      match (rtts, rs) with
+      | [], [] -> []
+      | rtt :: rtts, std :: rss :: rs ->
+          { rtt_ms = rtt; standard = std; restricted = rss } :: rows rtts rs
+      | _ -> assert false
+    in
+    rows rtts_ms results
 end
 
 module Burst_loss = struct
@@ -119,8 +188,8 @@ module Burst_loss = struct
   (* One flow crossing a dumbbell whose bottleneck is a router port with
      a BDP/4 buffer; the sender's own NIC is 1 Gbit/s so the slow-start
      burst lands on the router queue. *)
-  let run_one ~rate_mbps ~slow_start_name ~duration =
-    let sched = Sim.Scheduler.create ~seed:11 () in
+  let run_one ~seed ~rate_mbps ~slow_start_name ~duration =
+    let sched = Sim.Scheduler.create ~seed () in
     let bottleneck_rate = Sim.Units.mbps rate_mbps in
     let rtt = Sim.Time.ms 60 in
     let bdp =
@@ -161,14 +230,24 @@ module Burst_loss = struct
         Tcp.Receiver.goodput_mbps conn.Tcp.Connection.receiver ~at:duration;
     }
 
-  let run ?(rates_mbps = [ 10.; 100.; 622.; 1000. ])
+  let run ?pool ?(rates_mbps = [ 10.; 100.; 622.; 1000. ])
       ?(duration = Sim.Time.sec 15) () =
-    List.concat_map
-      (fun rate_mbps ->
-        List.map
-          (fun ss -> run_one ~rate_mbps ~slow_start_name:ss ~duration)
-          [ "standard"; "limited"; "restricted" ])
-      rates_mbps
+    let cells =
+      List.concat
+        (List.mapi
+           (fun i rate_mbps ->
+             let seed = Sim.Rng.derive_seed ~root:11 ~stream:i in
+             List.map
+               (fun ss -> (rate_mbps, ss, seed))
+               [ "standard"; "limited"; "restricted" ])
+           rates_mbps)
+    in
+    pmap ?pool
+      ~label:(fun (rate, ss, seed) ->
+        Printf.sprintf "e5 %s @ %g Mb/s (seed=%d)" ss rate seed)
+      (fun (rate_mbps, ss, seed) ->
+        run_one ~seed ~rate_mbps ~slow_start_name:ss ~duration)
+      cells
 end
 
 module Pid_ablation = struct
@@ -183,72 +262,78 @@ module Pid_ablation = struct
     rows : row list;
   }
 
-  let run ?(duration = Sim.Time.sec 20) () =
+  let run ?pool ?(duration = Sim.Time.sec 20) () =
     let measured =
       match Calibrate.ultimate_gain () with
       | Ok r -> Ok r.Control.Ziegler_nichols.critical
       | Error e -> Error e
     in
     let base = Tcp.Slow_start.default_restricted_config in
-    let with_gains label gains =
-      let config = { base with Tcp.Slow_start.gains } in
-      let spec =
-        {
-          Run.default_spec with
-          duration;
-          slow_start = "restricted";
-          restricted = Some config;
-        }
-      in
-      { label; gains; result = Run.bulk ~label spec }
-    in
     let default_gains = base.Tcp.Slow_start.gains in
     let scaled k g = { g with Control.Pid.kp = g.Control.Pid.kp *. k } in
-    let rows =
+    let cells =
       [
-        with_gains "paper-rule (default)" default_gains;
-        with_gains "kp/4 (sluggish)" (scaled 0.25 default_gains);
-        with_gains "kp*4 (aggressive)" (scaled 4. default_gains);
-        with_gains "p-only"
-          (Control.Pid.p_only default_gains.Control.Pid.kp);
-        with_gains "pi (no derivative)"
-          { default_gains with Control.Pid.td = 0. };
+        ("paper-rule (default)", default_gains);
+        ("kp/4 (sluggish)", scaled 0.25 default_gains);
+        ("kp*4 (aggressive)", scaled 4. default_gains);
+        ("p-only", Control.Pid.p_only default_gains.Control.Pid.kp);
+        ("pi (no derivative)", { default_gains with Control.Pid.td = 0. });
       ]
       @
       match measured with
       | Ok critical ->
           [
-            with_gains "zn-classic (measured)"
-              (Control.Tuning.zn_pid critical);
-            with_gains "paper-rule (measured Kc,Tc)"
-              (Control.Tuning.paper_pid critical);
-            with_gains "tyreus-luyben (measured)"
-              (Control.Tuning.tyreus_luyben critical);
+            ("zn-classic (measured)", Control.Tuning.zn_pid critical);
+            ( "paper-rule (measured Kc,Tc)",
+              Control.Tuning.paper_pid critical );
+            ("tyreus-luyben (measured)", Control.Tuning.tyreus_luyben critical);
           ]
       | Error _ -> []
+    in
+    let rows =
+      pmap ?pool
+        ~label:(fun (label, _) -> "e6 " ^ label)
+        (fun (label, gains) ->
+          let config = { base with Tcp.Slow_start.gains } in
+          let spec =
+            {
+              Run.default_spec with
+              duration;
+              slow_start = "restricted";
+              restricted = Some config;
+            }
+          in
+          { label; gains; result = Run.bulk ~label spec })
+        cells
     in
     { measured; rows }
 end
 
 module Local_cong_ablation = struct
-  let run ?(duration = Sim.Time.sec 25) () =
-    List.map
-      (fun policy ->
-        let spec =
-          {
-            Run.default_spec with
-            duration;
-            slow_start = "standard";
-            local_congestion = policy;
-          }
-        in
-        let label = Tcp.Local_congestion.to_string policy in
-        (label, Run.bulk ~label spec))
+  let run ?pool ?(duration = Sim.Time.sec 25) () =
+    let policies =
       [
         Tcp.Local_congestion.Halve;
         Tcp.Local_congestion.Cwr;
         Tcp.Local_congestion.Ignore;
       ]
+    in
+    let results =
+      Run.bulk_batch ?pool
+        (List.map
+           (fun policy ->
+             ( Some (Tcp.Local_congestion.to_string policy),
+               {
+                 Run.default_spec with
+                 duration;
+                 slow_start = "standard";
+                 local_congestion = policy;
+               } ))
+           policies)
+    in
+    List.map2
+      (fun policy r -> (Tcp.Local_congestion.to_string policy, r))
+      policies results
 end
 
 module Adaptive_gains = struct
@@ -259,38 +344,58 @@ module Adaptive_gains = struct
     restricted_adaptive : Run.result;
   }
 
-  let run ?(rtts_ms = [ 10; 30; 60; 120; 200 ]) ?(duration = Sim.Time.sec 20)
-      () =
-    List.map
-      (fun rtt ->
-        let spec =
+  let run ?pool ?(rtts_ms = [ 10; 30; 60; 120; 200 ])
+      ?(duration = Sim.Time.sec 20) () =
+    let specs =
+      List.concat
+        (List.mapi
+           (fun i rtt ->
+             let spec =
+               {
+                 Run.default_spec with
+                 duration;
+                 one_way_delay = Sim.Time.ms (rtt / 2);
+                 seed =
+                   Sim.Rng.derive_seed ~root:Run.default_spec.Run.seed
+                     ~stream:i;
+               }
+             in
+             [
+               (None, { spec with Run.slow_start = "standard" });
+               (None, { spec with Run.slow_start = "restricted" });
+               (None, { spec with Run.slow_start = "restricted-adaptive" });
+             ])
+           rtts_ms)
+    in
+    let results = Run.bulk_batch ?pool specs in
+    let rec rows rtts rs =
+      match (rtts, rs) with
+      | [], [] -> []
+      | rtt :: rtts, std :: fixed :: adaptive :: rs ->
           {
-            Run.default_spec with
-            duration;
-            one_way_delay = Sim.Time.ms (rtt / 2);
+            rtt_ms = rtt;
+            standard = std;
+            restricted_fixed = fixed;
+            restricted_adaptive = adaptive;
           }
-        in
-        {
-          rtt_ms = rtt;
-          standard = Run.bulk { spec with slow_start = "standard" };
-          restricted_fixed = Run.bulk { spec with slow_start = "restricted" };
-          restricted_adaptive =
-            Run.bulk { spec with slow_start = "restricted-adaptive" };
-        })
-      rtts_ms
+          :: rows rtts rs
+      | _ -> assert false
+    in
+    rows rtts_ms results
 end
 
 module Pacing = struct
-  let run ?(duration = Sim.Time.sec 25) () =
+  let run ?pool ?(duration = Sim.Time.sec 25) () =
     let spec = { Run.default_spec with duration } in
-    [
-      Run.bulk ~label:"standard" { spec with slow_start = "standard" };
-      Run.bulk ~label:"standard+pacing"
-        { spec with slow_start = "standard"; pacing = true };
-      Run.bulk ~label:"restricted" { spec with slow_start = "restricted" };
-      Run.bulk ~label:"restricted+pacing"
-        { spec with slow_start = "restricted"; pacing = true };
-    ]
+    Run.bulk_batch ?pool
+      [
+        (Some "standard", { spec with Run.slow_start = "standard" });
+        ( Some "standard+pacing",
+          { spec with Run.slow_start = "standard"; pacing = true } );
+        (Some "restricted", { spec with Run.slow_start = "restricted" });
+        ( Some "restricted+pacing",
+          { spec with Run.slow_start = "restricted"; pacing = true } );
+      ]
 end
 
 module Parallel_streams = struct
@@ -309,8 +414,8 @@ module Parallel_streams = struct
     let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
     if s2 <= 0. then 1. else s *. s /. (n *. s2)
 
-  let run_one ~streams ~slow_start_name ~duration =
-    let scenario = Scenario.anl_lbnl ~seed:47 () in
+  let run_one ~seed ~streams ~slow_start_name ~duration =
+    let scenario = Scenario.anl_lbnl ~seed () in
     let sched = scenario.Scenario.sched in
     (* "restricted-shared" uses one host-wide controller; the others get
        an independent policy per connection. *)
@@ -360,14 +465,24 @@ module Parallel_streams = struct
       mean_ifq = Netsim.Ifq.mean_occupancy (Scenario.sender_ifq scenario);
     }
 
-  let run ?(stream_counts = [ 1; 2; 4; 8 ]) ?(duration = Sim.Time.sec 20) ()
-      =
-    List.concat_map
-      (fun streams ->
-        List.map
-          (fun ss -> run_one ~streams ~slow_start_name:ss ~duration)
-          [ "standard"; "restricted"; "restricted-shared" ])
-      stream_counts
+  let run ?pool ?(stream_counts = [ 1; 2; 4; 8 ])
+      ?(duration = Sim.Time.sec 20) () =
+    let cells =
+      List.concat
+        (List.mapi
+           (fun i streams ->
+             let seed = Sim.Rng.derive_seed ~root:47 ~stream:i in
+             List.map
+               (fun ss -> (streams, ss, seed))
+               [ "standard"; "restricted"; "restricted-shared" ])
+           stream_counts)
+    in
+    pmap ?pool
+      ~label:(fun (streams, ss, seed) ->
+        Printf.sprintf "e11 %s x%d (seed=%d)" ss streams seed)
+      (fun (streams, ss, seed) ->
+        run_one ~seed ~streams ~slow_start_name:ss ~duration)
+      cells
 end
 
 module Local_ecn = struct
@@ -383,19 +498,27 @@ module Local_ecn = struct
       weight = 0.02;
     }
 
-  let run ?(duration = Sim.Time.sec 25) () =
+  let run ?pool ?(duration = Sim.Time.sec 25) () =
     let spec = { Run.default_spec with duration } in
-    let make label spec =
-      let result = Run.bulk ~label spec in
-      { label; result; ce_marks = result.Run.ce_marks }
+    let results =
+      Run.bulk_batch ?pool
+        [
+          ( Some "standard/drop-tail",
+            { spec with Run.slow_start = "standard" } );
+          ( Some "standard/red-ecn qdisc",
+            {
+              spec with
+              Run.slow_start = "standard";
+              ifq_red_ecn = Some qdisc_params;
+            } );
+          ( Some "restricted/drop-tail",
+            { spec with Run.slow_start = "restricted" } );
+        ]
     in
-    [
-      make "standard/drop-tail" { spec with slow_start = "standard" };
-      make "standard/red-ecn qdisc"
-        { spec with slow_start = "standard";
-          ifq_red_ecn = Some qdisc_params };
-      make "restricted/drop-tail" { spec with slow_start = "restricted" };
-    ]
+    List.map
+      (fun (r : Run.result) ->
+        { label = r.Run.label; result = r; ce_marks = r.Run.ce_marks })
+      results
 end
 
 module Chunked_app = struct
@@ -444,19 +567,22 @@ module Chunked_app = struct
       stalls_series;
     }
 
-  let run ?(chunk_bytes = 6_000_000) ?(interval = Sim.Time.sec 3)
+  let run ?pool ?(chunk_bytes = 6_000_000) ?(interval = Sim.Time.sec 3)
       ?(duration = Sim.Time.sec 25) () =
-    let go = run_one ~chunk_bytes ~interval ~duration in
-    [
-      go ~label:"standard/restart-on" ~slow_start_name:"standard"
-        ~restart:true ~pacing:false;
-      go ~label:"standard/restart-off" ~slow_start_name:"standard"
-        ~restart:false ~pacing:false;
-      go ~label:"standard/restart-off+pacing" ~slow_start_name:"standard"
-        ~restart:false ~pacing:true;
-      go ~label:"restricted/restart-on" ~slow_start_name:"restricted"
-        ~restart:true ~pacing:false;
-    ]
+    let cells =
+      [
+        ("standard/restart-on", "standard", true, false);
+        ("standard/restart-off", "standard", false, false);
+        ("standard/restart-off+pacing", "standard", false, true);
+        ("restricted/restart-on", "restricted", true, false);
+      ]
+    in
+    pmap ?pool
+      ~label:(fun (label, _, _, _) -> "e13 " ^ label)
+      (fun (label, slow_start_name, restart, pacing) ->
+        run_one ~label ~slow_start_name ~restart ~pacing ~chunk_bytes
+          ~interval ~duration)
+      cells
 end
 
 module Latency = struct
@@ -519,17 +645,20 @@ module Latency = struct
       p99_delay_ms = Sim.Stats.Histogram.quantile histogram 0.99;
     }
 
-  let run ?(duration = Sim.Time.sec 20) () =
-    [
-      run_one ~label:"standard" ~slow_start_name:"standard" ~setpoint:None
-        ~duration;
-      run_one ~label:"restricted (0.9)" ~slow_start_name:"restricted"
-        ~setpoint:None ~duration;
-      run_one ~label:"restricted (0.5)" ~slow_start_name:"restricted"
-        ~setpoint:(Some 0.5) ~duration;
-      run_one ~label:"restricted (0.2)" ~slow_start_name:"restricted"
-        ~setpoint:(Some 0.2) ~duration;
-    ]
+  let run ?pool ?(duration = Sim.Time.sec 20) () =
+    let cells =
+      [
+        ("standard", "standard", None);
+        ("restricted (0.9)", "restricted", None);
+        ("restricted (0.5)", "restricted", Some 0.5);
+        ("restricted (0.2)", "restricted", Some 0.2);
+      ]
+    in
+    pmap ?pool
+      ~label:(fun (label, _, _) -> "e14 " ^ label)
+      (fun (label, slow_start_name, setpoint) ->
+        run_one ~label ~slow_start_name ~setpoint ~duration)
+      cells
 end
 
 module Fairness = struct
@@ -573,15 +702,19 @@ module Fairness = struct
     ( Tcp.Receiver.goodput_mbps a.Tcp.Connection.receiver ~at:duration,
       Tcp.Receiver.goodput_mbps b.Tcp.Connection.receiver ~at:duration )
 
-  let run ?(duration = Sim.Time.sec 40) () =
-    let reno_mbps, restricted_mbps =
-      pair ~ss_a:"standard" ~ss_b:"restricted" ~duration
-    in
-    let ctrl_a, ctrl_b = pair ~ss_a:"standard" ~ss_b:"standard" ~duration in
-    {
-      reno_mbps;
-      restricted_mbps;
-      jain_index = jain [ reno_mbps; restricted_mbps ];
-      reno_vs_reno_jain = jain [ ctrl_a; ctrl_b ];
-    }
+  let run ?pool ?(duration = Sim.Time.sec 40) () =
+    match
+      pmap ?pool
+        ~label:(fun (ss_a, ss_b) -> Printf.sprintf "e8 %s vs %s" ss_a ss_b)
+        (fun (ss_a, ss_b) -> pair ~ss_a ~ss_b ~duration)
+        [ ("standard", "restricted"); ("standard", "standard") ]
+    with
+    | [ (reno_mbps, restricted_mbps); (ctrl_a, ctrl_b) ] ->
+        {
+          reno_mbps;
+          restricted_mbps;
+          jain_index = jain [ reno_mbps; restricted_mbps ];
+          reno_vs_reno_jain = jain [ ctrl_a; ctrl_b ];
+        }
+    | _ -> assert false
 end

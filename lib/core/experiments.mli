@@ -2,7 +2,10 @@
 
     Each function is purely computational — it runs simulations and
     returns structured results; formatting lives in the bench harness
-    and the examples. All runs are deterministic. *)
+    and the examples. All runs are deterministic: when a [?pool] is
+    given, each independent experiment cell runs as one
+    {!Engine.Pool} task and the aggregated results are bit-identical
+    to the sequential ([?pool = None]) path. *)
 
 (** Figure 1: cumulative send-stall signals over 25 s, standard Linux
     TCP vs the proposed scheme. *)
@@ -13,7 +16,7 @@ module Fig1 : sig
     duration : Sim.Time.t;
   }
 
-  val run : ?duration:Sim.Time.t -> unit -> t
+  val run : ?pool:Engine.Pool.t -> ?duration:Sim.Time.t -> unit -> t
 end
 
 (** §4 text claim: throughput improvement of RSS over standard TCP
@@ -28,13 +31,13 @@ module Table1 : sig
     restricted_stalls : int;
   }
 
-  val run : ?durations:float list -> unit -> row list
+  val run : ?pool:Engine.Pool.t -> ?durations:float list -> unit -> row list
   (** Default durations: 25 s and 60 s. *)
 end
 
 (** E2: slow-start variant comparison on the paper's path. *)
 module Variants : sig
-  val run : ?duration:Sim.Time.t -> unit -> Run.result list
+  val run : ?pool:Engine.Pool.t -> ?duration:Sim.Time.t -> unit -> Run.result list
   (** standard, limited, hystart, restricted — in that order. *)
 end
 
@@ -46,7 +49,12 @@ module Ifq_sweep : sig
     restricted : Run.result;
   }
 
-  val run : ?sizes:int list -> ?duration:Sim.Time.t -> unit -> row list
+  val run :
+    ?pool:Engine.Pool.t ->
+    ?sizes:int list ->
+    ?duration:Sim.Time.t ->
+    unit ->
+    row list
 end
 
 (** E4: throughput vs round-trip time (BDP scaling). *)
@@ -57,7 +65,12 @@ module Rtt_sweep : sig
     restricted : Run.result;
   }
 
-  val run : ?rtts_ms:int list -> ?duration:Sim.Time.t -> unit -> row list
+  val run :
+    ?pool:Engine.Pool.t ->
+    ?rtts_ms:int list ->
+    ?duration:Sim.Time.t ->
+    unit ->
+    row list
 end
 
 (** E5: slow-start overshoot loss at a network bottleneck (router
@@ -75,7 +88,12 @@ module Burst_loss : sig
     goodput_mbps : float;
   }
 
-  val run : ?rates_mbps:float list -> ?duration:Sim.Time.t -> unit -> row list
+  val run :
+    ?pool:Engine.Pool.t ->
+    ?rates_mbps:float list ->
+    ?duration:Sim.Time.t ->
+    unit ->
+    row list
 end
 
 (** E6: controller-tuning ablation. Reports the critical point measured
@@ -93,12 +111,12 @@ module Pid_ablation : sig
     rows : row list;
   }
 
-  val run : ?duration:Sim.Time.t -> unit -> t
+  val run : ?pool:Engine.Pool.t -> ?duration:Sim.Time.t -> unit -> t
 end
 
 (** E7: reaction-to-stall ablation under standard slow-start. *)
 module Local_cong_ablation : sig
-  val run : ?duration:Sim.Time.t -> unit -> (string * Run.result) list
+  val run : ?pool:Engine.Pool.t -> ?duration:Sim.Time.t -> unit -> (string * Run.result) list
 end
 
 (** E9: gain scheduling — fixed-gain RSS vs the RTT-adaptive variant
@@ -111,14 +129,19 @@ module Adaptive_gains : sig
     restricted_adaptive : Run.result;
   }
 
-  val run : ?rtts_ms:int list -> ?duration:Sim.Time.t -> unit -> row list
+  val run :
+    ?pool:Engine.Pool.t ->
+    ?rtts_ms:int list ->
+    ?duration:Sim.Time.t ->
+    unit ->
+    row list
 end
 
 (** E10: is pacing alone enough? Standard slow-start with sch_fq-style
     pacing vs plain standard vs RSS. Pacing smooths the bursts but not
     the exponential overshoot itself. *)
 module Pacing : sig
-  val run : ?duration:Sim.Time.t -> unit -> Run.result list
+  val run : ?pool:Engine.Pool.t -> ?duration:Sim.Time.t -> unit -> Run.result list
   (** standard, standard+pacing, restricted, restricted+pacing. *)
 end
 
@@ -136,7 +159,11 @@ module Parallel_streams : sig
   }
 
   val run :
-    ?stream_counts:int list -> ?duration:Sim.Time.t -> unit -> row list
+    ?pool:Engine.Pool.t ->
+    ?stream_counts:int list ->
+    ?duration:Sim.Time.t ->
+    unit ->
+    row list
 end
 
 (** E12: the road Linux eventually took — RED with ECN marking on the
@@ -151,7 +178,7 @@ module Local_ecn : sig
     ce_marks : int;
   }
 
-  val run : ?duration:Sim.Time.t -> unit -> row list
+  val run : ?pool:Engine.Pool.t -> ?duration:Sim.Time.t -> unit -> row list
   (** standard/drop-tail, standard/RED+ECN qdisc, restricted/drop-tail. *)
 end
 
@@ -171,6 +198,7 @@ module Chunked_app : sig
   }
 
   val run :
+    ?pool:Engine.Pool.t ->
     ?chunk_bytes:int ->
     ?interval:Sim.Time.t ->
     ?duration:Sim.Time.t ->
@@ -193,7 +221,7 @@ module Latency : sig
     p99_delay_ms : float;
   }
 
-  val run : ?duration:Sim.Time.t -> unit -> row list
+  val run : ?pool:Engine.Pool.t -> ?duration:Sim.Time.t -> unit -> row list
   (** standard, restricted (0.9 set point), restricted (0.5),
       restricted (0.2). *)
 end
@@ -208,5 +236,5 @@ module Fairness : sig
     reno_vs_reno_jain : float;   (** control: two standard flows *)
   }
 
-  val run : ?duration:Sim.Time.t -> unit -> t
+  val run : ?pool:Engine.Pool.t -> ?duration:Sim.Time.t -> unit -> t
 end

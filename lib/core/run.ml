@@ -60,6 +60,14 @@ type result = {
   srtt_series : Sim.Stats.Series.t;
 }
 
+let spec_label ?label spec =
+  Printf.sprintf "%s (rate=%g Mb/s, rtt=%g ms, ifq=%d, seed=%d, dur=%gs)"
+    (match label with Some l -> l | None -> spec.slow_start)
+    (Sim.Units.rate_to_mbps spec.rate)
+    (2. *. Sim.Time.to_ms spec.one_way_delay)
+    spec.ifq_capacity spec.seed
+    (Sim.Time.to_sec spec.duration)
+
 let bulk ?label spec =
   let label = match label with Some l -> l | None -> spec.slow_start in
   let scenario =
@@ -161,3 +169,12 @@ let bulk ?label spec =
     throughput_series;
     srtt_series;
   }
+
+let bulk_batch ?pool specs =
+  let f (label, spec) = bulk ?label spec in
+  match pool with
+  | None -> List.map f specs
+  | Some pool ->
+      Engine.Pool.map pool
+        ~label:(fun (label, spec) -> spec_label ?label spec)
+        ~f specs

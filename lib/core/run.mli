@@ -57,3 +57,15 @@ type result = {
 val bulk : ?label:string -> spec -> result
 (** Build the scenario, run one flow for [duration], return the
     measurements. Deterministic in [spec]. *)
+
+val spec_label : ?label:string -> spec -> string
+(** Human-readable scenario identity (policy plus path parameters) —
+    the label a failed pool task is reported under. *)
+
+val bulk_batch :
+  ?pool:Engine.Pool.t -> (string option * spec) list -> result list
+(** Run each [(label, spec)] cell as an independent task on [pool]
+    (sequentially when [pool] is [None]) and return the results in
+    input order. Every cell builds its own scheduler and RNG, so the
+    output is identical for any worker count. A raising cell surfaces
+    as {!Engine.Pool.Task_failed} carrying {!spec_label}. *)

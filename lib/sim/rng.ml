@@ -18,6 +18,20 @@ let bits64 t =
 
 let split t = { state = bits64 t }
 
+(* Seed of an independent task stream, derived from a root seed and a
+   stream index.  Mixing the root before adding [stream + 1] gammas
+   reproduces the SplitMix64 stream-jump construction: distinct
+   (root, stream) pairs land on uncorrelated points of the generator's
+   2^64 cycle, so experiment cells sharing a root seed never share a
+   random stream.  The top bit is cleared to keep the seed a
+   non-negative OCaml int, printable and CLI-round-trippable. *)
+let derive_seed ~root ~stream =
+  let z =
+    Int64.add (mix64 (Int64.of_int root))
+      (Int64.mul golden_gamma (Int64.of_int (stream + 1)))
+  in
+  Int64.to_int (Int64.shift_right_logical (mix64 z) 1)
+
 let float t =
   (* 53 high bits → uniform double in [0, 1). *)
   let bits = Int64.shift_right_logical (bits64 t) 11 in

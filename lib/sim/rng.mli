@@ -12,6 +12,13 @@ val split : t -> t
 (** [split t] derives a stream statistically independent of [t]'s
     subsequent output. *)
 
+val derive_seed : root:int -> stream:int -> int
+(** Seed of the [stream]-th independent task stream under [root]: the
+    SplitMix64 stream-jump construction, so experiment cells that share
+    a root seed get uncorrelated random streams without any shared
+    generator state. Deterministic in [(root, stream)]; the result is a
+    non-negative [int] suitable for {!of_seed} or a [--seed] flag. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit value. *)
 

@@ -23,4 +23,9 @@ let () =
       ("workload", Test_workload.suite);
       ("report", Test_report.suite);
       ("core", Test_core.suite);
+      ("engine.pool", Test_engine.suite);
+      ("engine.determinism", Test_determinism.suite);
+      ("prop.interval-set", Test_prop_interval_set.suite);
+      ("prop.sack-scoreboard", Test_prop_sack.suite);
+      ("prop.pid", Test_prop_pid.suite);
     ]

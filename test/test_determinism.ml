@@ -1,0 +1,56 @@
+(* Golden replay: fig1 and e2 run once sequentially and once on a
+   4-domain pool must emit identical CSV rows — the guard on the
+   paper-reproduction numbers in EXPERIMENTS.md. Short horizons keep
+   the suite fast; the full horizons run in bench/ and in CI's
+   parallel-determinism job. *)
+
+let duration = Sim.Time.sec 2
+
+let series_csv s =
+  let path = Filename.temp_file "rss_determinism" ".csv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      Report.Csv.write_series ~path ~name:"v" s;
+      In_channel.with_open_text path In_channel.input_all)
+
+let with_parallel f = Engine.Pool.with_pool ~jobs:4 (fun pool -> f (Some pool))
+
+let fig1_artifacts pool =
+  let r = Core.Experiments.Fig1.run ?pool ~duration () in
+  let std = r.Core.Experiments.Fig1.standard in
+  let rss = r.Core.Experiments.Fig1.restricted in
+  List.map series_csv
+    [
+      std.Core.Run.stalls_series;
+      std.Core.Run.cwnd_series;
+      rss.Core.Run.stalls_series;
+      rss.Core.Run.cwnd_series;
+    ]
+
+let test_fig1_replay () =
+  Alcotest.(check (list string))
+    "fig1 CSVs byte-identical, sequential vs 4 domains"
+    (fig1_artifacts None)
+    (with_parallel fig1_artifacts)
+
+let e2_rows pool =
+  let rows = Core.Experiments.Variants.run ?pool ~duration () in
+  List.map
+    (fun (r : Core.Run.result) ->
+      Printf.sprintf "%s,%.9f,%d,%d,%d,%d,%.9f" r.Core.Run.label
+        r.Core.Run.goodput_mbps r.Core.Run.send_stalls
+        r.Core.Run.congestion_signals r.Core.Run.retransmits
+        r.Core.Run.timeouts r.Core.Run.final_cwnd_segments)
+    rows
+
+let test_e2_replay () =
+  Alcotest.(check (list string))
+    "e2 rows identical, sequential vs 4 domains" (e2_rows None)
+    (with_parallel e2_rows)
+
+let suite =
+  [
+    Alcotest.test_case "fig1 golden replay" `Quick test_fig1_replay;
+    Alcotest.test_case "e2 golden replay" `Quick test_e2_replay;
+  ]

@@ -1,0 +1,116 @@
+(* The domain pool: canonical-order aggregation, bit-identical output
+   for any worker count, per-task failure capture that neither hangs
+   nor poisons the pool. *)
+
+let work i =
+  (* Deterministic per-task computation of varying cost, driven by the
+     task's own derived RNG stream. *)
+  let rng = Sim.Rng.of_seed (Sim.Rng.derive_seed ~root:42 ~stream:i) in
+  let steps = 1_000 + (i * 317 mod 700) in
+  let acc = ref 0. in
+  for _ = 1 to steps do
+    acc := !acc +. Sim.Rng.float rng
+  done;
+  Printf.sprintf "%d:%.12f" i !acc
+
+let aggregate jobs =
+  Engine.Pool.with_pool ~jobs (fun pool ->
+      Engine.Pool.map pool
+        ~label:(fun i -> Printf.sprintf "task-%d" i)
+        ~f:work (List.init 16 Fun.id)
+      |> String.concat "|")
+
+let test_identical_across_worker_counts () =
+  let one = aggregate 1 in
+  Alcotest.(check string) "1 vs 2 domains" one (aggregate 2);
+  Alcotest.(check string) "1 vs 4 domains" one (aggregate 4)
+
+let test_canonical_order () =
+  Engine.Pool.with_pool ~jobs:4 (fun pool ->
+      let out =
+        Engine.Pool.map pool ~label:string_of_int
+          ~f:(fun i ->
+            (* Earlier tasks spin longer, so with four workers the later
+               tasks finish first; results must still come back in
+               submission order. *)
+            let spin = (16 - i) * 20_000 in
+            let acc = ref 0 in
+            for k = 1 to spin do
+              acc := !acc + k
+            done;
+            ignore !acc;
+            i)
+          (List.init 16 Fun.id)
+      in
+      Alcotest.(check (list int)) "submission order" (List.init 16 Fun.id)
+        out)
+
+let test_failure_reported_with_label () =
+  Engine.Pool.with_pool ~jobs:4 (fun pool ->
+      (try
+         ignore
+           (Engine.Pool.map pool
+              ~label:(fun i -> Printf.sprintf "cell-%d" i)
+              ~f:(fun i -> if i = 5 then failwith "boom" else i)
+              (List.init 8 Fun.id));
+         Alcotest.fail "expected Task_failed"
+       with Engine.Pool.Task_failed { label; exn; _ } ->
+         Alcotest.(check string) "scenario label" "cell-5" label;
+         Alcotest.(check bool) "original exception preserved" true
+           (match exn with Failure m -> String.equal m "boom" | _ -> false));
+      (* The failed batch completed and the pool is still usable. *)
+      let again =
+        Engine.Pool.map pool ~label:string_of_int
+          ~f:(fun i -> i + 1)
+          (List.init 8 Fun.id)
+      in
+      Alcotest.(check (list int)) "pool survives a failed batch"
+        [ 1; 2; 3; 4; 5; 6; 7; 8 ] again)
+
+let test_first_failure_in_canonical_order () =
+  Engine.Pool.with_pool ~jobs:4 (fun pool ->
+      try
+        ignore
+          (Engine.Pool.map pool
+             ~label:(fun i -> Printf.sprintf "cell-%d" i)
+             ~f:(fun i -> if i mod 3 = 2 then failwith "x" else i)
+             (List.init 9 Fun.id));
+        Alcotest.fail "expected Task_failed"
+      with Engine.Pool.Task_failed { label; _ } ->
+        Alcotest.(check string) "lowest failing index wins" "cell-2" label)
+
+let test_sequential_degradation () =
+  Engine.Pool.with_pool ~jobs:1 (fun pool ->
+      Alcotest.(check int) "jobs" 1 (Engine.Pool.jobs pool);
+      Alcotest.(check (list int)) "empty batch" []
+        (Engine.Pool.map pool ~label:string_of_int ~f:Fun.id []);
+      try
+        ignore
+          (Engine.Pool.map pool
+             ~label:(fun _ -> "solo")
+             ~f:(fun () -> failwith "seq")
+             [ () ]);
+        Alcotest.fail "expected Task_failed"
+      with Engine.Pool.Task_failed { label; _ } ->
+        Alcotest.(check string) "sequential failure labelled" "solo" label)
+
+let test_create_rejects_zero_jobs () =
+  Alcotest.(check bool) "invalid_arg on jobs=0" true
+    (try
+       ignore (Engine.Pool.create ~jobs:0 ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "identical output on 1/2/4 domains" `Quick
+      test_identical_across_worker_counts;
+    Alcotest.test_case "canonical result order" `Quick test_canonical_order;
+    Alcotest.test_case "failure reported with scenario label" `Quick
+      test_failure_reported_with_label;
+    Alcotest.test_case "first failure in canonical order" `Quick
+      test_first_failure_in_canonical_order;
+    Alcotest.test_case "sequential degradation (jobs=1)" `Quick
+      test_sequential_degradation;
+    Alcotest.test_case "jobs=0 rejected" `Quick test_create_rejects_zero_jobs;
+  ]

@@ -1,0 +1,70 @@
+(* qcheck invariants for Tcp.Interval_set: after any insert sequence
+   the representation stays sorted, disjoint and non-touching, and
+   membership/total agree with the naive union of the inserted
+   ranges; remove_below subtracts exactly the [0, bound) prefix. *)
+
+open QCheck2
+
+(* (lo, len) pairs keep hi >= lo by construction; len = 0 exercises the
+   empty-range guard. The 0..260 probe domain comfortably covers every
+   generated endpoint (max 200 + 40). *)
+let gen_ranges =
+  Gen.(list_size (int_range 0 40) (pair (int_range 0 200) (int_range 0 40)))
+
+let print_ranges = Print.(list (pair int int))
+let probe = List.init 261 Fun.id
+
+let build ops =
+  let s = Tcp.Interval_set.create () in
+  List.iter (fun (lo, len) -> Tcp.Interval_set.add s ~lo ~hi:(lo + len)) ops;
+  s
+
+let model_mem ops x = List.exists (fun (lo, len) -> lo <= x && x < lo + len) ops
+
+let well_formed s =
+  let rec ok = function
+    | [] -> true
+    | [ (a, b) ] -> a < b
+    | (a, b) :: ((c, _) :: _ as rest) -> a < b && b < c && ok rest
+  in
+  ok (Tcp.Interval_set.intervals s)
+
+let sorted_disjoint =
+  Test.make ~name:"add keeps ranges sorted, disjoint, non-touching"
+    ~count:500 ~print:print_ranges gen_ranges (fun ops ->
+      well_formed (build ops))
+
+let coverage_preserved =
+  Test.make ~name:"membership equals the union of inserted ranges"
+    ~count:500 ~print:print_ranges gen_ranges (fun ops ->
+      let s = build ops in
+      List.for_all (fun x -> Tcp.Interval_set.mem s x = model_mem ops x) probe)
+
+let total_counts_union =
+  Test.make ~name:"total = cardinality of the union" ~count:500
+    ~print:print_ranges gen_ranges (fun ops ->
+      let s = build ops in
+      Tcp.Interval_set.total s
+      = List.length (List.filter (model_mem ops) probe))
+
+let remove_below_subtracts =
+  Test.make ~name:"remove_below subtracts exactly [0, bound)" ~count:500
+    ~print:Print.(pair print_ranges int)
+    Gen.(pair gen_ranges (int_range 0 260))
+    (fun (ops, bound) ->
+      let s = build ops in
+      Tcp.Interval_set.remove_below s bound;
+      well_formed s
+      && List.for_all
+           (fun x ->
+             Tcp.Interval_set.mem s x = (x >= bound && model_mem ops x))
+           probe)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [
+      sorted_disjoint;
+      coverage_preserved;
+      total_counts_union;
+      remove_below_subtracts;
+    ]

@@ -1,0 +1,54 @@
+(* qcheck invariants for Control.Pid with anti-windup active: for
+   arbitrary bounded error sequences and arbitrary positive gains the
+   clamped output never leaves [out_min, out_max], and an all-zero
+   error sequence commands zero delta at every step. *)
+
+open QCheck2
+
+(* kp > 0, ti > 0 (finite integral action), td >= 0, and clamp bounds
+   spanning zero so the zero-error fixed point is admissible. *)
+let gen_gains =
+  Gen.(
+    triple (float_range 0.01 5.) (float_range 0.01 10.) (float_range 0. 1.))
+
+let gen_clamps = Gen.(pair (float_range (-5.) (-0.01)) (float_range 0.01 5.))
+let gen_errors = Gen.(list_size (int_range 1 100) (float_range (-50.) 50.))
+
+let print_case =
+  Print.(
+    pair
+      (pair (triple float float float) (pair float float))
+      (list float))
+
+let make_controller (kp, ti, td) (out_min, out_max) =
+  Control.Pid.create
+    (Control.Pid.config ~out_min ~out_max (Control.Pid.pid ~kp ~ti ~td))
+
+let output_within_clamps =
+  Test.make ~name:"anti-windup output stays within clamp bounds" ~count:500
+    ~print:print_case
+    Gen.(pair (pair gen_gains gen_clamps) gen_errors)
+    (fun ((gains, clamps), errors) ->
+      let out_min, out_max = clamps in
+      let c = make_controller gains clamps in
+      List.for_all
+        (fun error ->
+          let o = Control.Pid.step c ~dt:0.05 ~error in
+          out_min <= o && o <= out_max)
+        errors)
+
+let zero_error_zero_delta =
+  Test.make ~name:"zero error sequence yields zero delta" ~count:300
+    ~print:Print.(pair (pair (triple float float float) (pair float float)) int)
+    Gen.(pair (pair gen_gains gen_clamps) (int_range 1 200))
+    (fun ((gains, clamps), steps) ->
+      let c = make_controller gains clamps in
+      let ok = ref true in
+      for _ = 1 to steps do
+        if Control.Pid.step c ~dt:0.05 ~error:0. <> 0. then ok := false
+      done;
+      !ok)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ output_within_clamps; zero_error_zero_delta ]

@@ -1,0 +1,61 @@
+(* qcheck invariants for Tcp.Sack_scoreboard: the SACKed byte count
+   never exceeds the bytes in flight above the cumulative ACK point,
+   and duplicate SACK blocks are never double-counted. *)
+
+open QCheck2
+
+(* A SACK trace: each ACK advances (or repeats) the cumulative point
+   and reports up to four blocks. *)
+let gen_event =
+  Gen.(
+    pair (int_range 0 200)
+      (list_size (int_range 1 4)
+         (pair (int_range 0 300) (int_range 1 30))))
+
+let gen_trace = Gen.(list_size (int_range 1 25) gen_event)
+let print_trace = Print.(list (pair int (list (pair int int))))
+
+let replay sb trace =
+  List.iter
+    (fun (una, blocks) ->
+      let blocks = List.map (fun (lo, len) -> (lo, lo + len)) blocks in
+      Tcp.Sack_scoreboard.record sb ~blocks ~una)
+    trace
+
+let sacked_bounded_by_flight =
+  Test.make ~name:"SACKed bytes never exceed bytes in flight" ~count:500
+    ~print:print_trace gen_trace (fun trace ->
+      let sb = Tcp.Sack_scoreboard.create () in
+      replay sb trace;
+      let una = List.fold_left (fun acc (u, _) -> max acc u) 0 trace in
+      let hi =
+        List.fold_left
+          (fun acc (_, blocks) ->
+            List.fold_left (fun acc (lo, len) -> max acc (lo + len)) acc blocks)
+          una trace
+      in
+      Tcp.Sack_scoreboard.sacked_bytes sb <= hi - una)
+
+let no_double_count =
+  Test.make ~name:"re-recording duplicate blocks adds no bytes" ~count:500
+    ~print:print_trace gen_trace (fun trace ->
+      let sb = Tcp.Sack_scoreboard.create () in
+      replay sb trace;
+      let before = Tcp.Sack_scoreboard.sacked_bytes sb in
+      replay sb trace;
+      Tcp.Sack_scoreboard.sacked_bytes sb = before)
+
+let advance_una_never_grows =
+  Test.make ~name:"advance_una never grows the scoreboard" ~count:500
+    ~print:Print.(pair print_trace int)
+    Gen.(pair gen_trace (int_range 0 400))
+    (fun (trace, una) ->
+      let sb = Tcp.Sack_scoreboard.create () in
+      replay sb trace;
+      let before = Tcp.Sack_scoreboard.sacked_bytes sb in
+      Tcp.Sack_scoreboard.advance_una sb una;
+      Tcp.Sack_scoreboard.sacked_bytes sb <= before)
+
+let suite =
+  List.map QCheck_alcotest.to_alcotest
+    [ sacked_bounded_by_flight; no_double_count; advance_una_never_grows ]
