@@ -1,0 +1,172 @@
+(* Benchmark-regression gate.
+
+   Compares a freshly emitted results/BENCH_core.json against the
+   committed bench/baseline.json and exits non-zero when the simulation
+   core got slower (ops/sec down, wall-clock or allocation up) by more
+   than the tolerance. CI runs this after the micro section; locally:
+
+     dune exec bench/main.exe -- micro --jobs 1
+     dune exec bench/gate.exe                        # check
+     dune exec bench/gate.exe -- --update            # re-baseline
+
+   Throughput and wall-clock comparisons are machine-relative, so the
+   tolerance is generous by default (15%) and can be widened for noisy
+   runners via --tolerance or BENCH_GATE_TOLERANCE. Allocation counts
+   are deterministic and gated tightly regardless. *)
+
+let default_baseline = "bench/baseline.json"
+let default_current = "results/BENCH_core.json"
+
+let read_json path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e ->
+      Printf.eprintf "bench-gate: cannot read %s: %s\n" path e;
+      exit 2
+  | text -> (
+      match Report.Json.of_string text with
+      | Ok json -> json
+      | Error e ->
+          Printf.eprintf "bench-gate: %s: %s\n" path e;
+          exit 2)
+
+let metrics_of json =
+  match Report.Json.(Option.bind (member "metrics" json) list_value) with
+  | Some l ->
+      List.filter_map
+        (fun m ->
+          match Report.Json.(Option.bind (member "name" m) string_value) with
+          | Some name -> Some (name, m)
+          | None -> None)
+        l
+  | None ->
+      Printf.eprintf "bench-gate: no \"metrics\" array\n";
+      exit 2
+
+let field k m = Report.Json.(Option.bind (member k m) number)
+
+type verdict = { name : string; what : string; delta : string; ok : bool }
+
+(* Throughput must not drop, wall-clock must not rise, by more than the
+   relative tolerance. *)
+let judge_relative ~tol ~worse_if_lower name what ~baseline ~current =
+  let delta =
+    Printf.sprintf "%+.1f%%" (100. *. ((current -. baseline) /. baseline))
+  in
+  let ok =
+    if worse_if_lower then current >= baseline *. (1. -. tol)
+    else current <= baseline *. (1. +. tol)
+  in
+  { name; what; delta; ok }
+
+(* Allocation counts are deterministic and may legitimately be zero, so
+   they get an absolute slack (in words/event) on top of the relative
+   tolerance — a baseline of 0 still catches any real regression. *)
+let judge_alloc ~tol name what ~baseline ~current =
+  let delta = Printf.sprintf "%+.2f w/ev" (current -. baseline) in
+  let ok = current <= baseline +. Float.max 0.5 (baseline *. tol) in
+  { name; what; delta; ok }
+
+let compare_metrics ~tol ~alloc_tol baseline current =
+  List.filter_map
+    (fun (name, base_m) ->
+      match List.assoc_opt name current with
+      | None ->
+          Printf.eprintf "bench-gate: warning: %s missing from current run\n"
+            name;
+          None
+      | Some cur_m ->
+          let relative what worse_if_lower =
+            match (field what base_m, field what cur_m) with
+            | Some b, Some c when b > 0. ->
+                Some
+                  (judge_relative ~tol ~worse_if_lower name what ~baseline:b
+                     ~current:c)
+            | _ -> None
+          in
+          let alloc what =
+            match (field what base_m, field what cur_m) with
+            | Some b, Some c when b >= 0. ->
+                Some (judge_alloc ~tol:alloc_tol name what ~baseline:b ~current:c)
+            | _ -> None
+          in
+          Some
+            (List.filter_map Fun.id
+               [
+                 relative "ops_per_sec" true;
+                 relative "wall_s" false;
+                 alloc "minor_words_per_event";
+               ]))
+    baseline
+  |> List.concat
+
+let () =
+  let baseline_path = ref default_baseline in
+  let current_path = ref default_current in
+  let tolerance =
+    ref
+      (match Sys.getenv_opt "BENCH_GATE_TOLERANCE" with
+      | Some v -> ( match float_of_string_opt v with Some f -> f | None -> 0.15)
+      | None -> 0.15)
+  in
+  let update = ref false in
+  let rec parse = function
+    | [] -> ()
+    | "--baseline" :: v :: rest ->
+        baseline_path := v;
+        parse rest
+    | "--current" :: v :: rest ->
+        current_path := v;
+        parse rest
+    | "--tolerance" :: v :: rest ->
+        (match float_of_string_opt v with
+        | Some f when f >= 0. -> tolerance := f
+        | Some _ | None ->
+            prerr_endline "--tolerance expects a non-negative float";
+            exit 2);
+        parse rest
+    | "--update" :: rest ->
+        update := true;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf
+          "usage: gate [--baseline PATH] [--current PATH] [--tolerance F] \
+           [--update]\nunknown argument %S\n"
+          arg;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  if !update then begin
+    let text = In_channel.with_open_text !current_path In_channel.input_all in
+    Out_channel.with_open_text !baseline_path (fun oc ->
+        Out_channel.output_string oc text);
+    Printf.printf "bench-gate: baseline %s updated from %s\n" !baseline_path
+      !current_path;
+    exit 0
+  end;
+  let baseline = metrics_of (read_json !baseline_path) in
+  let current = metrics_of (read_json !current_path) in
+  (* Allocation counts are deterministic: hold them to a tight bound
+     independent of the machine-speed tolerance. *)
+  let verdicts =
+    compare_metrics ~tol:!tolerance ~alloc_tol:0.05 baseline current
+  in
+  if verdicts = [] then begin
+    Printf.eprintf "bench-gate: nothing to compare\n";
+    exit 2
+  end;
+  let failures = List.filter (fun v -> not v.ok) verdicts in
+  List.iter
+    (fun v ->
+      Printf.printf "%-6s %-18s %-22s %s\n"
+        (if v.ok then "ok" else "FAIL")
+        v.name v.what v.delta)
+    verdicts;
+  if failures <> [] then begin
+    Printf.printf
+      "bench-gate: %d metric(s) regressed beyond %.0f%% tolerance\n"
+      (List.length failures) (100. *. !tolerance);
+    exit 1
+  end
+  else
+    Printf.printf "bench-gate: all %d metrics within %.0f%% of baseline\n"
+      (List.length verdicts) (100. *. !tolerance)

@@ -525,6 +525,169 @@ let e14 pool =
 
 (* ------------------------------------------------------------------ *)
 
+(* Direct measurements of the simulation core: deterministic loops timed
+   with the wall clock, allocation counted with [Gc.minor_words]. These
+   are the numbers the CI bench-gate diffs against bench/baseline.json,
+   so they avoid Bechamel's sampling noise in favour of one long run. *)
+
+let time_and_alloc f =
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let events = f () in
+  let t1 = Unix.gettimeofday () in
+  let w1 = Gc.minor_words () in
+  let n = float_of_int events in
+  (((t1 -. t0) *. 1e9 /. n), ((w1 -. w0) /. n), (n /. (t1 -. t0)))
+
+let core_metric_churn () =
+  (* Steady-state add/pop churn at depth 1024. *)
+  let q = Sim.Event_queue.create () in
+  for i = 0 to 1023 do
+    ignore
+      (Sim.Event_queue.add q ~time:(Sim.Time.ns (i * 977 mod 7919)) (fun () -> ()))
+  done;
+  let n = 1_000_000 in
+  time_and_alloc (fun () ->
+      (* The scheduler's unboxed hot path: next_time_ns + pop_action_exn. *)
+      for i = 0 to n - 1 do
+        let ns = Sim.Event_queue.next_time_ns q in
+        let (_ : unit -> unit) = Sim.Event_queue.pop_action_exn q in
+        ignore
+          (Sim.Event_queue.add q
+             ~time:(Sim.Time.add (Sim.Time.of_ns_int ns)
+                      (Sim.Time.ns (i * 977 mod 7919)))
+             (fun () -> ()))
+      done;
+      n)
+
+let core_metric_cancel_heavy () =
+  (* Half the scheduled events are cancelled before draining — the
+     lazy-cancellation + compaction path. *)
+  let rounds = 500 and per = 1024 in
+  time_and_alloc (fun () ->
+      for _ = 1 to rounds do
+        let q = Sim.Event_queue.create () in
+        let hs =
+          Array.init per (fun i ->
+              Sim.Event_queue.add q
+                ~time:(Sim.Time.ns (i * 977 mod 7919))
+                (fun () -> ()))
+        in
+        Array.iteri
+          (fun i h -> if i land 1 = 0 then Sim.Event_queue.cancel q h)
+          hs;
+        let rec drain () =
+          match Sim.Event_queue.pop q with Some _ -> drain () | None -> ()
+        in
+        drain ()
+      done;
+      rounds * per)
+
+let core_metric_periodic () =
+  (* One periodic timer re-armed a million times. *)
+  let s = Sim.Scheduler.create () in
+  let count = ref 0 in
+  ignore (Sim.Scheduler.every s (Sim.Time.us 10) (fun () -> incr count));
+  let metrics =
+    time_and_alloc (fun () ->
+        Sim.Scheduler.run ~until:(Sim.Time.sec 10) s;
+        !count)
+  in
+  metrics
+
+(* Best of three: a single ~50 ms wall-clock sample is at the mercy of
+   transient machine load, which would make the regression gate flaky. *)
+let core_metric_e2e f =
+  let once () =
+    let t0 = Unix.gettimeofday () in
+    f ();
+    Unix.gettimeofday () -. t0
+  in
+  let a = once () in
+  let b = once () in
+  let c = once () in
+  Float.min a (Float.min b c)
+
+let write_core_json path =
+  let metric name (ns, words, ops) =
+    Report.Json.Obj
+      [
+        ("name", Report.Json.String name);
+        ("ns_per_event", Report.Json.Number ns);
+        ("minor_words_per_event", Report.Json.Number words);
+        ("ops_per_sec", Report.Json.Number ops);
+      ]
+  in
+  let e2e name wall =
+    Report.Json.Obj
+      [
+        ("name", Report.Json.String name);
+        ("wall_s", Report.Json.Number wall);
+      ]
+  in
+  let duration = Sim.Time.sec 2 in
+  let json =
+    Report.Json.Obj
+      [
+        ("schema", Report.Json.String "bench-core/1");
+        ( "metrics",
+          Report.Json.List
+            [
+              metric "eq/churn-1M" (core_metric_churn ());
+              metric "eq/cancel-heavy" (core_metric_cancel_heavy ());
+              metric "eq/periodic-1M" (core_metric_periodic ());
+              e2e "e2e/fig1-2s"
+                (core_metric_e2e (fun () ->
+                     ignore (Core.Experiments.Fig1.run ~duration ())));
+              e2e "e2e/e2-2s"
+                (core_metric_e2e (fun () ->
+                     ignore (Core.Experiments.Variants.run ~duration ())));
+            ] );
+      ]
+  in
+  Report.Csv.write_string ~path (Report.Json.to_string json);
+  json
+
+let print_core_json json =
+  match Report.Json.(member "metrics" json) with
+  | Some (Report.Json.List metrics) ->
+      let cells =
+        List.map
+          (fun m ->
+            let get k =
+              match Report.Json.(Option.bind (member k m) number) with
+              | Some f -> f
+              | None -> Float.nan
+            in
+            let name =
+              match
+                Report.Json.(Option.bind (member "name" m) string_value)
+              with
+              | Some s -> s
+              | None -> "?"
+            in
+            if Float.is_nan (get "ops_per_sec") then
+              [ name; Printf.sprintf "%.3f s wall" (get "wall_s"); ""; "" ]
+            else
+              [
+                name;
+                Printf.sprintf "%.1f ns/ev" (get "ns_per_event");
+                Printf.sprintf "%.2f mw/ev" (get "minor_words_per_event");
+                Printf.sprintf "%.2f Mops/s" (get "ops_per_sec" /. 1e6);
+              ])
+          metrics
+      in
+      print_string
+        (Report.Table.render
+           ~aligns:
+             [
+               Report.Table.Left; Report.Table.Right; Report.Table.Right;
+               Report.Table.Right;
+             ]
+           ~headers:[ "core metric"; "time"; "alloc"; "throughput" ]
+           ~rows:cells ())
+  | Some _ | None -> ()
+
 let microbenches _pool =
   section "Microbenchmarks (Bechamel, monotonic clock)";
   let open Bechamel in
@@ -542,6 +705,32 @@ let microbenches _pool =
          match Sim.Event_queue.pop q with Some _ -> drain () | None -> ()
        in
        drain ())
+  in
+  let test_eq_cancel =
+    Test.make ~name:"sim/event-queue-cancel-1k"
+      (Staged.stage @@ fun () ->
+       let q = Sim.Event_queue.create () in
+       let hs =
+         Array.init 1024 (fun i ->
+             Sim.Event_queue.add q
+               ~time:(Sim.Time.ns (i * 977 mod 7919))
+               (fun () -> ()))
+       in
+       Array.iteri
+         (fun i h -> if i land 1 = 0 then Sim.Event_queue.cancel q h)
+         hs;
+       let rec drain () =
+         match Sim.Event_queue.pop q with Some _ -> drain () | None -> ()
+       in
+       drain ())
+  in
+  let test_eq_periodic =
+    Test.make ~name:"sim/periodic-timer-10k"
+      (Staged.stage @@ fun () ->
+       let s = Sim.Scheduler.create () in
+       let count = ref 0 in
+       ignore (Sim.Scheduler.every s (Sim.Time.us 10) (fun () -> incr count));
+       Sim.Scheduler.run ~until:(Sim.Time.ms 100) s)
   in
   let test_pid =
     Test.make ~name:"control/pid-1k-steps"
@@ -595,11 +784,17 @@ let microbenches _pool =
          (Core.Experiments.Burst_loss.run ~rates_mbps:[ 100. ]
             ~duration:(Sim.Time.ms 1500) ()))
   in
+  let test_e2 =
+    Test.make ~name:"scenario/e2-variants-1.5s"
+      (Staged.stage @@ fun () ->
+       ignore (Core.Experiments.Variants.run ~duration:(Sim.Time.ms 1500) ()))
+  in
   let grouped =
     Test.make_grouped ~name:"rss"
       [
-        test_event_queue; test_pid; test_interval_set; test_fig1_std;
-        test_fig1_rss; test_dumbbell;
+        test_event_queue; test_eq_cancel; test_eq_periodic; test_pid;
+        test_interval_set; test_fig1_std; test_fig1_rss; test_dumbbell;
+        test_e2;
       ]
   in
   let cfg =
@@ -636,7 +831,10 @@ let microbenches _pool =
   print_string
     (Report.Table.render
        ~aligns:[ Report.Table.Left; Report.Table.Right ]
-       ~headers:[ "benchmark"; "time/run" ] ~rows:cells ())
+       ~headers:[ "benchmark"; "time/run" ] ~rows:cells ());
+  section "Simulation-core metrics (BENCH_core.json)";
+  let json = write_core_json (Filename.concat results_dir "BENCH_core.json") in
+  print_core_json json
 
 (* ------------------------------------------------------------------ *)
 

@@ -4,7 +4,7 @@ type t = {
   loss_rate : float;
   rng : Sim.Rng.t;
   mutable sink : (Packet.t -> unit) option;
-  mutable taps : (Sim.Time.t -> Packet.t -> unit) list;
+  mutable taps : (Sim.Time.t -> Packet.t -> unit) array;
   mutable drop_filter : (Packet.t -> bool) option;
   mutable delivered_count : int;
   mutable lost_count : int;
@@ -20,7 +20,7 @@ let create sched ~delay ?(loss_rate = 0.) ?rng () =
     loss_rate;
     rng;
     sink = None;
-    taps = [];
+    taps = [||];
     drop_filter = None;
     delivered_count = 0;
     lost_count = 0;
@@ -28,7 +28,14 @@ let create sched ~delay ?(loss_rate = 0.) ?rng () =
   }
 
 let connect t sink = t.sink <- Some sink
-let add_tap t tap = t.taps <- t.taps @ [ tap ]
+
+(* Registration order is observation order. Copy-on-add keeps the hot
+   transmit path a flat array walk; taps are only added at setup time. *)
+let add_tap t tap =
+  let n = Array.length t.taps in
+  let taps = Array.make (n + 1) tap in
+  Array.blit t.taps 0 taps 0 n;
+  t.taps <- taps
 let set_drop_filter t f = t.drop_filter <- Some f
 
 let transmit t pkt =
@@ -37,7 +44,10 @@ let transmit t pkt =
     | Some s -> s
     | None -> invalid_arg "Link.transmit: link not connected"
   in
-  List.iter (fun tap -> tap (Sim.Scheduler.now t.sched) pkt) t.taps;
+  let now = Sim.Scheduler.now t.sched in
+  for i = 0 to Array.length t.taps - 1 do
+    t.taps.(i) now pkt
+  done;
   let filtered =
     match t.drop_filter with Some f -> f pkt | None -> false
   in

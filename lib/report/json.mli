@@ -1,0 +1,31 @@
+(** Minimal JSON tree, writer and parser.
+
+    Just enough for the benchmark artefacts ([BENCH_core.json],
+    [bench/baseline.json]): objects, arrays, strings, floats, bools and
+    null, UTF-8 passed through verbatim. No external dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Number of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Render with two-space indentation and a trailing newline. *)
+
+val of_string : string -> (t, string) result
+(** Parse a complete JSON document; the error carries an offset. *)
+
+val member : string -> t -> t option
+(** [member key json] looks up [key] when [json] is an object. *)
+
+val number : t -> float option
+(** Extract a [Number]. *)
+
+val string_value : t -> string option
+(** Extract a [String]. *)
+
+val list_value : t -> t list option
+(** Extract a [List]. *)

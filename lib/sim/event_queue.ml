@@ -1,99 +1,303 @@
-type entry = {
-  time : Time.t;
-  seq : int;
-  action : unit -> unit;
-  mutable cancelled : bool;
-}
+(* Structure-of-arrays 4-ary min-heap.
 
-type handle = entry
+   Heap entries live in four parallel arrays (time, seq, action, slot),
+   so the hot add/pop path touches flat int arrays instead of chasing a
+   pointer per entry, and inserting an event allocates nothing: the
+   timestamp is an immediate int and the handle is a packed int.
+
+   Handles are (generation << slot_bits) | slot. The slot table maps a
+   stable small integer to the entry's liveness, surviving the entry's
+   movement inside the heap; the generation is bumped whenever a slot is
+   recycled, so a stale handle (event already fired or collected) can
+   never cancel an unrelated later event. *)
+
+let slot_bits = 21
+let slot_mask = (1 lsl slot_bits) - 1
+let max_slots = 1 lsl slot_bits
+
+type handle = int
+
+let null = -1
+let nop () = ()
 
 type t = {
-  mutable heap : entry array;
-  mutable size : int;
+  (* heap entries, structure-of-arrays; indices [0, size) are the heap *)
+  mutable times : int array;
+  mutable seqs : int array;
+  mutable actions : (unit -> unit) array;
+  mutable slots : int array;
+  mutable size : int; (* entries in the heap, including cancelled ones *)
+  mutable live : int; (* entries not cancelled — O(1) is_empty/live_count *)
   mutable next_seq : int;
+  (* slot table, indexed by handle slot *)
+  mutable gens : int array;
+  mutable dead : Bytes.t; (* '\001' = cancelled, awaiting collection *)
+  mutable free : int array; (* stack of free slot ids *)
+  mutable free_top : int;
 }
 
-let dummy =
-  { time = Time.zero; seq = -1; action = (fun () -> ()); cancelled = true }
-
 let create ?(initial_capacity = 64) () =
-  let capacity = Stdlib.max 1 initial_capacity in
-  { heap = Array.make capacity dummy; size = 0; next_seq = 0 }
+  let cap = Stdlib.max 1 initial_capacity in
+  {
+    times = Array.make cap 0;
+    seqs = Array.make cap 0;
+    actions = Array.make cap nop;
+    slots = Array.make cap (-1);
+    size = 0;
+    live = 0;
+    next_seq = 0;
+    gens = Array.make cap 0;
+    dead = Bytes.make cap '\000';
+    free = Array.init cap (fun i -> cap - 1 - i);
+    free_top = cap;
+  }
+
+let grow_heap t =
+  let old = Array.length t.times in
+  let cap = 2 * old in
+  let times = Array.make cap 0 in
+  Array.blit t.times 0 times 0 old;
+  t.times <- times;
+  let seqs = Array.make cap 0 in
+  Array.blit t.seqs 0 seqs 0 old;
+  t.seqs <- seqs;
+  let actions = Array.make cap nop in
+  Array.blit t.actions 0 actions 0 old;
+  t.actions <- actions;
+  let slots = Array.make cap (-1) in
+  Array.blit t.slots 0 slots 0 old;
+  t.slots <- slots
+
+let grow_slots t =
+  let old = Array.length t.gens in
+  if old >= max_slots then
+    failwith "Event_queue: more than 2^21 events pending";
+  let cap = Stdlib.min max_slots (2 * old) in
+  let gens = Array.make cap 0 in
+  Array.blit t.gens 0 gens 0 old;
+  t.gens <- gens;
+  let dead = Bytes.make cap '\000' in
+  Bytes.blit t.dead 0 dead 0 old;
+  t.dead <- dead;
+  let free = Array.make cap 0 in
+  Array.blit t.free 0 free 0 t.free_top;
+  for i = 0 to cap - old - 1 do
+    free.(t.free_top + i) <- cap - 1 - i
+  done;
+  t.free <- free;
+  t.free_top <- t.free_top + (cap - old)
+
+let alloc_slot t =
+  if t.free_top = 0 then grow_slots t;
+  t.free_top <- t.free_top - 1;
+  let s = t.free.(t.free_top) in
+  Bytes.set t.dead s '\000';
+  s
+
+(* Recycle a slot once its entry leaves the heap; bumping the generation
+   invalidates every handle still pointing at it. *)
+let free_slot t s =
+  t.gens.(s) <- t.gens.(s) + 1;
+  t.free.(t.free_top) <- s;
+  t.free_top <- t.free_top + 1
 
 (* (time, seq) lexicographic order: earlier time first, then FIFO. *)
-let before a b =
-  let c = Time.compare a.time b.time in
-  if c <> 0 then c < 0 else a.seq < b.seq
 
-let swap t i j =
-  let tmp = t.heap.(i) in
-  t.heap.(i) <- t.heap.(j);
-  t.heap.(j) <- tmp
+(* The sift loops use unsafe accesses: every index is maintained below
+   [size], which never exceeds the shared length of the four arrays. *)
 
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if before t.heap.(i) t.heap.(parent) then begin
-      swap t i parent;
-      sift_up t parent
+(* Hole-based insertion: shift larger parents down, then write the new
+   entry once, instead of repeated three-array swaps. *)
+let sift_up t i time seq action slot =
+  let times = t.times
+  and seqs = t.seqs
+  and actions = t.actions
+  and slots = t.slots in
+  let i = ref i in
+  let moving = ref true in
+  while !moving && !i > 0 do
+    let p = (!i - 1) / 4 in
+    let pt = Array.unsafe_get times p in
+    if pt > time || (pt = time && Array.unsafe_get seqs p > seq) then begin
+      Array.unsafe_set times !i pt;
+      Array.unsafe_set seqs !i (Array.unsafe_get seqs p);
+      Array.unsafe_set actions !i (Array.unsafe_get actions p);
+      Array.unsafe_set slots !i (Array.unsafe_get slots p);
+      i := p
     end
-  end
+    else moving := false
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set actions !i action;
+  Array.unsafe_set slots !i slot
 
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && before t.heap.(l) t.heap.(!smallest) then smallest := l;
-  if r < t.size && before t.heap.(r) t.heap.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
-
-let grow t =
-  let heap = Array.make (2 * Array.length t.heap) dummy in
-  Array.blit t.heap 0 heap 0 t.size;
-  t.heap <- heap
+(* Sift the entry (time, seq, action, slot) down from index [i] in a
+   heap of [n] entries. *)
+let sift_down t i n time seq action slot =
+  let times = t.times
+  and seqs = t.seqs
+  and actions = t.actions
+  and slots = t.slots in
+  let i = ref i in
+  let moving = ref true in
+  while !moving do
+    let c1 = (4 * !i) + 1 in
+    if c1 >= n then moving := false
+    else begin
+      let m = ref c1 in
+      let mt = ref (Array.unsafe_get times c1) in
+      let ms = ref (Array.unsafe_get seqs c1) in
+      let last = Stdlib.min (c1 + 3) (n - 1) in
+      for c = c1 + 1 to last do
+        let ct = Array.unsafe_get times c in
+        if ct < !mt || (ct = !mt && Array.unsafe_get seqs c < !ms) then begin
+          m := c;
+          mt := ct;
+          ms := Array.unsafe_get seqs c
+        end
+      done;
+      if !mt < time || (!mt = time && !ms < seq) then begin
+        Array.unsafe_set times !i !mt;
+        Array.unsafe_set seqs !i !ms;
+        Array.unsafe_set actions !i (Array.unsafe_get actions !m);
+        Array.unsafe_set slots !i (Array.unsafe_get slots !m);
+        i := !m
+      end
+      else moving := false
+    end
+  done;
+  Array.unsafe_set times !i time;
+  Array.unsafe_set seqs !i seq;
+  Array.unsafe_set actions !i action;
+  Array.unsafe_set slots !i slot
 
 let add t ~time action =
   assert (not (Time.is_negative time));
-  if t.size = Array.length t.heap then grow t;
-  let entry = { time; seq = t.next_seq; action; cancelled = false } in
-  t.next_seq <- t.next_seq + 1;
-  t.heap.(t.size) <- entry;
-  t.size <- t.size + 1;
-  sift_up t (t.size - 1);
-  entry
+  if t.size = Array.length t.times then grow_heap t;
+  let slot = alloc_slot t in
+  let seq = t.next_seq in
+  t.next_seq <- seq + 1;
+  let i = t.size in
+  t.size <- i + 1;
+  t.live <- t.live + 1;
+  sift_up t i (Time.to_ns_int time) seq action slot;
+  (t.gens.(slot) lsl slot_bits) lor slot
 
-let cancel h = h.cancelled <- true
-let is_cancelled h = h.cancelled
-
-let remove_root t =
-  let root = t.heap.(0) in
-  t.size <- t.size - 1;
-  t.heap.(0) <- t.heap.(t.size);
-  t.heap.(t.size) <- dummy;
-  if t.size > 0 then sift_down t 0;
-  root
-
-let rec pop t =
-  if t.size = 0 then None
-  else
-    let root = remove_root t in
-    if root.cancelled then pop t else Some (root.time, root.action)
-
-let rec next_time t =
-  if t.size = 0 then None
-  else if t.heap.(0).cancelled then begin
-    ignore (remove_root t);
-    next_time t
+(* Drop the root entry and recycle its slot. *)
+let drop_root t =
+  free_slot t t.slots.(0);
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    let time = t.times.(n)
+    and seq = t.seqs.(n)
+    and action = t.actions.(n)
+    and slot = t.slots.(n) in
+    t.actions.(n) <- nop;
+    t.slots.(n) <- -1;
+    sift_down t 0 n time seq action slot
   end
-  else Some t.heap.(0).time
+  else begin
+    t.actions.(0) <- nop;
+    t.slots.(0) <- -1
+  end
 
-let live_count t =
-  let n = ref 0 in
-  for i = 0 to t.size - 1 do
-    if not t.heap.(i).cancelled then incr n
+(* Rebuild the heap keeping only live entries (Floyd heapify). Pop order
+   is fully determined by the (time, seq) keys, so dropping cancelled
+   entries and re-layering the heap cannot perturb event ordering. *)
+let compact t =
+  let n = t.size in
+  let j = ref 0 in
+  for i = 0 to n - 1 do
+    let slot = t.slots.(i) in
+    if Bytes.get t.dead slot = '\000' then begin
+      t.times.(!j) <- t.times.(i);
+      t.seqs.(!j) <- t.seqs.(i);
+      t.actions.(!j) <- t.actions.(i);
+      t.slots.(!j) <- slot;
+      incr j
+    end
+    else free_slot t slot
   done;
-  !n
+  for i = !j to n - 1 do
+    t.actions.(i) <- nop;
+    t.slots.(i) <- -1
+  done;
+  t.size <- !j;
+  for i = ((!j - 2) / 4) downto 0 do
+    let time = t.times.(i)
+    and seq = t.seqs.(i)
+    and action = t.actions.(i)
+    and slot = t.slots.(i) in
+    sift_down t i !j time seq action slot
+  done
 
-let is_empty t = live_count t = 0
+(* Compact once cancelled entries outnumber live ones; the size floor
+   keeps tiny queues from thrashing. *)
+let maybe_compact t =
+  if t.size >= 64 && 2 * (t.size - t.live) > t.size then compact t
+
+let cancel t h =
+  if h >= 0 then begin
+    let slot = h land slot_mask in
+    let gen = h lsr slot_bits in
+    if
+      slot < Array.length t.gens
+      && t.gens.(slot) = gen
+      && Bytes.get t.dead slot = '\000'
+    then begin
+      Bytes.set t.dead slot '\001';
+      t.live <- t.live - 1;
+      maybe_compact t
+    end
+  end
+
+let is_cancelled t h =
+  h < 0
+  ||
+  let slot = h land slot_mask in
+  let gen = h lsr slot_bits in
+  slot >= Array.length t.gens
+  || t.gens.(slot) <> gen
+  || Bytes.get t.dead slot <> '\000'
+
+(* Collect any run of cancelled roots iteratively — a mass cancellation
+   must not translate into unbounded recursion. Returns [true] when a
+   live root remains at index 0. *)
+let skim t =
+  let scanning = ref true in
+  let found = ref false in
+  while !scanning do
+    if t.size = 0 then scanning := false
+    else if Bytes.get t.dead t.slots.(0) <> '\000' then drop_root t
+    else begin
+      found := true;
+      scanning := false
+    end
+  done;
+  !found
+
+let pop t =
+  if skim t then begin
+    let time = t.times.(0) and action = t.actions.(0) in
+    drop_root t;
+    t.live <- t.live - 1;
+    Some (Time.of_ns_int time, action)
+  end
+  else None
+
+let next_time t = if skim t then Some (Time.of_ns_int t.times.(0)) else None
+
+let next_time_ns t = if skim t then t.times.(0) else -1
+
+let pop_action_exn t =
+  if not (skim t) then
+    invalid_arg "Event_queue.pop_action_exn: no live event";
+  let action = t.actions.(0) in
+  drop_root t;
+  t.live <- t.live - 1;
+  action
+
+let live_count t = t.live
+let is_empty t = t.live = 0

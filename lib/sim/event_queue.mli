@@ -1,37 +1,69 @@
 (** Pending-event set for the discrete-event engine.
 
-    A growable binary min-heap ordered by (time, insertion sequence), so
-    events scheduled for the same instant fire in FIFO order — a property
-    the TCP model relies on (e.g. an ACK arriving before a timer set at
-    the same instant it was armed for). Cancellation is O(1) lazy: the
-    entry is flagged and skipped when it surfaces. *)
+    A growable structure-of-arrays 4-ary min-heap ordered by (time,
+    insertion sequence), so events scheduled for the same instant fire
+    in FIFO order — a property the TCP model relies on (e.g. an ACK
+    arriving before a timer set at the same instant it was armed for).
+
+    The hot path is allocation-free: timestamps are unboxed native ints
+    held in a flat array, and handles are packed integers rather than
+    heap records. Cancellation is O(1) lazy — the entry is flagged and
+    skipped when it surfaces — and the queue compacts itself (dropping
+    flagged entries in one O(n) pass) whenever cancelled entries
+    outnumber live ones, so a cancel-heavy workload cannot keep dead
+    weight resident. *)
 
 type t
 
-type handle
-(** Token returned by {!add}, used to cancel the event. *)
+type handle = private int
+(** Token returned by {!add}, used to cancel the event. Handles are
+    packed (slot, generation) integers: immediate values, no per-event
+    allocation. A handle is only meaningful to the queue that issued
+    it. *)
+
+val null : handle
+(** An inert handle: {!cancel} on it is a no-op and {!is_cancelled} is
+    [true]. Useful to initialise a cell that will hold a real handle. *)
 
 val create : ?initial_capacity:int -> unit -> t
 
 val add : t -> time:Time.t -> (unit -> unit) -> handle
 (** [add q ~time f] schedules [f] to fire at [time]. *)
 
-val cancel : handle -> unit
-(** [cancel h] prevents the event from firing. Idempotent; cancelling an
-    already-fired event is a no-op. *)
+val cancel : t -> handle -> unit
+(** [cancel q h] prevents the event from firing. Idempotent; cancelling
+    an already-fired (or already-cancelled-and-collected) event is a
+    no-op — slot generations make stale handles inert. *)
 
-val is_cancelled : handle -> bool
+val is_cancelled : t -> handle -> bool
+(** [is_cancelled q h] is [true] when [h] no longer designates a
+    pending event that will fire: it was cancelled or has already
+    fired. *)
 
 val pop : t -> (Time.t * (unit -> unit)) option
 (** [pop q] removes and returns the earliest live event, or [None] if
-    the queue holds no live events. Cancelled entries are discarded. *)
+    the queue holds no live events. Cancelled entries are discarded
+    iteratively on the way — a mass cancellation cannot overflow the
+    stack. *)
 
 val next_time : t -> Time.t option
 (** Time of the earliest live event without removing it. *)
 
+val next_time_ns : t -> int
+(** Raw nanosecond timestamp of the earliest live event, or [-1] when
+    none remains. The allocation-free twin of {!next_time} — the
+    scheduler's run loop lives on this plus {!pop_action_exn}, so
+    dispatching an event allocates no words at all. Cancelled roots are
+    collected on the way, like {!next_time}. *)
+
+val pop_action_exn : t -> (unit -> unit)
+(** Remove the earliest live event and return its action without the
+    option/tuple boxing of {!pop}. Raises [Invalid_argument] when the
+    queue holds no live event — pair with {!next_time_ns}. *)
+
 val live_count : t -> int
-(** Number of scheduled, not-yet-cancelled events. O(n); intended for
-    tests and end-of-run sanity checks, not hot paths. *)
+(** Number of scheduled, not-yet-cancelled events. O(1): the counter is
+    maintained incrementally across add/cancel/pop. *)
 
 val is_empty : t -> bool
-(** [is_empty q] is [live_count q = 0]. *)
+(** [is_empty q] is [live_count q = 0]. O(1). *)

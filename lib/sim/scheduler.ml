@@ -27,41 +27,47 @@ let after t delay action =
   let delay = Time.max delay Time.zero in
   Event_queue.add t.events ~time:(Time.add t.clock delay) action
 
+(* One [tick] closure per periodic timer, re-armed for its whole
+   lifetime: a periodic sampler allocates nothing per occurrence. *)
 let every t ?start period action =
   assert (Time.is_positive period);
   let first =
     match start with Some s -> s | None -> Time.add t.clock period
   in
-  let cell = ref (Event_queue.add t.events ~time:first (fun () -> ())) in
-  Event_queue.cancel !cell;
-  let rec arm time =
-    cell :=
-      Event_queue.add t.events ~time (fun () ->
-          action ();
-          arm (Time.add time period))
+  let cell = ref Event_queue.null in
+  let next = ref first in
+  let rec tick () =
+    action ();
+    next := Time.add !next period;
+    cell := Event_queue.add t.events ~time:!next tick
   in
-  arm first;
+  cell := Event_queue.add t.events ~time:first tick;
   cell
 
-let cancel = Event_queue.cancel
+let cancel t h = Event_queue.cancel t.events h
 
+(* The run loop uses the queue's unboxed accessors: dispatching an
+   event moves the clock and fires the action without allocating. *)
 let step t =
-  match Event_queue.pop t.events with
-  | None -> false
-  | Some (time, action) ->
-      t.clock <- time;
-      action ();
-      true
+  let ns = Event_queue.next_time_ns t.events in
+  if ns < 0 then false
+  else begin
+    let action = Event_queue.pop_action_exn t.events in
+    t.clock <- Time.of_ns_int ns;
+    action ();
+    true
+  end
 
 let run ?until t =
   match until with
   | None -> while step t do () done
   | Some horizon ->
+      let horizon_ns = Time.to_ns_int horizon in
       let continue = ref true in
       while !continue do
-        match Event_queue.next_time t.events with
-        | Some time when Time.(time <= horizon) -> ignore (step t)
-        | Some _ | None -> continue := false
+        let ns = Event_queue.next_time_ns t.events in
+        if ns >= 0 && ns <= horizon_ns then ignore (step t)
+        else continue := false
       done;
       if Time.(t.clock < horizon) then t.clock <- horizon
 

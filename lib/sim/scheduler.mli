@@ -32,9 +32,10 @@ val after : t -> Time.t -> (unit -> unit) -> handle
 val every : t -> ?start:Time.t -> Time.t -> (unit -> unit) -> handle ref
 (** [every t ~start period f] fires [f] at [start] (default: one period
     from now) and then every [period]. Cancel via the returned ref, which
-    always holds the handle of the next pending occurrence. *)
+    always holds the handle of the next pending occurrence. One closure
+    is allocated per timer, not per tick. *)
 
-val cancel : handle -> unit
+val cancel : t -> handle -> unit
 
 val run : ?until:Time.t -> t -> unit
 (** [run ?until t] fires events in time order. With [until], stops once
@@ -46,4 +47,4 @@ val step : t -> bool
     event remains. *)
 
 val pending : t -> int
-(** Live events still scheduled (O(n); diagnostic use). *)
+(** Live events still scheduled (O(1)). *)

@@ -1,44 +1,46 @@
-type t = int64
+type t = int
 
-let zero = 0L
-let ns n = Int64.of_int n
-let us n = Int64.mul (Int64.of_int n) 1_000L
-let ms n = Int64.mul (Int64.of_int n) 1_000_000L
-let sec n = Int64.mul (Int64.of_int n) 1_000_000_000L
+let zero = 0
+let ns n = n
+let us n = n * 1_000
+let ms n = n * 1_000_000
+let sec n = n * 1_000_000_000
 
-let of_sec s = Int64.of_float (Float.round (s *. 1e9))
-let to_sec t = Int64.to_float t /. 1e9
-let of_ns_int64 t = t
-let to_ns_int64 t = t
-let to_ms t = Int64.to_float t /. 1e6
+let of_sec s = int_of_float (Float.round (s *. 1e9))
+let to_sec t = float_of_int t /. 1e9
+let of_ns_int n = n
+let to_ns_int t = t
+let of_ns_int64 t = Int64.to_int t
+let to_ns_int64 t = Int64.of_int t
+let to_ms t = float_of_int t /. 1e6
 
-let add = Int64.add
-let sub = Int64.sub
-let scale t k = Int64.of_float (Float.round (Int64.to_float t *. k))
+let add a b = a + b
+let sub a b = a - b
+let scale t k = int_of_float (Float.round (float_of_int t *. k))
 
 let div a b =
-  assert (b <> 0L);
-  Int64.to_float a /. Int64.to_float b
+  assert (b <> 0);
+  float_of_int a /. float_of_int b
 
-let mul_int t n = Int64.mul t (Int64.of_int n)
+let mul_int t n = t * n
 
-let compare = Int64.compare
-let equal = Int64.equal
-let ( < ) a b = Int64.compare a b < 0
-let ( <= ) a b = Int64.compare a b <= 0
-let ( > ) a b = Int64.compare a b > 0
-let ( >= ) a b = Int64.compare a b >= 0
-let min a b = if a <= b then a else b
-let max a b = if a >= b then a else b
+let compare = Int.compare
+let equal = Int.equal
+let ( < ) (a : t) (b : t) = Stdlib.( < ) a b
+let ( <= ) (a : t) (b : t) = Stdlib.( <= ) a b
+let ( > ) (a : t) (b : t) = Stdlib.( > ) a b
+let ( >= ) (a : t) (b : t) = Stdlib.( >= ) a b
+let min (a : t) (b : t) = Stdlib.min a b
+let max (a : t) (b : t) = Stdlib.max a b
 
-let is_negative t = t < 0L
-let is_positive t = t > 0L
-let infinity = Int64.max_int
+let is_negative t = Stdlib.( < ) t 0
+let is_positive t = Stdlib.( > ) t 0
+let infinity = max_int
 
 let pp fmt t =
-  let f = Int64.to_float t in
-  if Int64.equal t Int64.max_int then Format.fprintf fmt "inf"
-  else if Stdlib.( < ) (Float.abs f) 1e3 then Format.fprintf fmt "%Ldns" t
+  let f = float_of_int t in
+  if t = max_int then Format.fprintf fmt "inf"
+  else if Stdlib.( < ) (Float.abs f) 1e3 then Format.fprintf fmt "%dns" t
   else if Stdlib.( < ) (Float.abs f) 1e6 then
     Format.fprintf fmt "%.3gus" (f /. 1e3)
   else if Stdlib.( < ) (Float.abs f) 1e9 then

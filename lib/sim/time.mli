@@ -3,9 +3,14 @@
     A single type represents both instants (time since simulation start)
     and durations. The representation is a count of integer nanoseconds,
     which keeps event ordering exact and simulations bit-reproducible —
-    no floating-point drift in the event clock. *)
+    no floating-point drift in the event clock.
 
-type t = private int64
+    Timestamps are native 63-bit [int]s (~±146 years of range), so they
+    are immediate values: records that carry a [Time.t] — event-queue
+    entries, packets, RTT samples, web100 snapshots — hold it unboxed,
+    and time arithmetic on the simulation hot path allocates nothing. *)
+
+type t = private int
 
 val zero : t
 (** The simulation epoch (also the zero duration). *)
@@ -29,7 +34,17 @@ val of_sec : float -> t
 val to_sec : t -> float
 (** [to_sec t] is [t] in fractional seconds. *)
 
+val of_ns_int : int -> t
+(** [of_ns_int n] is a duration of [n] nanoseconds ([ns] under a name
+    that pairs with {!to_ns_int} for round-tripping raw counters). *)
+
+val to_ns_int : t -> int
+(** [to_ns_int t] is the raw nanosecond count. *)
+
 val of_ns_int64 : int64 -> t
+(** Boxed-int64 conversion kept for interop; values beyond the native
+    [int] range (~±146 years) are not representable. *)
+
 val to_ns_int64 : t -> int64
 
 val to_ms : t -> float
@@ -60,7 +75,7 @@ val is_positive : t -> bool
 (** [is_positive t] is [t > zero]. *)
 
 val infinity : t
-(** A sentinel far beyond any realistic simulation horizon (~292 years). *)
+(** A sentinel far beyond any realistic simulation horizon (~146 years). *)
 
 val pp : Format.formatter -> t -> unit
 (** Prints with an adaptive unit (ns/µs/ms/s). *)

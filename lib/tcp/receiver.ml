@@ -125,7 +125,7 @@ let emit_ack t ?(syn = false) ~ts_ecr () =
         header.Proto.Tcp_header.wnd < t.cfg.Config.mss;
       (match t.delack_handle with
       | Some h ->
-          Sim.Scheduler.cancel h;
+          Sim.Scheduler.cancel t.sched h;
           t.delack_handle <- None
       | None -> ())
 

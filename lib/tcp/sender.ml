@@ -176,7 +176,7 @@ let retransmit t (lo, hi) =
 let cancel_rto t =
   match t.rto_handle with
   | Some h ->
-      Sim.Scheduler.cancel h;
+      Sim.Scheduler.cancel t.sched h;
       t.rto_handle <- None
   | None -> ()
 

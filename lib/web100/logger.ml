@@ -25,7 +25,7 @@ let start sched ~period ~vars group =
   let handle = Sim.Scheduler.every sched period sample in
   { sched; group; vars; table; ticks; handle }
 
-let stop t = Sim.Scheduler.cancel !(t.handle)
+let stop t = Sim.Scheduler.cancel t.sched !(t.handle)
 
 let series t name =
   match Hashtbl.find_opt t.table name with

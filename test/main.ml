@@ -25,6 +25,7 @@ let () =
       ("core", Test_core.suite);
       ("engine.pool", Test_engine.suite);
       ("engine.determinism", Test_determinism.suite);
+      ("prop.event-queue", Test_prop_event_queue.suite);
       ("prop.interval-set", Test_prop_interval_set.suite);
       ("prop.sack-scoreboard", Test_prop_sack.suite);
       ("prop.pid", Test_prop_pid.suite);

@@ -41,8 +41,8 @@ let test_cancel () =
   let fired = ref 0 in
   let h1 = Sim.Event_queue.add q ~time:(Sim.Time.ms 1) (fun () -> incr fired) in
   let _h2 = Sim.Event_queue.add q ~time:(Sim.Time.ms 2) (fun () -> incr fired) in
-  Sim.Event_queue.cancel h1;
-  Alcotest.(check bool) "is_cancelled" true (Sim.Event_queue.is_cancelled h1);
+  Sim.Event_queue.cancel q h1;
+  Alcotest.(check bool) "is_cancelled" true (Sim.Event_queue.is_cancelled q h1);
   Alcotest.(check int) "live_count" 1 (Sim.Event_queue.live_count q);
   let rec drain () =
     match Sim.Event_queue.pop q with
@@ -54,7 +54,7 @@ let test_cancel () =
   drain ();
   Alcotest.(check int) "only live event fired" 1 !fired;
   (* Cancelling after the fact is a harmless no-op. *)
-  Sim.Event_queue.cancel h1
+  Sim.Event_queue.cancel q h1
 
 let test_empty () =
   let q = Sim.Event_queue.create () in
@@ -67,11 +67,58 @@ let test_next_time_skips_cancelled () =
   let q = Sim.Event_queue.create () in
   let h = Sim.Event_queue.add q ~time:(Sim.Time.ms 1) (fun () -> ()) in
   ignore (Sim.Event_queue.add q ~time:(Sim.Time.ms 2) (fun () -> ()));
-  Sim.Event_queue.cancel h;
+  Sim.Event_queue.cancel q h;
   (match Sim.Event_queue.next_time q with
   | Some t ->
       Alcotest.(check (float 1e-9)) "skips cancelled head" 2. (Sim.Time.to_ms t)
   | None -> Alcotest.fail "expected a live event")
+
+let test_null_handle () =
+  let q = Sim.Event_queue.create () in
+  ignore (Sim.Event_queue.add q ~time:(Sim.Time.ms 1) (fun () -> ()));
+  Sim.Event_queue.cancel q Sim.Event_queue.null;
+  Alcotest.(check bool) "null is_cancelled" true
+    (Sim.Event_queue.is_cancelled q Sim.Event_queue.null);
+  Alcotest.(check int) "null cancel is a no-op" 1
+    (Sim.Event_queue.live_count q)
+
+let test_stale_handle_inert () =
+  (* A handle whose event already fired must never cancel the event
+     that recycles its slot. *)
+  let q = Sim.Event_queue.create ~initial_capacity:1 () in
+  let h1 = Sim.Event_queue.add q ~time:(Sim.Time.ms 1) (fun () -> ()) in
+  (match Sim.Event_queue.pop q with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected event");
+  let fired = ref false in
+  let _h2 = Sim.Event_queue.add q ~time:(Sim.Time.ms 2) (fun () -> fired := true) in
+  Sim.Event_queue.cancel q h1;
+  Alcotest.(check int) "stale cancel leaves successor live" 1
+    (Sim.Event_queue.live_count q);
+  (match Sim.Event_queue.pop q with Some (_, f) -> f () | None -> ());
+  Alcotest.(check bool) "successor fired" true !fired
+
+let test_mass_cancel_drain () =
+  (* A long run of cancelled roots is drained iteratively; with the old
+     recursive pop this shape was the stack-overflow risk. Compaction
+     kicks in once cancelled entries outnumber live ones, so the heap
+     also physically shrinks. *)
+  let n = 200_000 in
+  let q = Sim.Event_queue.create () in
+  let handles =
+    Array.init n (fun i ->
+        Sim.Event_queue.add q ~time:(Sim.Time.us i) (fun () -> ()))
+  in
+  let keeper = Sim.Event_queue.add q ~time:(Sim.Time.sec 1) (fun () -> ()) in
+  Array.iter (fun h -> Sim.Event_queue.cancel q h) handles;
+  Alcotest.(check int) "one live survivor" 1 (Sim.Event_queue.live_count q);
+  Alcotest.(check bool) "keeper not cancelled" false
+    (Sim.Event_queue.is_cancelled q keeper);
+  (match Sim.Event_queue.pop q with
+  | Some (t, _) ->
+      Alcotest.(check (float 1e-9)) "survivor pops" 1000. (Sim.Time.to_ms t)
+  | None -> Alcotest.fail "expected the survivor");
+  Alcotest.(check bool) "empty after survivor" true (Sim.Event_queue.is_empty q)
 
 let qcheck_heap_order =
   QCheck.Test.make ~name:"pop yields non-decreasing times" ~count:200
@@ -98,7 +145,9 @@ let qcheck_cancel_count =
         List.init (keep + cancel) (fun i ->
             Sim.Event_queue.add q ~time:(Sim.Time.us i) (fun () -> ()))
       in
-      List.iteri (fun i h -> if i < cancel then Sim.Event_queue.cancel h) handles;
+      List.iteri
+        (fun i h -> if i < cancel then Sim.Event_queue.cancel q h)
+        handles;
       Sim.Event_queue.live_count q = keep)
 
 let suite =
@@ -109,6 +158,9 @@ let suite =
     Alcotest.test_case "empty queue" `Quick test_empty;
     Alcotest.test_case "next_time skips cancelled" `Quick
       test_next_time_skips_cancelled;
+    Alcotest.test_case "null handle" `Quick test_null_handle;
+    Alcotest.test_case "stale handle is inert" `Quick test_stale_handle_inert;
+    Alcotest.test_case "mass cancellation drains" `Quick test_mass_cancel_drain;
     QCheck_alcotest.to_alcotest qcheck_heap_order;
     QCheck_alcotest.to_alcotest qcheck_cancel_count;
   ]

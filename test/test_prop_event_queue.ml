@@ -1,0 +1,151 @@
+(* Model-based property suite for the structure-of-arrays 4-ary heap:
+   replay a random interleaving of add / cancel / pop against a naive
+   sorted-list model and require identical observable behaviour — the
+   exact (time, seq) pop order, live counts, and next_time. This is the
+   guard on the engine's core semantic contract: time order first, FIFO
+   insertion order at equal times, cancelled events never fire. *)
+
+type op = Add of int (* time in us, drawn from a small range to force ties *)
+        | Cancel of int (* index into previously returned handles *)
+        | Pop
+
+let op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (5, map (fun t -> Add t) (int_bound 50));
+        (2, map (fun i -> Cancel i) (int_bound 1000));
+        (3, return Pop);
+      ])
+
+let print_op = function
+  | Add t -> Printf.sprintf "Add %d" t
+  | Cancel i -> Printf.sprintf "Cancel %d" i
+  | Pop -> "Pop"
+
+let ops_arb =
+  QCheck.make
+    ~print:(fun l -> String.concat "; " (List.map print_op l))
+    QCheck.Gen.(list_size (int_bound 400) op_gen)
+
+(* Naive model: an (id, time_us, cancelled ref) list kept in insertion
+   order; pop scans for the minimum (time, insertion index). *)
+module Model = struct
+  type entry = { id : int; time : int; mutable cancelled : bool }
+  type t = { mutable entries : entry list; mutable next_id : int }
+
+  let create () = { entries = []; next_id = 0 }
+
+  let add m time =
+    let e = { id = m.next_id; time; cancelled = false } in
+    m.next_id <- m.next_id + 1;
+    m.entries <- m.entries @ [ e ];
+    e
+
+  let live m = List.filter (fun e -> not e.cancelled) m.entries
+
+  let pop m =
+    match live m with
+    | [] -> None
+    | first :: rest ->
+        let best =
+          List.fold_left
+            (fun best e ->
+              if e.time < best.time || (e.time = best.time && e.id < best.id)
+              then e
+              else best)
+            first rest
+        in
+        m.entries <- List.filter (fun e -> e != best) m.entries;
+        (* drop entries cancelled before the winner: they can never fire *)
+        m.entries <- List.filter (fun e -> not e.cancelled) m.entries;
+        Some best.time
+
+  let next_time m =
+    match live m with
+    | [] -> None
+    | first :: rest ->
+        Some
+          (List.fold_left
+             (fun acc e -> if e.time < acc then e.time else acc)
+             first.time rest)
+
+  let live_count m = List.length (live m)
+end
+
+let replay ops =
+  let q = Sim.Event_queue.create ~initial_capacity:1 () in
+  let m = Model.create () in
+  let handles = ref [||] in
+  let model_entries = ref [||] in
+  let ok = ref true in
+  let check b = if not b then ok := false in
+  List.iter
+    (fun op ->
+      if !ok then
+        match op with
+        | Add t ->
+            let h = Sim.Event_queue.add q ~time:(Sim.Time.us t) (fun () -> ()) in
+            let e = Model.add m t in
+            handles := Array.append !handles [| h |];
+            model_entries := Array.append !model_entries [| e |]
+        | Cancel i when Array.length !handles > 0 ->
+            let i = i mod Array.length !handles in
+            Sim.Event_queue.cancel q !handles.(i);
+            !model_entries.(i).Model.cancelled <- true
+        | Cancel _ -> ()
+        | Pop -> (
+            match (Sim.Event_queue.pop q, Model.pop m) with
+            | None, None -> ()
+            | Some (t, _), Some mt ->
+                check (Sim.Time.equal t (Sim.Time.us mt))
+            | Some _, None | None, Some _ -> check false);
+      if !ok then begin
+        check (Sim.Event_queue.live_count q = Model.live_count m);
+        match (Sim.Event_queue.next_time q, Model.next_time m) with
+        | None, None -> ()
+        | Some t, Some mt -> check (Sim.Time.equal t (Sim.Time.us mt))
+        | Some _, None | None, Some _ -> check false
+      end)
+    ops;
+  (* Drain both to the end: full pop sequences must agree. *)
+  let rec drain () =
+    if !ok then
+      match (Sim.Event_queue.pop q, Model.pop m) with
+      | None, None -> ()
+      | Some (t, _), Some mt ->
+          check (Sim.Time.equal t (Sim.Time.us mt));
+          drain ()
+      | Some _, None | None, Some _ -> check false
+  in
+  drain ();
+  !ok && Sim.Event_queue.is_empty q
+
+let qcheck_model =
+  QCheck.Test.make
+    ~name:"SoA 4-ary heap matches sorted-list model under add/cancel/pop"
+    ~count:300 ops_arb replay
+
+let qcheck_model_cancel_heavy =
+  (* Bias hard toward cancellation so the >50% compaction path runs. *)
+  let gen =
+    QCheck.Gen.(
+      list_size (int_bound 600)
+        (frequency
+           [
+             (4, map (fun t -> Add t) (int_bound 20));
+             (6, map (fun i -> Cancel i) (int_bound 1000));
+             (1, return Pop);
+           ]))
+  in
+  QCheck.Test.make
+    ~name:"heap matches model under cancel-heavy load (compaction)"
+    ~count:200
+    (QCheck.make ~print:(fun l -> String.concat "; " (List.map print_op l)) gen)
+    replay
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest qcheck_model;
+    QCheck_alcotest.to_alcotest qcheck_model_cancel_heavy;
+  ]

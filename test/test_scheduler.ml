@@ -57,7 +57,7 @@ let test_every () =
   let handle = Sim.Scheduler.every s (Sim.Time.ms 10) (fun () -> incr count) in
   Sim.Scheduler.run ~until:(Sim.Time.ms 55) s;
   Alcotest.(check int) "5 periods in 55ms" 5 !count;
-  Sim.Scheduler.cancel !handle;
+  Sim.Scheduler.cancel s !handle;
   Sim.Scheduler.run ~until:(Sim.Time.ms 200) s;
   Alcotest.(check int) "cancelled periodic stops" 5 !count
 
@@ -65,7 +65,7 @@ let test_cancel_pending () =
   let s = Sim.Scheduler.create () in
   let fired = ref false in
   let h = Sim.Scheduler.at s (Sim.Time.ms 1) (fun () -> fired := true) in
-  Sim.Scheduler.cancel h;
+  Sim.Scheduler.cancel s h;
   Sim.Scheduler.run s;
   Alcotest.(check bool) "cancelled stays silent" false !fired
 

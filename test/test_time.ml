@@ -54,6 +54,22 @@ let test_pp () =
   Alcotest.(check string) "ns" "12ns" (Sim.Time.to_string (Sim.Time.ns 12));
   Alcotest.(check string) "inf" "inf" (Sim.Time.to_string Sim.Time.infinity)
 
+let test_unboxed_int () =
+  (* Timestamps are native ints: an exact int round-trip over both
+     conversion pairs, and enough headroom for any realistic horizon. *)
+  Alcotest.(check int) "of_ns_int/to_ns_int"
+    123_456_789
+    (Sim.Time.to_ns_int (Sim.Time.of_ns_int 123_456_789));
+  Alcotest.check check_int64 "int64 interop agrees with int"
+    (Sim.Time.to_ns_int64 (Sim.Time.of_ns_int64 123_456_789L))
+    123_456_789L;
+  (* A century of simulated nanoseconds still fits comfortably. *)
+  let century = Sim.Time.mul_int (Sim.Time.sec 86_400) (365 * 100) in
+  Alcotest.(check bool) "a century below infinity" true
+    Sim.Time.(century < Sim.Time.infinity);
+  Alcotest.(check bool) "a century is positive" true
+    (Sim.Time.is_positive century)
+
 let qcheck_add_sub =
   QCheck.Test.make ~name:"time add/sub roundtrip" ~count:500
     QCheck.(pair (int_bound 1_000_000_000) (int_bound 1_000_000_000))
@@ -68,5 +84,6 @@ let suite =
     Alcotest.test_case "arithmetic" `Quick test_arith;
     Alcotest.test_case "comparisons" `Quick test_compare;
     Alcotest.test_case "pretty-printing" `Quick test_pp;
+    Alcotest.test_case "unboxed int representation" `Quick test_unboxed_int;
     QCheck_alcotest.to_alcotest qcheck_add_sub;
   ]
