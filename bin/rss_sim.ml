@@ -203,6 +203,96 @@ let compare_cmd =
        ~doc:"Run every slow-start policy on the same path and compare.")
     term
 
+(* --- chaos --------------------------------------------------------------- *)
+
+let chaos_cmd =
+  let cases =
+    let doc = "Number of random fault schedules to generate and run." in
+    Arg.(value & opt int 20 & info [ "cases"; "n" ] ~docv:"N" ~doc)
+  in
+  let jobs =
+    let doc =
+      "Worker domains for the sweep (1 disables parallelism). Outcomes \
+       are identical for any value."
+    in
+    Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let out_dir =
+    let doc = "Directory for failure artifacts." in
+    Arg.(
+      value
+      & opt string "results/chaos_failures"
+      & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let replay =
+    let doc =
+      "Re-run the case stored in a failure artifact and check that the \
+       fresh trace is byte-identical."
+    in
+    Arg.(value & opt (some file) None & info [ "replay" ] ~docv:"FILE" ~doc)
+  in
+  let action cases jobs out_dir replay seed =
+    match replay with
+    | Some path -> (
+        match Core.Chaos.replay path with
+        | Error e ->
+            Printf.eprintf "replay failed: %s\n" e;
+            exit 1
+        | Ok (outcome, identical) ->
+            Printf.printf "replayed %s: %s, trace %s\n"
+              outcome.Core.Chaos.case.Core.Chaos.name
+              (if Core.Chaos.passed outcome then "passed"
+               else
+                 Printf.sprintf "%d violation(s)"
+                   (List.length outcome.Core.Chaos.violations))
+              (if identical then "byte-identical to artifact"
+               else "DIVERGED from artifact");
+            List.iter
+              (fun v -> Printf.printf "  violation: %s\n" v)
+              outcome.Core.Chaos.violations;
+            if not identical then exit 1;
+            if not (Core.Chaos.passed outcome) then exit 3)
+    | None ->
+        let case_list = Core.Chaos.random_cases ~root:seed cases in
+        let outcomes =
+          if jobs > 1 then
+            Engine.Pool.with_pool ~jobs (fun pool ->
+                Core.Chaos.run_sweep ~pool case_list)
+          else Core.Chaos.run_sweep case_list
+        in
+        List.iter
+          (fun (o : Core.Chaos.outcome) ->
+            Printf.printf "%-28s %-6s acked %8d  timeouts %-3d retx %-4d\n"
+              o.Core.Chaos.case.Core.Chaos.name
+              (if Core.Chaos.passed o then "ok" else "FAIL")
+              o.Core.Chaos.bytes_acked o.Core.Chaos.timeouts
+              o.Core.Chaos.retransmits;
+            List.iter
+              (fun v -> Printf.printf "    violation: %s\n" v)
+              o.Core.Chaos.violations)
+          outcomes;
+        let failures =
+          List.filter (fun o -> not (Core.Chaos.passed o)) outcomes
+        in
+        if failures <> [] then begin
+          let paths = Core.Chaos.write_failures ~dir:out_dir failures in
+          List.iter (Printf.printf "wrote %s\n") paths;
+          Printf.printf "%d of %d cases failed; replay with: rss_sim chaos \
+                         --replay <file>\n"
+            (List.length failures) (List.length outcomes);
+          exit 3
+        end
+        else Printf.printf "all %d cases passed\n" (List.length outcomes)
+  in
+  let term = Term.(const action $ cases $ jobs $ out_dir $ replay $ seed) in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Sweep random fault schedules (burst loss, reordering, \
+          duplication, outages) through the simulator and check \
+          invariants; failures are written as replayable JSON artifacts.")
+    term
+
 (* --- calibrate ----------------------------------------------------------- *)
 
 let calibrate_cmd =
@@ -239,4 +329,6 @@ let calibrate_cmd =
 let () =
   let doc = "Restricted Slow-Start for TCP — simulator front end" in
   let info = Cmd.info "rss_sim" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; compare_cmd; calibrate_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; compare_cmd; chaos_cmd; calibrate_cmd ]))

@@ -1,0 +1,607 @@
+(* Chaos harness: randomized fault schedules driven through whole
+   scenarios, with invariant checking and deterministic failure-replay
+   artifacts.
+
+   A case is pure data (seed, path parameters, fault profiles); running
+   it is a pure function of that data, so an outcome — including its
+   canonical trace — is byte-identical under any --jobs value and on
+   replay from a serialized artifact. *)
+
+module Json = Report.Json
+module Fm = Netsim.Fault_model
+
+type case = {
+  name : string;
+  seed : int;
+  variant : string;
+  rate : Sim.Units.rate;
+  one_way_delay : Sim.Time.t;
+  ifq_capacity : int;
+  duration : Sim.Time.t;
+  bytes : int option;
+  max_rto : Sim.Time.t;
+  progress_rtos : int;
+  check_completion : bool;
+  forward : Fm.profile;
+  reverse : Fm.profile;
+}
+
+let default_case =
+  {
+    name = "chaos";
+    seed = 1;
+    variant = "standard";
+    rate = Sim.Units.mbps 100.;
+    one_way_delay = Sim.Time.ms 30;
+    ifq_capacity = 100;
+    duration = Sim.Time.sec 20;
+    bytes = Some (400 * 1460);
+    max_rto = Sim.Time.sec 2;
+    progress_rtos = 4;
+    check_completion = true;
+    forward = Fm.passthrough;
+    reverse = Fm.passthrough;
+  }
+
+type outcome = {
+  case : case;
+  completed : bool;
+  bytes_acked : int;
+  timeouts : int;
+  retransmits : int;
+  violations : string list;
+  trace : string;
+}
+
+let passed o = o.violations = []
+
+(* --- JSON serialization ---------------------------------------------- *)
+
+let time_to_json t = Json.Number (float_of_int (Sim.Time.to_ns_int t))
+
+let time_of_json j =
+  Option.map (fun f -> Sim.Time.of_ns_int (int_of_float f)) (Json.number j)
+
+let jitter_to_json (j : Fm.jitter) =
+  Json.Obj
+    [ ("prob", Json.Number j.Fm.prob);
+      ("max_extra_ns", time_to_json j.Fm.max_extra) ]
+
+let ge_to_json (g : Fm.ge) =
+  Json.Obj
+    [
+      ("p_gb", Json.Number g.Fm.p_gb);
+      ("p_bg", Json.Number g.Fm.p_bg);
+      ("loss_good", Json.Number g.Fm.loss_good);
+      ("loss_bad", Json.Number g.Fm.loss_bad);
+    ]
+
+let event_to_json = function
+  | Fm.Outage { start; stop } ->
+      Json.Obj
+        [
+          ("kind", Json.String "outage");
+          ("start_ns", time_to_json start);
+          ("stop_ns", time_to_json stop);
+        ]
+  | Fm.Delay_step { at; extra } ->
+      Json.Obj
+        [
+          ("kind", Json.String "delay_step");
+          ("at_ns", time_to_json at);
+          ("extra_ns", time_to_json extra);
+        ]
+
+let opt_to_json f = function None -> Json.Null | Some v -> f v
+
+let profile_to_json (p : Fm.profile) =
+  Json.Obj
+    [
+      ("ge", opt_to_json ge_to_json p.Fm.ge);
+      ("reorder", opt_to_json jitter_to_json p.Fm.reorder);
+      ("duplicate", opt_to_json jitter_to_json p.Fm.duplicate);
+      ("schedule", Json.List (List.map event_to_json p.Fm.schedule));
+    ]
+
+let case_to_json c =
+  Json.Obj
+    [
+      ("name", Json.String c.name);
+      (* Seeds from [Rng.derive_seed] are 62-bit; a JSON double only
+         holds 53 bits, so the seed travels as a decimal string. *)
+      ("seed", Json.String (string_of_int c.seed));
+      ("variant", Json.String c.variant);
+      ("rate_mbps", Json.Number (Sim.Units.rate_to_mbps c.rate));
+      ("one_way_delay_ns", time_to_json c.one_way_delay);
+      ("ifq_capacity", Json.Number (float_of_int c.ifq_capacity));
+      ("duration_ns", time_to_json c.duration);
+      ( "bytes",
+        match c.bytes with
+        | None -> Json.Null
+        | Some b -> Json.Number (float_of_int b) );
+      ("max_rto_ns", time_to_json c.max_rto);
+      ("progress_rtos", Json.Number (float_of_int c.progress_rtos));
+      ("check_completion", Json.Bool c.check_completion);
+      ("forward", profile_to_json c.forward);
+      ("reverse", profile_to_json c.reverse);
+    ]
+
+(* Parsing: every accessor threads an error message naming the field. *)
+
+let ( let* ) r f = Result.bind r f
+
+let field key j =
+  match Json.member key j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let num key j =
+  let* v = field key j in
+  match Json.number v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S is not a number" key)
+
+let str key j =
+  let* v = field key j in
+  match Json.string_value v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S is not a string" key)
+
+let time key j =
+  let* v = field key j in
+  match time_of_json v with
+  | Some t -> Ok t
+  | None -> Error (Printf.sprintf "field %S is not a time" key)
+
+let opt_field key parse j =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> Result.map Option.some (parse v)
+
+let jitter_of_json j =
+  let* prob = num "prob" j in
+  let* max_extra = time "max_extra_ns" j in
+  Ok { Fm.prob; max_extra }
+
+let ge_of_json j =
+  let* p_gb = num "p_gb" j in
+  let* p_bg = num "p_bg" j in
+  let* loss_good = num "loss_good" j in
+  let* loss_bad = num "loss_bad" j in
+  Ok { Fm.p_gb; p_bg; loss_good; loss_bad }
+
+let event_of_json j =
+  let* kind = str "kind" j in
+  match kind with
+  | "outage" ->
+      let* start = time "start_ns" j in
+      let* stop = time "stop_ns" j in
+      Ok (Fm.Outage { start; stop })
+  | "delay_step" ->
+      let* at = time "at_ns" j in
+      let* extra = time "extra_ns" j in
+      Ok (Fm.Delay_step { at; extra })
+  | other -> Error (Printf.sprintf "unknown schedule event kind %S" other)
+
+let profile_of_json j =
+  let* ge = opt_field "ge" ge_of_json j in
+  let* reorder = opt_field "reorder" jitter_of_json j in
+  let* duplicate = opt_field "duplicate" jitter_of_json j in
+  let* schedule_json = field "schedule" j in
+  let* events =
+    match Json.list_value schedule_json with
+    | None -> Error "field \"schedule\" is not a list"
+    | Some items ->
+        List.fold_left
+          (fun acc item ->
+            let* acc = acc in
+            let* ev = event_of_json item in
+            Ok (ev :: acc))
+          (Ok []) items
+        |> Result.map List.rev
+  in
+  Ok { Fm.ge; reorder; duplicate; schedule = events }
+
+let case_of_json j =
+  let* name = str "name" j in
+  let* seed =
+    let* s = str "seed" j in
+    match int_of_string_opt s with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "field \"seed\" is not an integer: %S" s)
+  in
+  let* variant = str "variant" j in
+  let* rate_mbps = num "rate_mbps" j in
+  let* one_way_delay = time "one_way_delay_ns" j in
+  let* ifq_capacity = num "ifq_capacity" j in
+  let* duration = time "duration_ns" j in
+  let* bytes =
+    match Json.member "bytes" j with
+    | None | Some Json.Null -> Ok None
+    | Some v -> (
+        match Json.number v with
+        | Some f -> Ok (Some (int_of_float f))
+        | None -> Error "field \"bytes\" is not a number")
+  in
+  let* max_rto = time "max_rto_ns" j in
+  let* progress_rtos = num "progress_rtos" j in
+  let* check_completion =
+    let* v = field "check_completion" j in
+    match v with
+    | Json.Bool b -> Ok b
+    | _ -> Error "field \"check_completion\" is not a bool"
+  in
+  let* forward_json = field "forward" j in
+  let* forward = profile_of_json forward_json in
+  let* reverse_json = field "reverse" j in
+  let* reverse = profile_of_json reverse_json in
+  Ok
+    {
+      name;
+      seed;
+      variant;
+      rate = Sim.Units.mbps rate_mbps;
+      one_way_delay;
+      ifq_capacity = int_of_float ifq_capacity;
+      duration;
+      bytes;
+      max_rto;
+      progress_rtos = int_of_float progress_rtos;
+      check_completion;
+      forward;
+      reverse;
+    }
+
+(* --- running one case ------------------------------------------------- *)
+
+let sample_period = Sim.Time.ms 250
+
+(* Distinct derive_seed streams for the two fault models, far from the
+   small stream indices sweeps use for their cells. *)
+let forward_stream = 0xFA1
+let reverse_stream = 0xFA2
+
+let run_case case =
+  let scenario =
+    Scenario.anl_lbnl ~seed:case.seed ~rate:case.rate
+      ~one_way_delay:case.one_way_delay ~ifq_capacity:case.ifq_capacity ()
+  in
+  let sched = scenario.Scenario.sched in
+  let fwd =
+    Fm.create
+      ~rng:
+        (Sim.Rng.of_seed
+           (Sim.Rng.derive_seed ~root:case.seed ~stream:forward_stream))
+      case.forward
+  in
+  let rev =
+    Fm.create
+      ~rng:
+        (Sim.Rng.of_seed
+           (Sim.Rng.derive_seed ~root:case.seed ~stream:reverse_stream))
+      case.reverse
+  in
+  Fm.install fwd (Scenario.forward_link scenario);
+  Fm.install rev (Scenario.reverse_link scenario);
+  let slow_start =
+    match Tcp.Slow_start.by_name case.variant with
+    | Ok ss -> ss
+    | Error e -> invalid_arg e
+  in
+  let config = { Tcp.Config.default with max_rto = case.max_rto } in
+  let transfer =
+    Workload.Bulk.start
+      ~src:(Scenario.sender_host scenario)
+      ~dst:(Scenario.receiver_host scenario)
+      ~flow:1 ~ids:scenario.Scenario.ids ~config ~slow_start
+      ?bytes:case.bytes ~name:case.name ()
+  in
+  let sender = Workload.Bulk.sender transfer in
+  let mss = float_of_int Tcp.Config.default.Tcp.Config.mss in
+  let violations = ref [] in
+  let violate fmt =
+    Printf.ksprintf (fun msg -> violations := msg :: !violations) fmt
+  in
+  let trace = Buffer.create 4096 in
+  Buffer.add_string trace
+    "t_ms,bytes_acked,cwnd_seg,flight,timeouts,retx,stalls,backoff\n";
+  (* Monotonicity watchdogs for the web100-style counters. *)
+  let watch = [| 0; 0; 0; 0; 0 |] in
+  let watch_names =
+    [| "bytes_acked"; "bytes_sent"; "timeouts"; "retransmits"; "send_stalls" |]
+  in
+  let sample () =
+    let now = Sim.Scheduler.now sched in
+    let cwnd = Tcp.Sender.cwnd sender in
+    if not (Float.is_finite cwnd && cwnd > 0.) then
+      violate "t=%.3fs: cwnd not a positive finite value (%g)"
+        (Sim.Time.to_sec now) cwnd;
+    let current =
+      [|
+        Tcp.Sender.bytes_acked sender;
+        Tcp.Sender.bytes_sent sender;
+        Tcp.Sender.timeouts sender;
+        Tcp.Sender.retransmits sender;
+        Tcp.Sender.send_stalls sender;
+      |]
+    in
+    Array.iteri
+      (fun i v ->
+        if v < watch.(i) then
+          violate "t=%.3fs: counter %s went backwards (%d -> %d)"
+            (Sim.Time.to_sec now) watch_names.(i) watch.(i) v;
+        watch.(i) <- v)
+      current;
+    Buffer.add_string trace
+      (Printf.sprintf "%.1f,%d,%.3f,%d,%d,%d,%d,%d\n" (Sim.Time.to_ms now)
+         current.(0)
+         (cwnd /. mss)
+         (Tcp.Sender.flight sender)
+         current.(2) current.(3) current.(4)
+         (Tcp.Sender.rto_backoff sender))
+  in
+  ignore (Sim.Scheduler.every sched sample_period sample);
+  (* Progress invariant: within [progress_rtos · max_rto] of the last
+     outage ending, the connection must have made forward progress (or
+     already be complete) — a stalled-forever sender after a blackout is
+     exactly the regression class this harness exists to catch. *)
+  let last_outage_end =
+    match (Fm.last_outage_end fwd, Fm.last_outage_end rev) with
+    | None, None -> None
+    | Some a, None -> Some a
+    | None, Some b -> Some b
+    | Some a, Some b -> Some (Sim.Time.max a b)
+  in
+  (match last_outage_end with
+  | None -> ()
+  | Some stop ->
+      let window = Sim.Time.mul_int case.max_rto case.progress_rtos in
+      let deadline = Sim.Time.add stop window in
+      if Sim.Time.(deadline <= case.duration) then
+        ignore
+          (Sim.Scheduler.at sched stop (fun () ->
+               let base = Tcp.Sender.bytes_acked sender in
+               ignore
+                 (Sim.Scheduler.at sched deadline (fun () ->
+                      let now_acked = Tcp.Sender.bytes_acked sender in
+                      let complete =
+                        match case.bytes with
+                        | Some b -> now_acked >= b
+                        | None -> false
+                      in
+                      if (not complete) && now_acked <= base then
+                        violate
+                          "no progress within %d RTO (%.1fs) of outage \
+                           ending at t=%.3fs (stuck at %d bytes)"
+                          case.progress_rtos (Sim.Time.to_sec window)
+                          (Sim.Time.to_sec stop) base)))));
+  Sim.Scheduler.run ~until:case.duration sched;
+  (* Packet conservation, per direction: every NIC transmit is exactly
+     one of delivered / lost / still flying, net of fault duplicates. *)
+  let conservation label nic link =
+    let tx = Netsim.Nic.tx_packets nic in
+    let accounted =
+      Netsim.Link.delivered link + Netsim.Link.lost link
+      + Netsim.Link.in_flight link
+      - Netsim.Link.duplicated link
+    in
+    if tx <> accounted then
+      violate
+        "%s packet conservation broken: tx=%d but delivered=%d lost=%d \
+         in_flight=%d duplicated=%d"
+        label tx (Netsim.Link.delivered link) (Netsim.Link.lost link)
+        (Netsim.Link.in_flight link)
+        (Netsim.Link.duplicated link)
+  in
+  conservation "forward"
+    (Netsim.Host.nic (Scenario.sender_host scenario))
+    (Scenario.forward_link scenario);
+  conservation "reverse"
+    (Netsim.Host.nic (Scenario.receiver_host scenario))
+    (Scenario.reverse_link scenario);
+  let delivered_fwd = Netsim.Link.delivered (Scenario.forward_link scenario) in
+  let rx = Netsim.Host.rx_packets (Scenario.receiver_host scenario) in
+  if delivered_fwd <> rx then
+    violate "delivery accounting broken: link delivered %d, host received %d"
+      delivered_fwd rx;
+  let bytes_acked = Tcp.Sender.bytes_acked sender in
+  let completed =
+    match case.bytes with Some b -> bytes_acked >= b | None -> false
+  in
+  if case.check_completion && not completed then
+    violate "transfer incomplete at t=%.1fs: %d of %s bytes acked"
+      (Sim.Time.to_sec case.duration)
+      bytes_acked
+      (match case.bytes with
+      | Some b -> string_of_int b
+      | None -> "unbounded");
+  Buffer.add_string trace
+    (Printf.sprintf
+       "summary,%d,%d,%d,%d,%d,%d,%d,%d\n" bytes_acked
+       (Tcp.Sender.timeouts sender)
+       (Tcp.Sender.retransmits sender)
+       (Tcp.Sender.send_stalls sender)
+       (Fm.random_drops fwd) (Fm.outage_drops fwd) (Fm.duplicates fwd)
+       (Fm.reordered fwd));
+  {
+    case;
+    completed;
+    bytes_acked;
+    timeouts = Tcp.Sender.timeouts sender;
+    retransmits = Tcp.Sender.retransmits sender;
+    violations = List.rev !violations;
+    trace = Buffer.contents trace;
+  }
+
+(* A raising case must not poison a sweep: capture the exception as a
+   violation so the batch drains and every other cell still reports. *)
+let run_case_captured case =
+  try run_case case
+  with e ->
+    {
+      case;
+      completed = false;
+      bytes_acked = 0;
+      timeouts = 0;
+      retransmits = 0;
+      violations = [ Printf.sprintf "exception: %s" (Printexc.to_string e) ];
+      trace = "";
+    }
+
+let run_sweep ?pool cases =
+  match pool with
+  | None -> List.map run_case_captured cases
+  | Some pool ->
+      Engine.Pool.map pool ~label:(fun c -> c.name) ~f:run_case_captured
+        cases
+
+(* --- random schedule generation --------------------------------------- *)
+
+let variants = [| "standard"; "restricted" |]
+
+let random_case ~root ~index =
+  let seed = Sim.Rng.derive_seed ~root ~stream:index in
+  let rng = Sim.Rng.of_seed seed in
+  let owd = default_case.one_way_delay in
+  let variant = variants.(index mod Array.length variants) in
+  let maybe p f = if Sim.Rng.float rng < p then Some (f ()) else None in
+  let ge =
+    maybe 0.7 (fun () ->
+        {
+          Fm.p_gb = Sim.Rng.uniform rng ~lo:0.005 ~hi:0.05;
+          p_bg = Sim.Rng.uniform rng ~lo:0.1 ~hi:0.5;
+          loss_good = Sim.Rng.uniform rng ~lo:0. ~hi:0.005;
+          loss_bad = Sim.Rng.uniform rng ~lo:0.05 ~hi:0.5;
+        })
+  in
+  let reorder =
+    maybe 0.5 (fun () ->
+        {
+          Fm.prob = Sim.Rng.uniform rng ~lo:0.005 ~hi:0.05;
+          max_extra = Sim.Time.scale owd (Sim.Rng.uniform rng ~lo:0.5 ~hi:4.);
+        })
+  in
+  let duplicate =
+    maybe 0.4 (fun () ->
+        {
+          Fm.prob = Sim.Rng.uniform rng ~lo:0.002 ~hi:0.02;
+          max_extra = Sim.Time.scale owd (Sim.Rng.uniform rng ~lo:0. ~hi:2.);
+        })
+  in
+  let outages =
+    List.init (Sim.Rng.int rng 3) (fun _ ->
+        let start = Sim.Time.of_sec (Sim.Rng.uniform rng ~lo:1. ~hi:8.) in
+        let len = Sim.Time.of_sec (Sim.Rng.uniform rng ~lo:0.2 ~hi:2.5) in
+        Fm.Outage { start; stop = Sim.Time.add start len })
+  in
+  let steps =
+    List.init (Sim.Rng.int rng 2) (fun _ ->
+        Fm.Delay_step
+          {
+            at = Sim.Time.of_sec (Sim.Rng.uniform rng ~lo:1. ~hi:10.);
+            extra =
+              Sim.Time.scale owd (Sim.Rng.uniform rng ~lo:0. ~hi:2.);
+          })
+  in
+  let forward =
+    { Fm.ge; reorder; duplicate; schedule = outages @ steps }
+  in
+  (* Occasionally impair the ACK path too, more lightly. *)
+  let reverse =
+    if Sim.Rng.float rng < 0.3 then
+      {
+        Fm.passthrough with
+        Fm.reorder =
+          Some
+            {
+              Fm.prob = Sim.Rng.uniform rng ~lo:0.005 ~hi:0.03;
+              max_extra =
+                Sim.Time.scale owd (Sim.Rng.uniform rng ~lo:0.5 ~hi:2.);
+            };
+      }
+    else Fm.passthrough
+  in
+  {
+    default_case with
+    name = Printf.sprintf "chaos-%d-%03d-%s" root index variant;
+    seed;
+    variant;
+    forward;
+    reverse;
+  }
+
+let random_cases ~root n = List.init n (fun i -> random_case ~root ~index:i)
+
+(* --- failure artifacts ------------------------------------------------- *)
+
+let outcome_to_json o =
+  Json.Obj
+    [
+      ("case", case_to_json o.case);
+      ("violations", Json.List (List.map (fun v -> Json.String v) o.violations));
+      ("completed", Json.Bool o.completed);
+      ("bytes_acked", Json.Number (float_of_int o.bytes_acked));
+      ("trace", Json.String o.trace);
+    ]
+
+let rec ensure_dir dir =
+  if not (Sys.file_exists dir) then begin
+    let parent = Filename.dirname dir in
+    if parent <> dir then ensure_dir parent;
+    (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
+  end
+
+(* Case names come from generators or artifacts; keep paths tame. *)
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    name
+
+let write_failure ~dir outcome =
+  ensure_dir dir;
+  let path = Filename.concat dir (sanitize outcome.case.name ^ ".json") in
+  Out_channel.with_open_text path (fun oc ->
+      Out_channel.output_string oc (Json.to_string (outcome_to_json outcome)));
+  path
+
+let write_failures ~dir outcomes =
+  List.filter_map
+    (fun o -> if passed o then None else Some (write_failure ~dir o))
+    outcomes
+
+type artifact = {
+  artifact_case : case;
+  artifact_violations : string list;
+  artifact_trace : string;
+}
+
+let load_artifact path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error e -> Error e
+  | contents -> (
+      match Json.of_string contents with
+      | Error e -> Error e
+      | Ok j ->
+          let* case_json = field "case" j in
+          let* artifact_case = case_of_json case_json in
+          let* violations_json = field "violations" j in
+          let* artifact_violations =
+            match Json.list_value violations_json with
+            | None -> Error "field \"violations\" is not a list"
+            | Some items ->
+                Ok (List.filter_map Json.string_value items)
+          in
+          let* artifact_trace = str "trace" j in
+          Ok { artifact_case; artifact_violations; artifact_trace })
+
+let replay path =
+  let* artifact = load_artifact path in
+  let outcome = run_case_captured artifact.artifact_case in
+  let identical =
+    String.equal outcome.trace artifact.artifact_trace
+    && outcome.violations = artifact.artifact_violations
+  in
+  Ok (outcome, identical)

@@ -1,0 +1,102 @@
+(** Chaos sweeps: randomized fault schedules driven through whole
+    scenarios, with invariant checking and deterministic failure
+    replay.
+
+    Every case is pure data — seed, path parameters, two
+    {!Netsim.Fault_model.profile}s — and running it is a pure function
+    of that data. The harness samples a canonical trace while the
+    simulation runs and checks structural invariants at the end
+    (termination, post-outage progress, packet conservation, monotone
+    counters, optional completion). A failing case serializes to JSON
+    under [results/chaos_failures/] and {!replay} re-runs it from the
+    artifact, byte-identical at any [--jobs] setting. *)
+
+type case = {
+  name : string;
+  seed : int;  (** scenario seed; fault-model streams derive from it *)
+  variant : string;  (** slow-start policy, {!Tcp.Slow_start.by_name} *)
+  rate : Sim.Units.rate;
+  one_way_delay : Sim.Time.t;
+  ifq_capacity : int;
+  duration : Sim.Time.t;  (** hard simulation horizon *)
+  bytes : int option;  (** transfer size; [None] = unbounded stream *)
+  max_rto : Sim.Time.t;  (** RTO ceiling handed to {!Tcp.Config} *)
+  progress_rtos : int;
+      (** progress deadline after the last outage, in units of
+          [max_rto] *)
+  check_completion : bool;
+      (** require all [bytes] acked within [duration] *)
+  forward : Netsim.Fault_model.profile;  (** data-path impairments *)
+  reverse : Netsim.Fault_model.profile;  (** ACK-path impairments *)
+}
+
+val default_case : case
+(** The paper's testbed path (100 Mbit/s, 60 ms RTT, IFQ 100), 20 s
+    horizon, 400-segment transfer, 2 s RTO ceiling, no faults. *)
+
+type outcome = {
+  case : case;
+  completed : bool;
+  bytes_acked : int;
+  timeouts : int;
+  retransmits : int;
+  violations : string list;  (** empty iff every invariant held *)
+  trace : string;
+      (** canonical CSV sampled every 250 ms — the byte-identical
+          replay witness *)
+}
+
+val passed : outcome -> bool
+
+val run_case : case -> outcome
+(** Build the scenario, install both fault models, run to
+    [case.duration] and check invariants. Deterministic in [case].
+    Raises [Invalid_argument] on an unknown [variant] or an invalid
+    fault profile. *)
+
+val run_sweep : ?pool:Engine.Pool.t -> case list -> outcome list
+(** Run every case, capturing per-case exceptions as an
+    ["exception: ..."] violation so one poisoned cell never loses the
+    rest of the batch. Results are in input order; with [pool] the
+    cases run in parallel with byte-identical outcomes. *)
+
+(** {2 Random schedule generation} *)
+
+val random_case : root:int -> index:int -> case
+(** A random fault schedule under [Sim.Rng.derive_seed ~root
+    ~stream:index]: Gilbert–Elliott burst loss (~70% of cases),
+    reordering (~50%), duplication (~40%), 0–2 outage windows, 0–1
+    delay steps, occasionally a lightly-impaired ACK path. Variants
+    alternate standard/restricted by index parity. Deterministic in
+    [(root, index)]. *)
+
+val random_cases : root:int -> int -> case list
+(** [random_cases ~root n] is indices [0 .. n-1]. *)
+
+(** {2 Serialization and replay} *)
+
+val case_to_json : case -> Report.Json.t
+
+val case_of_json : Report.Json.t -> (case, string) result
+(** Inverse of {!case_to_json}; errors name the offending field. Times
+    travel as exact nanosecond integers. *)
+
+val outcome_to_json : outcome -> Report.Json.t
+
+val write_failures : dir:string -> outcome list -> string list
+(** Write one [<name>.json] artifact per failed outcome into [dir]
+    (created if missing); returns the paths written. *)
+
+type artifact = {
+  artifact_case : case;
+  artifact_violations : string list;
+  artifact_trace : string;
+}
+
+val load_artifact : string -> (artifact, string) result
+
+val replay : string -> (outcome * bool, string) result
+(** Re-run the case stored in a failure artifact. The boolean is [true]
+    when the fresh run's trace and violations match the artifact
+    byte-for-byte — the determinism check [rss_sim chaos --replay]
+    reports. *)

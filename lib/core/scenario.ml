@@ -30,3 +30,5 @@ let bdp_packets t =
 let sender_host t = t.path.Netsim.Topology.Duplex.a
 let receiver_host t = t.path.Netsim.Topology.Duplex.b
 let sender_ifq t = Netsim.Host.ifq t.path.Netsim.Topology.Duplex.a
+let forward_link t = t.path.Netsim.Topology.Duplex.a_to_b
+let reverse_link t = t.path.Netsim.Topology.Duplex.b_to_a

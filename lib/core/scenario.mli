@@ -31,3 +31,10 @@ val bdp_packets : t -> float
 val sender_host : t -> Netsim.Host.t
 val receiver_host : t -> Netsim.Host.t
 val sender_ifq : t -> Netsim.Ifq.t
+
+val forward_link : t -> Netsim.Link.t
+(** The data-path (sender → receiver) pipe — where the chaos harness
+    installs forward fault models. *)
+
+val reverse_link : t -> Netsim.Link.t
+(** The ACK-path (receiver → sender) pipe. *)

@@ -6,14 +6,23 @@ type t = {
   mutable sink : (Packet.t -> unit) option;
   mutable taps : (Sim.Time.t -> Packet.t -> unit) array;
   mutable drop_filter : (Packet.t -> bool) option;
+  mutable fault_hook : (Sim.Time.t -> Packet.t -> Sim.Time.t list) option;
   mutable delivered_count : int;
   mutable lost_count : int;
+  mutable dup_count : int;
   mutable flying : int;
 }
 
 let create sched ~delay ?(loss_rate = 0.) ?rng () =
-  assert (loss_rate >= 0. && loss_rate < 1.);
-  let rng = match rng with Some r -> r | None -> Sim.Rng.of_seed 0x117 in
+  if not (loss_rate >= 0. && loss_rate <= 1.) then
+    invalid_arg
+      (Printf.sprintf "Link.create: loss_rate %g outside [0, 1]" loss_rate);
+  (* Without an explicit rng each link gets its own stream derived from
+     the scheduler-wide seed, so two lossy links never share loss
+     decisions (they used to collapse onto one fixed-seed stream). *)
+  let rng =
+    match rng with Some r -> r | None -> Sim.Scheduler.derive_rng sched
+  in
   {
     sched;
     prop_delay = delay;
@@ -22,8 +31,10 @@ let create sched ~delay ?(loss_rate = 0.) ?rng () =
     sink = None;
     taps = [||];
     drop_filter = None;
+    fault_hook = None;
     delivered_count = 0;
     lost_count = 0;
+    dup_count = 0;
     flying = 0;
   }
 
@@ -37,6 +48,16 @@ let add_tap t tap =
   Array.blit t.taps 0 taps 0 n;
   t.taps <- taps
 let set_drop_filter t f = t.drop_filter <- Some f
+let set_fault_hook t h = t.fault_hook <- Some h
+
+let deliver_after t sink pkt extra =
+  t.flying <- t.flying + 1;
+  let delay = Sim.Time.add t.prop_delay (Sim.Time.max extra Sim.Time.zero) in
+  ignore
+    (Sim.Scheduler.after t.sched delay (fun () ->
+         t.flying <- t.flying - 1;
+         t.delivered_count <- t.delivered_count + 1;
+         sink pkt))
 
 let transmit t pkt =
   let sink =
@@ -53,16 +74,19 @@ let transmit t pkt =
   in
   if filtered || (t.loss_rate > 0. && Sim.Rng.float t.rng < t.loss_rate)
   then t.lost_count <- t.lost_count + 1
-  else begin
-    t.flying <- t.flying + 1;
-    ignore
-      (Sim.Scheduler.after t.sched t.prop_delay (fun () ->
-           t.flying <- t.flying - 1;
-           t.delivered_count <- t.delivered_count + 1;
-           sink pkt))
-  end
+  else
+    match t.fault_hook with
+    | None -> deliver_after t sink pkt Sim.Time.zero
+    | Some hook -> (
+        match hook now pkt with
+        | [] -> t.lost_count <- t.lost_count + 1
+        | [ extra ] -> deliver_after t sink pkt extra
+        | extras ->
+            t.dup_count <- t.dup_count + List.length extras - 1;
+            List.iter (deliver_after t sink pkt) extras)
 
 let delay t = t.prop_delay
 let delivered t = t.delivered_count
 let lost t = t.lost_count
+let duplicated t = t.dup_count
 let in_flight t = t.flying

@@ -2,7 +2,10 @@
 
     A link models only propagation delay (and optional random corruption
     loss); serialization happens upstream in the {!Nic}. Packets in
-    flight are independent events, so the link never reorders. *)
+    flight are independent events, so the link itself never reorders —
+    reordering, duplication and scheduled impairments are injected
+    through the fault hook ({!set_fault_hook}, see
+    {!Fault_model.install}). *)
 
 type t
 
@@ -13,16 +16,20 @@ val create :
   ?rng:Sim.Rng.t ->
   unit ->
   t
-(** [loss_rate] is a per-packet independent corruption probability
-    (default 0). When positive an [rng] should be supplied for
-    reproducibility; otherwise a fixed-seed stream is used. *)
+(** [loss_rate] is a per-packet independent corruption probability in
+    the closed interval [\[0, 1\]] (default 0; 1 is a full blackout).
+    Values outside the interval raise [Invalid_argument]. When no [rng]
+    is supplied the link derives its own stream from the scheduler-wide
+    seed via {!Sim.Scheduler.derive_rng}, so two lossy links created on
+    the same scheduler make independent loss decisions while staying
+    deterministic in the seed. *)
 
 val connect : t -> (Packet.t -> unit) -> unit
 (** Set the receiving endpoint. Must be called before any transmit. *)
 
 val transmit : t -> Packet.t -> unit
 (** Begin propagation of [pkt]; it is delivered [delay] later unless
-    corrupted. *)
+    corrupted, dropped or rescheduled by the fault hook. *)
 
 val add_tap : t -> (Sim.Time.t -> Packet.t -> unit) -> unit
 (** Observe every packet entering the link (before any loss decision),
@@ -35,9 +42,23 @@ val set_drop_filter : t -> (Packet.t -> bool) -> unit
     [loss_rate]. Intended for tests that need to kill one specific
     segment. *)
 
+val set_fault_hook : t -> (Sim.Time.t -> Packet.t -> Sim.Time.t list) -> unit
+(** Install the fault-injection hook, consulted for every packet that
+    survives the drop filter and the random [loss_rate]. The hook maps
+    [(now, pkt)] to the list of extra propagation delays, one delivery
+    per element: [[]] drops the packet (counted in {!lost});
+    [[Time.zero]] is a normal delivery; a positive element delays that
+    copy beyond [delay] (modelling reordering or a path-delay change);
+    two or more elements duplicate the packet (extra copies counted in
+    {!duplicated}). Negative delays are clamped to zero. *)
+
 val delay : t -> Sim.Time.t
 val delivered : t -> int
 val lost : t -> int
-(** Packets corrupted in flight so far. *)
+(** Packets corrupted in flight or dropped by the fault hook so far. *)
+
+val duplicated : t -> int
+(** Extra copies created by the fault hook (a packet delivered twice
+    counts one transmit, two {!delivered}, one {!duplicated}). *)
 
 val in_flight : t -> int

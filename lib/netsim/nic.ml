@@ -10,7 +10,8 @@ type t = {
 }
 
 let create sched ~rate ~queue =
-  assert (rate > 0.);
+  if not (rate > 0.) then
+    invalid_arg (Printf.sprintf "Nic.create: rate %g must be positive" rate);
   {
     sched;
     line_rate = rate;

@@ -9,6 +9,8 @@ type t
 
 val create :
   Sim.Scheduler.t -> rate:Sim.Units.rate -> queue:Queue_disc.t -> t
+(** [rate] must be strictly positive; raises [Invalid_argument]
+    otherwise. *)
 
 val attach : t -> Link.t -> unit
 (** Connect the outgoing link. Must precede the first {!kick}. *)

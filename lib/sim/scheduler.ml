@@ -4,6 +4,8 @@ type t = {
   mutable clock : Time.t;
   events : Event_queue.t;
   random : Rng.t;
+  seed : int;
+  mutable derived_streams : int;
 }
 
 let create ?(seed = 1) () =
@@ -11,10 +13,22 @@ let create ?(seed = 1) () =
     clock = Time.zero;
     events = Event_queue.create ();
     random = Rng.of_seed seed;
+    seed;
+    derived_streams = 0;
   }
 
 let now t = t.clock
 let rng t = t.random
+let seed t = t.seed
+
+(* Streams are numbered in creation order, which is deterministic for a
+   given model construction, so a component that asks for its own stream
+   gets the same one on every run with the same seed — without consuming
+   any draws from the shared {!rng} stream. *)
+let derive_rng t =
+  let stream = t.derived_streams in
+  t.derived_streams <- stream + 1;
+  Rng.of_seed (Rng.derive_seed ~root:t.seed ~stream)
 
 let at t time action =
   if Time.(time < t.clock) then

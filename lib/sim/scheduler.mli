@@ -20,6 +20,17 @@ val rng : t -> Rng.t
 (** The simulation-wide random stream. Components needing independent
     streams should {!Rng.split} it at setup time. *)
 
+val seed : t -> int
+(** The seed this scheduler was created with. *)
+
+val derive_rng : t -> Rng.t
+(** A fresh stream derived from {!seed} via {!Rng.derive_seed}, numbered
+    by creation order. Unlike {!Rng.split} on the shared {!rng}, this
+    consumes nothing from the simulation-wide stream, so adding a
+    component that derives its own stream does not perturb the random
+    decisions of unrelated components. Deterministic for a fixed seed
+    and construction order. *)
+
 val at : t -> Time.t -> (unit -> unit) -> handle
 (** [at t time f] schedules [f] for absolute [time]. Raises
     [Invalid_argument] if [time] is in the past. *)

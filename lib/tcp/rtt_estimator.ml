@@ -58,4 +58,5 @@ let backoff t =
   if t.backoff_factor < 64 then t.backoff_factor <- t.backoff_factor * 2
 
 let reset_backoff t = t.backoff_factor <- 1
+let backoff_factor t = t.backoff_factor
 let samples t = t.sample_count

@@ -31,4 +31,9 @@ val backoff : t -> unit
 val reset_backoff : t -> unit
 (** Clear backoff after an ACK of new data. *)
 
+val backoff_factor : t -> int
+(** Current multiplier on the computed RTO: 1 when not backed off,
+    doubling per {!backoff} up to 64. The effective {!rto} additionally
+    clamps at [max_rto]. *)
+
 val samples : t -> int

@@ -485,14 +485,19 @@ let on_new_ack t ~newly ~rtt_sample header =
 let handle_ack t header =
   bump t Web100.Kis.acks_in;
   let now = Sim.Scheduler.now t.sched in
+  (* Karn's rule, timestamp form: only an ACK that advances snd_una (or
+     the SYN-ACK) feeds the estimator. A duplicated or long-delayed old
+     segment makes the receiver re-ACK echoing that segment's ancient
+     ts_val; sampling it would inflate SRTT/RTO by the whole detour. *)
   let rtt_sample =
     let ecr = header.Proto.Tcp_header.ts_ecr in
-    if Sim.Time.(ecr > Sim.Time.zero) then begin
-      let sample = Sim.Time.sub now ecr in
-      Rtt_estimator.sample t.rtt sample;
-      Some sample
-    end
+    if Sim.Time.(ecr > Sim.Time.zero) then Some (Sim.Time.sub now ecr)
     else None
+  in
+  let take_sample () =
+    match rtt_sample with
+    | Some s -> Rtt_estimator.sample t.rtt s
+    | None -> ()
   in
   let prev_rwnd = t.rwnd in
   t.rwnd <- Stdlib.max 0 header.Proto.Tcp_header.wnd;
@@ -523,6 +528,7 @@ let handle_ack t header =
   if t.ph = Syn_sent then begin
     if Proto.Tcp_header.has_flag header Proto.Tcp_header.Syn then begin
       (* SYN/ACK: connection established. *)
+      take_sample ();
       cancel_rto t;
       Rtt_estimator.reset_backoff t.rtt;
       t.ph <- Slow_start_p;
@@ -535,6 +541,7 @@ let handle_ack t header =
   else begin
     let ack_off = offset_of_seq t header.Proto.Tcp_header.ack in
     if ack_off > t.una && ack_off <= t.una + (1 lsl 30) then begin
+      take_sample ();
       (* An ACK above snd_nxt is possible after go-back-N regressed
          snd_nxt: the receiver is acknowledging pre-timeout data. The
          data exists; resynchronize snd_nxt instead of dropping the
@@ -649,6 +656,7 @@ let bytes_sent t = t.bytes_sent_total
 let srtt t = Rtt_estimator.srtt t.rtt
 let min_rtt t = Rtt_estimator.min_rtt t.rtt
 let rto t = Rtt_estimator.rto t.rtt
+let rto_backoff t = Rtt_estimator.backoff_factor t.rtt
 let send_stalls t = Web100.Group.Counter.value (counter t Web100.Kis.send_stall)
 
 let congestion_signals t =

@@ -64,6 +64,12 @@ val bytes_sent : t -> int
 val srtt : t -> Sim.Time.t option
 val min_rtt : t -> Sim.Time.t option
 val rto : t -> Sim.Time.t
+
+val rto_backoff : t -> int
+(** Exponential-backoff multiplier currently applied to {!rto} (1 when
+    not backed off; doubles per timeout, resets on the first ACK of new
+    data — Karn's algorithm). *)
+
 val send_stalls : t -> int
 val congestion_signals : t -> int
 val timeouts : t -> int

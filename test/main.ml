@@ -10,6 +10,7 @@ let () =
       ("proto.seqno", Test_seqno.suite);
       ("netsim.queue-disc", Test_queue_disc.suite);
       ("netsim.components", Test_netsim.suite);
+      ("netsim.fault-model", Test_fault_model.suite);
       ("control", Test_control.suite);
       ("web100", Test_web100.suite);
       ("tcp.interval-set", Test_interval_set.suite);
@@ -19,10 +20,12 @@ let () =
       ("tcp.cong-avoid", Test_cong_avoid.suite);
       ("tcp.shared-rss", Test_shared_rss.suite);
       ("tcp.recovery", Test_recovery.suite);
+      ("tcp.rto-backoff", Test_rto_backoff.suite);
       ("tcp.integration", Test_tcp_integration.suite);
       ("workload", Test_workload.suite);
       ("report", Test_report.suite);
       ("core", Test_core.suite);
+      ("core.chaos", Test_chaos.suite);
       ("engine.pool", Test_engine.suite);
       ("engine.determinism", Test_determinism.suite);
       ("prop.event-queue", Test_prop_event_queue.suite);

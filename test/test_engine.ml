@@ -94,6 +94,27 @@ let test_sequential_degradation () =
       with Engine.Pool.Task_failed { label; _ } ->
         Alcotest.(check string) "sequential failure labelled" "solo" label)
 
+let test_poisoned_cell_leaves_survivors_identical () =
+  (* The chaos-sweep pattern: tasks wrap their own failures into result
+     rows instead of raising, so one poisoned cell costs exactly its own
+     row and the surviving rows match the sequential run byte for byte. *)
+  let captured i =
+    try if i = 5 then failwith "poisoned cell" else work i
+    with Failure m -> Printf.sprintf "%d:FAILED(%s)" i m
+  in
+  let rows jobs =
+    Engine.Pool.with_pool ~jobs (fun pool ->
+        Engine.Pool.map pool
+          ~label:(fun i -> Printf.sprintf "cell-%d" i)
+          ~f:captured (List.init 12 Fun.id))
+  in
+  let sequential = rows 1 in
+  Alcotest.(check string) "poisoned row carries its own error"
+    "5:FAILED(poisoned cell)" (List.nth sequential 5);
+  Alcotest.(check int) "batch drained" 12 (List.length sequential);
+  Alcotest.(check (list string)) "survivors identical at --jobs 4"
+    sequential (rows 4)
+
 let test_create_rejects_zero_jobs () =
   Alcotest.(check bool) "invalid_arg on jobs=0" true
     (try
@@ -112,5 +133,7 @@ let suite =
       test_first_failure_in_canonical_order;
     Alcotest.test_case "sequential degradation (jobs=1)" `Quick
       test_sequential_degradation;
+    Alcotest.test_case "poisoned cell leaves survivors identical" `Quick
+      test_poisoned_cell_leaves_survivors_identical;
     Alcotest.test_case "jobs=0 rejected" `Quick test_create_rejects_zero_jobs;
   ]

@@ -1,0 +1,249 @@
+(* Fault-model unit tests: Gilbert–Elliott burstiness, scheduled
+   outages and delay steps, duplication/reordering, validation, and
+   decision-stream determinism. *)
+
+let pkt ?(id = 0) () =
+  Netsim.Packet.make ~id ~flow:9 ~src:0 ~dst:1 ~created:Sim.Time.zero
+    (Proto.Payload.Udp { seq = id; payload_len = 1000 })
+
+let model ?(seed = 11) profile =
+  Netsim.Fault_model.create ~rng:(Sim.Rng.of_seed seed) profile
+
+let no_faults = Netsim.Fault_model.passthrough
+
+let invalid f =
+  try
+    ignore (f ());
+    false
+  with Invalid_argument _ -> true
+
+let test_passthrough () =
+  let m = model no_faults in
+  for i = 0 to 99 do
+    Alcotest.(check (list int))
+      "delivered once, no extra delay" [ 0 ]
+      (List.map Sim.Time.to_ns_int
+         (Netsim.Fault_model.decide m ~now:Sim.Time.zero (pkt ~id:i ())))
+  done;
+  Alcotest.(check int) "no drops" 0 (Netsim.Fault_model.random_drops m)
+
+let test_ge_burstiness () =
+  (* Perfect-burst channel: lossless in good, total loss in bad. Drops
+     must appear, must be bursty (mean run ≈ 1/p_bg = 5), and must all
+     be attributed to the GE counter. *)
+  let m =
+    model
+      {
+        no_faults with
+        Netsim.Fault_model.ge =
+          Some
+            {
+              Netsim.Fault_model.p_gb = 0.05;
+              p_bg = 0.2;
+              loss_good = 0.;
+              loss_bad = 1.;
+            };
+      }
+  in
+  let n = 5000 in
+  let dropped = Array.make n false in
+  for i = 0 to n - 1 do
+    dropped.(i) <-
+      Netsim.Fault_model.decide m ~now:Sim.Time.zero (pkt ~id:i ()) = []
+  done;
+  let drops = Array.fold_left (fun a d -> if d then a + 1 else a) 0 dropped in
+  Alcotest.(check int) "all drops are GE drops" drops
+    (Netsim.Fault_model.random_drops m);
+  Alcotest.(check bool) "channel actually lossy" true (drops > 100);
+  (* Mean length of consecutive-drop runs: an independent Bernoulli
+     channel at the same rate would sit near 1/(1-p) ≈ 1.25; the burst
+     channel should be near 1/p_bg = 5. *)
+  let runs = ref 0 and in_run = ref false in
+  Array.iter
+    (fun d ->
+      if d && not !in_run then incr runs;
+      in_run := d)
+    dropped;
+  let mean_run = float_of_int drops /. float_of_int (max 1 !runs) in
+  Alcotest.(check bool)
+    (Printf.sprintf "bursty (mean run %.2f > 2.5)" mean_run)
+    true (mean_run > 2.5)
+
+let test_outage_window () =
+  let m =
+    model
+      {
+        no_faults with
+        Netsim.Fault_model.schedule =
+          [
+            Netsim.Fault_model.Outage
+              { start = Sim.Time.ms 10; stop = Sim.Time.ms 20 };
+          ];
+      }
+  in
+  let delivered_at t =
+    Netsim.Fault_model.decide m ~now:t (pkt ()) <> []
+  in
+  Alcotest.(check bool) "before outage" true (delivered_at (Sim.Time.ms 5));
+  Alcotest.(check bool) "start is inclusive" false
+    (delivered_at (Sim.Time.ms 10));
+  Alcotest.(check bool) "inside outage" false (delivered_at (Sim.Time.ms 15));
+  Alcotest.(check bool) "stop is exclusive" true
+    (delivered_at (Sim.Time.ms 20));
+  Alcotest.(check int) "outage drops counted" 2
+    (Netsim.Fault_model.outage_drops m);
+  Alcotest.(check int) "not attributed to GE" 0
+    (Netsim.Fault_model.random_drops m);
+  Alcotest.(check (option int)) "last outage end" (Some 20_000_000)
+    (Option.map Sim.Time.to_ns_int (Netsim.Fault_model.last_outage_end m))
+
+let test_delay_step () =
+  let m =
+    model
+      {
+        no_faults with
+        Netsim.Fault_model.schedule =
+          [
+            Netsim.Fault_model.Delay_step
+              { at = Sim.Time.ms 10; extra = Sim.Time.ms 3 };
+          ];
+      }
+  in
+  Alcotest.(check (list int)) "before the step: no extra delay" [ 0 ]
+    (List.map Sim.Time.to_ns_int
+       (Netsim.Fault_model.decide m ~now:(Sim.Time.ms 5) (pkt ())));
+  Alcotest.(check (list int)) "after the step: +3 ms" [ 3_000_000 ]
+    (List.map Sim.Time.to_ns_int
+       (Netsim.Fault_model.decide m ~now:(Sim.Time.ms 15) (pkt ())))
+
+let test_duplicate_and_reorder () =
+  let m =
+    model
+      {
+        no_faults with
+        Netsim.Fault_model.duplicate =
+          Some { Netsim.Fault_model.prob = 1.; max_extra = Sim.Time.ms 2 };
+        reorder =
+          Some { Netsim.Fault_model.prob = 1.; max_extra = Sim.Time.ms 5 };
+      }
+  in
+  let copies = Netsim.Fault_model.decide m ~now:Sim.Time.zero (pkt ()) in
+  Alcotest.(check int) "two copies" 2 (List.length copies);
+  List.iter
+    (fun d ->
+      Alcotest.(check bool) "extra delay within bounds" true
+        Sim.Time.(d >= Sim.Time.zero && d <= Sim.Time.ms 7))
+    copies;
+  Alcotest.(check int) "duplicate counted" 1
+    (Netsim.Fault_model.duplicates m);
+  Alcotest.(check int) "reorder counted" 1 (Netsim.Fault_model.reordered m)
+
+let test_validation () =
+  let ge p_gb =
+    {
+      no_faults with
+      Netsim.Fault_model.ge =
+        Some
+          { Netsim.Fault_model.p_gb; p_bg = 0.5; loss_good = 0.; loss_bad = 1. };
+    }
+  in
+  Alcotest.(check bool) "probability > 1 rejected" true
+    (invalid (fun () -> model (ge 1.5)));
+  Alcotest.(check bool) "negative probability rejected" true
+    (invalid (fun () -> model (ge (-0.1))));
+  Alcotest.(check bool) "inverted outage rejected" true
+    (invalid (fun () ->
+         model
+           {
+             no_faults with
+             Netsim.Fault_model.schedule =
+               [
+                 Netsim.Fault_model.Outage
+                   { start = Sim.Time.ms 20; stop = Sim.Time.ms 10 };
+               ];
+           }));
+  Alcotest.(check bool) "negative delay step rejected" true
+    (invalid (fun () ->
+         model
+           {
+             no_faults with
+             Netsim.Fault_model.schedule =
+               [
+                 Netsim.Fault_model.Delay_step
+                   { at = Sim.Time.ms 1; extra = Sim.Time.ms (-1) };
+               ];
+           }))
+
+let lossy_profile =
+  {
+    Netsim.Fault_model.ge =
+      Some
+        {
+          Netsim.Fault_model.p_gb = 0.1;
+          p_bg = 0.3;
+          loss_good = 0.01;
+          loss_bad = 0.8;
+        };
+    reorder = Some { Netsim.Fault_model.prob = 0.1; max_extra = Sim.Time.ms 4 };
+    duplicate =
+      Some { Netsim.Fault_model.prob = 0.05; max_extra = Sim.Time.ms 2 };
+    schedule =
+      [
+        Netsim.Fault_model.Outage
+          { start = Sim.Time.ms 30; stop = Sim.Time.ms 60 };
+      ];
+  }
+
+let test_decision_stream_determinism () =
+  let run () =
+    let m = model ~seed:77 lossy_profile in
+    List.init 500 (fun i ->
+        Netsim.Fault_model.decide m ~now:(Sim.Time.us (i * 200)) (pkt ~id:i ())
+        |> List.map Sim.Time.to_ns_int)
+  in
+  Alcotest.(check (list (list int)))
+    "same seed, same packets -> same decisions" (run ()) (run ())
+
+let test_link_integration_conservation () =
+  (* Install on a real link and check the conservation identity the
+     chaos harness asserts: tx = delivered + lost + in_flight − dups. *)
+  let s = Sim.Scheduler.create ~seed:3 () in
+  let link = Netsim.Link.create s ~delay:(Sim.Time.ms 1) () in
+  let received = ref 0 in
+  Netsim.Link.connect link (fun _ -> incr received);
+  let m = model ~seed:5 lossy_profile in
+  Netsim.Fault_model.install m link;
+  let sent = 400 in
+  for i = 0 to sent - 1 do
+    ignore
+      (Sim.Scheduler.at s
+         (Sim.Time.us (i * 250))
+         (fun () -> Netsim.Link.transmit link (pkt ~id:i ())))
+  done;
+  Sim.Scheduler.run s;
+  let delivered = Netsim.Link.delivered link in
+  let lost = Netsim.Link.lost link in
+  let dups = Netsim.Link.duplicated link in
+  Alcotest.(check int) "in_flight drained" 0 (Netsim.Link.in_flight link);
+  Alcotest.(check int) "conservation" sent (delivered + lost - dups);
+  Alcotest.(check int) "sink saw every delivery" delivered !received;
+  Alcotest.(check int) "losses attributed" lost
+    (Netsim.Fault_model.random_drops m + Netsim.Fault_model.outage_drops m);
+  Alcotest.(check int) "dups attributed" dups
+    (Netsim.Fault_model.duplicates m);
+  Alcotest.(check bool) "outage actually dropped packets" true
+    (Netsim.Fault_model.outage_drops m > 0)
+
+let suite =
+  [
+    Alcotest.test_case "passthrough" `Quick test_passthrough;
+    Alcotest.test_case "Gilbert-Elliott burstiness" `Quick test_ge_burstiness;
+    Alcotest.test_case "outage window" `Quick test_outage_window;
+    Alcotest.test_case "delay step" `Quick test_delay_step;
+    Alcotest.test_case "duplicate + reorder" `Quick test_duplicate_and_reorder;
+    Alcotest.test_case "profile validation" `Quick test_validation;
+    Alcotest.test_case "decision-stream determinism" `Quick
+      test_decision_stream_determinism;
+    Alcotest.test_case "link integration conservation" `Quick
+      test_link_integration_conservation;
+  ]

@@ -241,6 +241,75 @@ let test_drop_filter () =
     (List.sort compare !got);
   Alcotest.(check int) "drops counted" 5 (Netsim.Link.lost link)
 
+let test_link_loss_rate_validation () =
+  let s = Sim.Scheduler.create () in
+  let invalid rate =
+    try
+      ignore (Netsim.Link.create s ~delay:(Sim.Time.ms 1) ~loss_rate:rate ());
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "loss_rate > 1 rejected" true (invalid 1.2);
+  Alcotest.(check bool) "negative loss_rate rejected" true (invalid (-0.1));
+  Alcotest.(check bool) "NaN rejected" true (invalid Float.nan);
+  (* The boundaries are legal: 0 is lossless, 1 is a full blackout. *)
+  let blackout =
+    Netsim.Link.create s ~delay:(Sim.Time.ms 1) ~loss_rate:1. ()
+  in
+  Netsim.Link.connect blackout (fun _ -> Alcotest.fail "delivered at p=1");
+  for i = 0 to 9 do
+    Netsim.Link.transmit blackout (udp_pkt ~id:i ~src:0 ~dst:1 ())
+  done;
+  Sim.Scheduler.run s;
+  Alcotest.(check int) "everything lost" 10 (Netsim.Link.lost blackout)
+
+let test_nic_rate_validation () =
+  let s = Sim.Scheduler.create () in
+  let invalid rate =
+    try
+      let q = Netsim.Queue_disc.droptail ~capacity_packets:4 () in
+      ignore (Netsim.Nic.create s ~rate ~queue:q);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "zero rate rejected" true (invalid 0.);
+  Alcotest.(check bool) "negative rate rejected" true
+    (invalid (Sim.Units.mbps (-10.)))
+
+(* Two lossy links on one scheduler, neither given an explicit RNG: each
+   must get its own derived stream (not a shared fixed seed), and the
+   whole arrangement must reproduce exactly from the scheduler seed. *)
+let loss_pattern_pair ~seed =
+  let s = Sim.Scheduler.create ~seed () in
+  let mk () =
+    let link =
+      Netsim.Link.create s ~delay:(Sim.Time.ms 1) ~loss_rate:0.5 ()
+    in
+    Netsim.Link.connect link (fun _ -> ());
+    link
+  in
+  let l1 = mk () and l2 = mk () in
+  let pattern link =
+    List.init 64 (fun i ->
+        let before = Netsim.Link.lost link in
+        Netsim.Link.transmit link (udp_pkt ~id:i ~src:0 ~dst:1 ());
+        Netsim.Link.lost link > before)
+  in
+  let p1 = pattern l1 and p2 = pattern l2 in
+  Sim.Scheduler.run s;
+  (p1, p2)
+
+let test_per_link_derived_seeds () =
+  let p1, p2 = loss_pattern_pair ~seed:9 in
+  Alcotest.(check bool) "sibling links draw from different streams" false
+    (p1 = p2);
+  let q1, q2 = loss_pattern_pair ~seed:9 in
+  Alcotest.(check bool) "reproducible from the scheduler seed" true
+    (p1 = q1 && p2 = q2);
+  let r1, _ = loss_pattern_pair ~seed:10 in
+  Alcotest.(check bool) "different scheduler seed, different pattern" false
+    (p1 = r1)
+
 let qcheck_tracer_ring =
   QCheck.Test.make ~name:"tracer ring keeps exactly min(total,capacity)"
     ~count:100
@@ -266,6 +335,11 @@ let suite =
     QCheck_alcotest.to_alcotest qcheck_tracer_ring;
     Alcotest.test_case "link delay" `Quick test_link_delay;
     Alcotest.test_case "link loss" `Quick test_link_loss;
+    Alcotest.test_case "link loss-rate validation" `Quick
+      test_link_loss_rate_validation;
+    Alcotest.test_case "nic rate validation" `Quick test_nic_rate_validation;
+    Alcotest.test_case "per-link derived seeds" `Quick
+      test_per_link_derived_seeds;
     Alcotest.test_case "link unconnected" `Quick test_link_unconnected;
     Alcotest.test_case "nic serialization" `Quick test_nic_serialization;
     Alcotest.test_case "ifq stall/space hooks" `Quick test_ifq_stall_and_space;
