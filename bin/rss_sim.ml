@@ -44,6 +44,15 @@ let spec_of ~rate_mbps ~rtt_ms ~ifq ~duration_s ~seed ~loss =
     loss_rate = loss;
   }
 
+let positive_int =
+  let parse s =
+    match Arg.conv_parser Arg.int s with
+    | Ok n when n >= 1 -> Ok n
+    | Ok n -> Error (`Msg (Printf.sprintf "expected N >= 1, got %d" n))
+    | Error _ as e -> e
+  in
+  Arg.conv (parse, Arg.conv_printer Arg.int)
+
 let print_result (r : Core.Run.result) =
   Printf.printf
     "%-11s  goodput %7.2f Mbit/s  util %5.1f%%  stalls %-3d cong.signals \
@@ -53,6 +62,99 @@ let print_result (r : Core.Run.result) =
     r.Core.Run.send_stalls r.Core.Run.congestion_signals
     r.Core.Run.retransmits r.Core.Run.timeouts r.Core.Run.final_cwnd_segments
     r.Core.Run.mean_ifq
+
+(* --- run --spec --------------------------------------------------------- *)
+
+let rec ensure_dir dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
+  then begin
+    ensure_dir (Filename.dirname dir);
+    try Unix.mkdir dir 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let sanitize label =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '-')
+    label
+
+let print_path_stats (p : Core.Spec.path_stats) =
+  Printf.printf
+    "path         aggregate %6.2f Mbit/s  jain %6.4f  queue mean %6.1f \
+     peak %4.0f  router drops %d\n"
+    p.Core.Spec.aggregate_goodput_mbps p.Core.Spec.jain_index
+    p.Core.Spec.queue_mean p.Core.Spec.queue_peak p.Core.Spec.router_drops
+
+let run_spec_file ~path ~jobs ~out_dir =
+  let contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    with Sys_error e ->
+      prerr_endline e;
+      exit 2
+  in
+  let spec =
+    match Report.Json.of_string contents with
+    | Error e ->
+        Printf.eprintf "%s: %s\n" path e;
+        exit 2
+    | Ok json -> (
+        match Core.Spec.of_json json with
+        | Error e ->
+            Printf.eprintf "%s: %s\n" path e;
+            exit 2
+        | Ok spec -> spec)
+  in
+  let outcome =
+    try
+      if jobs > 1 then
+        Engine.Pool.with_pool ~jobs (fun pool ->
+            match Core.Spec.run_batch ~pool [ spec ] with
+            | [ o ] -> o
+            | _ -> assert false)
+      else Core.Spec.run spec
+    with Invalid_argument e ->
+      prerr_endline e;
+      exit 2
+  in
+  List.iter print_result outcome.Core.Spec.results;
+  print_path_stats outcome.Core.Spec.path;
+  match out_dir with
+  | None -> ()
+  | Some dir ->
+      ensure_dir dir;
+      let base = sanitize spec.Core.Spec.name in
+      let json_path = Filename.concat dir (base ^ "_outcome.json") in
+      let oc = open_out json_path in
+      output_string oc (Report.Json.to_string (Core.Spec.outcome_to_json outcome));
+      close_out oc;
+      Printf.printf "wrote %s\n" json_path;
+      if spec.Core.Spec.record_series then
+        List.iter
+          (fun (r : Core.Run.result) ->
+            List.iter
+              (fun (tag, series) ->
+                let path =
+                  Filename.concat dir
+                    (Printf.sprintf "%s_%s_%s.csv" base
+                       (sanitize r.Core.Run.label) tag)
+                in
+                Report.Csv.write_series ~path ~name:tag series;
+                Printf.printf "wrote %s\n" path)
+              [
+                ("cwnd", r.Core.Run.cwnd_series);
+                ("stalls", r.Core.Run.stalls_series);
+                ("ifq", r.Core.Run.ifq_series);
+                ("throughput", r.Core.Run.throughput_series);
+                ("srtt", r.Core.Run.srtt_series);
+              ])
+          outcome.Core.Spec.results
 
 (* --- run ---------------------------------------------------------------- *)
 
@@ -85,8 +187,34 @@ let run_cmd =
     let doc = "Draw an ASCII chart of the window trajectory." in
     Arg.(value & flag & info [ "chart" ] ~doc)
   in
+  let spec_file =
+    let doc =
+      "Run the scenario described by a JSON spec file instead of the \
+       single-flow path options (see $(b,rss_sim spec --print-default) \
+       for the schema). Prints one line per flow plus path statistics."
+    in
+    Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"FILE" ~doc)
+  in
+  let jobs =
+    let doc =
+      "Worker domains when running a --spec scenario (1 disables \
+       parallelism). Output is byte-identical for any value."
+    in
+    Arg.(value & opt positive_int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let out_dir =
+    let doc =
+      "With --spec: write the outcome as JSON (and per-flow series CSVs \
+       when the spec records series) under this directory."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
   let action slow_start local_congestion bytes csv_prefix pacing cc
-      chart rate_mbps rtt_ms ifq duration_s seed loss =
+      chart spec_file jobs out_dir rate_mbps rtt_ms ifq duration_s seed
+      loss =
+    match spec_file with
+    | Some path -> run_spec_file ~path ~jobs ~out_dir
+    | None ->
     let cong_avoid =
       match cc with
       | "reno" -> Core.Run.Reno
@@ -149,11 +277,14 @@ let run_cmd =
   let term =
     Term.(
       const action $ slow_start $ local_congestion $ bytes $ csv_prefix
-      $ pacing $ cc $ chart $ rate_mbps $ rtt_ms $ ifq $ duration_s $ seed
-      $ loss)
+      $ pacing $ cc $ chart $ spec_file $ jobs $ out_dir $ rate_mbps
+      $ rtt_ms $ ifq $ duration_s $ seed $ loss)
   in
   Cmd.v
-    (Cmd.info "run" ~doc:"Run one bulk transfer and report web100 counters.")
+    (Cmd.info "run"
+       ~doc:
+         "Run one bulk transfer (or, with --spec, a JSON-described \
+          scenario) and report web100 counters.")
     term
 
 (* --- compare ------------------------------------------------------------ *)
@@ -164,18 +295,9 @@ let compare_cmd =
       "Worker domains for the four policy runs (default: all cores; 1 \
        disables parallelism). Output is identical for any value."
     in
-    let positive =
-      let parse s =
-        match Arg.conv_parser Arg.int s with
-        | Ok n when n >= 1 -> Ok n
-        | Ok n -> Error (`Msg (Printf.sprintf "expected N >= 1, got %d" n))
-        | Error _ as e -> e
-      in
-      Arg.conv (parse, Arg.conv_printer Arg.int)
-    in
     Arg.(
       value
-      & opt positive (Engine.Pool.default_jobs ())
+      & opt positive_int (Engine.Pool.default_jobs ())
       & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
   let action jobs rate_mbps rtt_ms ifq duration_s seed loss =
@@ -240,7 +362,7 @@ let chaos_cmd =
             exit 1
         | Ok (outcome, identical) ->
             Printf.printf "replayed %s: %s, trace %s\n"
-              outcome.Core.Chaos.case.Core.Chaos.name
+              (Core.Chaos.case_name outcome.Core.Chaos.case)
               (if Core.Chaos.passed outcome then "passed"
                else
                  Printf.sprintf "%d violation(s)"
@@ -263,7 +385,7 @@ let chaos_cmd =
         List.iter
           (fun (o : Core.Chaos.outcome) ->
             Printf.printf "%-28s %-6s acked %8d  timeouts %-3d retx %-4d\n"
-              o.Core.Chaos.case.Core.Chaos.name
+              (Core.Chaos.case_name o.Core.Chaos.case)
               (if Core.Chaos.passed o then "ok" else "FAIL")
               o.Core.Chaos.bytes_acked o.Core.Chaos.timeouts
               o.Core.Chaos.retransmits;
@@ -292,6 +414,75 @@ let chaos_cmd =
           duplication, outages) through the simulator and check \
           invariants; failures are written as replayable JSON artifacts.")
     term
+
+(* --- list ---------------------------------------------------------------- *)
+
+let list_cmd =
+  (* The experiment sections live in bench/main.ml (an executable, not a
+     library), so the catalog is mirrored here by hand. *)
+  let experiments =
+    [
+      ("fig1", "cumulative send-stall signals, 0-25 s (paper figure 1)");
+      ("table1", "§4 throughput claim (paper: ~40% improvement)");
+      ("e2", "slow-start variant comparison on the paper path");
+      ("e3", "throughput vs interface-queue size (std vs RSS)");
+      ("e4", "throughput vs round-trip time (std vs RSS)");
+      ("e5", "slow-start overshoot loss at a network bottleneck");
+      ("e6", "PID tuning ablation (ZN experiment on the live simulator)");
+      ("e7", "local-congestion policy ablation");
+      ("e8", "friendliness: RSS vs Reno on a shared bottleneck");
+      ("e9", "gain scheduling: fixed vs RTT-adaptive RSS");
+      ("e10", "does pacing alone prevent send-stalls?");
+      ("e11", "parallel GridFTP-style streams sharing one host");
+      ("e12", "ECN marking on the local qdisc vs the RSS controller");
+      ("e13", "robustness sweeps (cross-traffic, faults, short flows)");
+      ("e14", "the latency cost of a standing queue");
+      ("micro", "microbenchmarks (Bechamel, monotonic clock)");
+    ]
+  in
+  let action () =
+    print_endline
+      "experiments (bench sections; run with: dune exec bench/main.exe -- \
+       SECTION):";
+    List.iter
+      (fun (name, doc) -> Printf.printf "  %-8s %s\n" name doc)
+      experiments;
+    print_endline "";
+    print_endline
+      "slow-start policies (--slow-start NAME / spec flow \"slow_start\"):";
+    List.iter (Printf.printf "  %s\n") Tcp.Slow_start.names;
+    print_endline "";
+    print_endline "workload kinds (spec flow \"workload\".\"kind\"):";
+    List.iter (Printf.printf "  %s\n") Core.Spec.workload_kinds
+  in
+  Cmd.v
+    (Cmd.info "list"
+       ~doc:
+         "List the experiment catalog, slow-start policies and workload \
+          kinds.")
+    Term.(const action $ const ())
+
+(* --- spec ---------------------------------------------------------------- *)
+
+let spec_cmd =
+  let print_default =
+    let doc =
+      "Print a commented spec-file template (\"_doc\" keys explain each \
+       field; they are ignored by the parser)."
+    in
+    Arg.(value & flag & info [ "print-default" ] ~doc)
+  in
+  let action print_default =
+    if print_default then print_string (Core.Spec.template ())
+    else
+      print_string (Report.Json.to_string (Core.Spec.to_json Core.Spec.default))
+  in
+  Cmd.v
+    (Cmd.info "spec"
+       ~doc:
+         "Print the default scenario spec as JSON (with --print-default, a \
+          commented template) for use with $(b,rss_sim run --spec).")
+    Term.(const action $ print_default)
 
 (* --- calibrate ----------------------------------------------------------- *)
 
@@ -331,4 +522,6 @@ let () =
   let info = Cmd.info "rss_sim" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
-       (Cmd.group info [ run_cmd; compare_cmd; chaos_cmd; calibrate_cmd ]))
+       (Cmd.group info
+          [ run_cmd; compare_cmd; chaos_cmd; calibrate_cmd; list_cmd;
+            spec_cmd ]))

@@ -2,46 +2,94 @@
    scenarios, with invariant checking and deterministic failure-replay
    artifacts.
 
-   A case is pure data (seed, path parameters, fault profiles); running
-   it is a pure function of that data, so an outcome — including its
-   canonical trace — is byte-identical under any --jobs value and on
-   replay from a serialized artifact. *)
+   A case is pure data — a {!Spec.t} plus the harness's own invariant
+   knobs; running it is a pure function of that data, so an outcome —
+   including its canonical trace — is byte-identical under any --jobs
+   value and on replay from a serialized artifact. *)
 
 module Json = Report.Json
 module Fm = Netsim.Fault_model
 
 type case = {
-  name : string;
-  seed : int;
-  variant : string;
-  rate : Sim.Units.rate;
-  one_way_delay : Sim.Time.t;
-  ifq_capacity : int;
-  duration : Sim.Time.t;
-  bytes : int option;
-  max_rto : Sim.Time.t;
+  spec : Spec.t;
   progress_rtos : int;
   check_completion : bool;
-  forward : Fm.profile;
-  reverse : Fm.profile;
 }
 
-let default_case =
+let make_case ?(name = "chaos") ?(seed = 1) ?(variant = "standard")
+    ?(rate = Sim.Units.mbps 100.) ?(one_way_delay = Sim.Time.ms 30)
+    ?(ifq_capacity = 100) ?(duration = Sim.Time.sec 20)
+    ?(bytes = Some (400 * 1460)) ?(max_rto = Sim.Time.sec 2)
+    ?(progress_rtos = 4) ?(check_completion = true) ?(forward = Fm.passthrough)
+    ?(reverse = Fm.passthrough) () =
   {
-    name = "chaos";
-    seed = 1;
-    variant = "standard";
-    rate = Sim.Units.mbps 100.;
-    one_way_delay = Sim.Time.ms 30;
-    ifq_capacity = 100;
-    duration = Sim.Time.sec 20;
-    bytes = Some (400 * 1460);
-    max_rto = Sim.Time.sec 2;
-    progress_rtos = 4;
-    check_completion = true;
-    forward = Fm.passthrough;
-    reverse = Fm.passthrough;
+    spec =
+      {
+        Spec.name;
+        seed;
+        duration;
+        sample_period = Sim.Time.ms 250;
+        record_series = false;
+        topology =
+          Spec.Duplex
+            {
+              Spec.rate;
+              one_way_delay;
+              ifq_capacity;
+              loss_rate = 0.;
+              ifq_red_ecn = None;
+            };
+        flows =
+          [
+            {
+              Spec.default_flow with
+              Spec.label = Some name;
+              slow_start = variant;
+              max_rto = Some max_rto;
+              workload = Spec.Bulk { bytes };
+            };
+          ];
+        faults = { Spec.forward; reverse };
+      };
+    progress_rtos;
+    check_completion;
   }
+
+let default_case = make_case ()
+
+let first_flow c =
+  match c.spec.Spec.flows with
+  | f :: _ -> f
+  | [] -> invalid_arg "Chaos: case spec has no flows"
+
+let adjust ?variant ?duration ?check_completion c =
+  let c =
+    match variant with
+    | None -> c
+    | Some v ->
+        let f = { (first_flow c) with Spec.slow_start = v } in
+        { c with spec = { c.spec with Spec.flows = [ f ] } }
+  in
+  let c =
+    match duration with
+    | None -> c
+    | Some d -> { c with spec = { c.spec with Spec.duration = d } }
+  in
+  match check_completion with
+  | None -> c
+  | Some b -> { c with check_completion = b }
+
+let case_name c = c.spec.Spec.name
+
+let case_max_rto c =
+  match (first_flow c).Spec.max_rto with
+  | Some rto -> rto
+  | None -> Tcp.Config.default.Tcp.Config.max_rto
+
+let case_bytes c =
+  match (first_flow c).Spec.workload with
+  | Spec.Bulk { bytes } -> bytes
+  | _ -> None
 
 type outcome = {
   case : case;
@@ -57,76 +105,13 @@ let passed o = o.violations = []
 
 (* --- JSON serialization ---------------------------------------------- *)
 
-let time_to_json t = Json.Number (float_of_int (Sim.Time.to_ns_int t))
-
-let time_of_json j =
-  Option.map (fun f -> Sim.Time.of_ns_int (int_of_float f)) (Json.number j)
-
-let jitter_to_json (j : Fm.jitter) =
-  Json.Obj
-    [ ("prob", Json.Number j.Fm.prob);
-      ("max_extra_ns", time_to_json j.Fm.max_extra) ]
-
-let ge_to_json (g : Fm.ge) =
-  Json.Obj
-    [
-      ("p_gb", Json.Number g.Fm.p_gb);
-      ("p_bg", Json.Number g.Fm.p_bg);
-      ("loss_good", Json.Number g.Fm.loss_good);
-      ("loss_bad", Json.Number g.Fm.loss_bad);
-    ]
-
-let event_to_json = function
-  | Fm.Outage { start; stop } ->
-      Json.Obj
-        [
-          ("kind", Json.String "outage");
-          ("start_ns", time_to_json start);
-          ("stop_ns", time_to_json stop);
-        ]
-  | Fm.Delay_step { at; extra } ->
-      Json.Obj
-        [
-          ("kind", Json.String "delay_step");
-          ("at_ns", time_to_json at);
-          ("extra_ns", time_to_json extra);
-        ]
-
-let opt_to_json f = function None -> Json.Null | Some v -> f v
-
-let profile_to_json (p : Fm.profile) =
-  Json.Obj
-    [
-      ("ge", opt_to_json ge_to_json p.Fm.ge);
-      ("reorder", opt_to_json jitter_to_json p.Fm.reorder);
-      ("duplicate", opt_to_json jitter_to_json p.Fm.duplicate);
-      ("schedule", Json.List (List.map event_to_json p.Fm.schedule));
-    ]
-
 let case_to_json c =
   Json.Obj
     [
-      ("name", Json.String c.name);
-      (* Seeds from [Rng.derive_seed] are 62-bit; a JSON double only
-         holds 53 bits, so the seed travels as a decimal string. *)
-      ("seed", Json.String (string_of_int c.seed));
-      ("variant", Json.String c.variant);
-      ("rate_mbps", Json.Number (Sim.Units.rate_to_mbps c.rate));
-      ("one_way_delay_ns", time_to_json c.one_way_delay);
-      ("ifq_capacity", Json.Number (float_of_int c.ifq_capacity));
-      ("duration_ns", time_to_json c.duration);
-      ( "bytes",
-        match c.bytes with
-        | None -> Json.Null
-        | Some b -> Json.Number (float_of_int b) );
-      ("max_rto_ns", time_to_json c.max_rto);
+      ("spec", Spec.to_json c.spec);
       ("progress_rtos", Json.Number (float_of_int c.progress_rtos));
       ("check_completion", Json.Bool c.check_completion);
-      ("forward", profile_to_json c.forward);
-      ("reverse", profile_to_json c.reverse);
     ]
-
-(* Parsing: every accessor threads an error message naming the field. *)
 
 let ( let* ) r f = Result.bind r f
 
@@ -135,168 +120,42 @@ let field key j =
   | Some v -> Ok v
   | None -> Error (Printf.sprintf "missing field %S" key)
 
-let num key j =
-  let* v = field key j in
-  match Json.number v with
-  | Some f -> Ok f
-  | None -> Error (Printf.sprintf "field %S is not a number" key)
-
 let str key j =
   let* v = field key j in
   match Json.string_value v with
   | Some s -> Ok s
   | None -> Error (Printf.sprintf "field %S is not a string" key)
 
-let time key j =
-  let* v = field key j in
-  match time_of_json v with
-  | Some t -> Ok t
-  | None -> Error (Printf.sprintf "field %S is not a time" key)
-
-let opt_field key parse j =
-  match Json.member key j with
-  | None | Some Json.Null -> Ok None
-  | Some v -> Result.map Option.some (parse v)
-
-let jitter_of_json j =
-  let* prob = num "prob" j in
-  let* max_extra = time "max_extra_ns" j in
-  Ok { Fm.prob; max_extra }
-
-let ge_of_json j =
-  let* p_gb = num "p_gb" j in
-  let* p_bg = num "p_bg" j in
-  let* loss_good = num "loss_good" j in
-  let* loss_bad = num "loss_bad" j in
-  Ok { Fm.p_gb; p_bg; loss_good; loss_bad }
-
-let event_of_json j =
-  let* kind = str "kind" j in
-  match kind with
-  | "outage" ->
-      let* start = time "start_ns" j in
-      let* stop = time "stop_ns" j in
-      Ok (Fm.Outage { start; stop })
-  | "delay_step" ->
-      let* at = time "at_ns" j in
-      let* extra = time "extra_ns" j in
-      Ok (Fm.Delay_step { at; extra })
-  | other -> Error (Printf.sprintf "unknown schedule event kind %S" other)
-
-let profile_of_json j =
-  let* ge = opt_field "ge" ge_of_json j in
-  let* reorder = opt_field "reorder" jitter_of_json j in
-  let* duplicate = opt_field "duplicate" jitter_of_json j in
-  let* schedule_json = field "schedule" j in
-  let* events =
-    match Json.list_value schedule_json with
-    | None -> Error "field \"schedule\" is not a list"
-    | Some items ->
-        List.fold_left
-          (fun acc item ->
-            let* acc = acc in
-            let* ev = event_of_json item in
-            Ok (ev :: acc))
-          (Ok []) items
-        |> Result.map List.rev
-  in
-  Ok { Fm.ge; reorder; duplicate; schedule = events }
-
 let case_of_json j =
-  let* name = str "name" j in
-  let* seed =
-    let* s = str "seed" j in
-    match int_of_string_opt s with
-    | Some n -> Ok n
-    | None -> Error (Printf.sprintf "field \"seed\" is not an integer: %S" s)
-  in
-  let* variant = str "variant" j in
-  let* rate_mbps = num "rate_mbps" j in
-  let* one_way_delay = time "one_way_delay_ns" j in
-  let* ifq_capacity = num "ifq_capacity" j in
-  let* duration = time "duration_ns" j in
-  let* bytes =
-    match Json.member "bytes" j with
-    | None | Some Json.Null -> Ok None
+  let* spec_json = field "spec" j in
+  let* spec = Spec.of_json spec_json in
+  let* progress_rtos =
+    match Json.member "progress_rtos" j with
+    | None -> Ok default_case.progress_rtos
     | Some v -> (
         match Json.number v with
-        | Some f -> Ok (Some (int_of_float f))
-        | None -> Error "field \"bytes\" is not a number")
+        | Some f -> Ok (int_of_float f)
+        | None -> Error "field \"progress_rtos\" is not a number")
   in
-  let* max_rto = time "max_rto_ns" j in
-  let* progress_rtos = num "progress_rtos" j in
   let* check_completion =
-    let* v = field "check_completion" j in
-    match v with
-    | Json.Bool b -> Ok b
-    | _ -> Error "field \"check_completion\" is not a bool"
+    match Json.member "check_completion" j with
+    | None -> Ok default_case.check_completion
+    | Some (Json.Bool b) -> Ok b
+    | Some _ -> Error "field \"check_completion\" is not a bool"
   in
-  let* forward_json = field "forward" j in
-  let* forward = profile_of_json forward_json in
-  let* reverse_json = field "reverse" j in
-  let* reverse = profile_of_json reverse_json in
-  Ok
-    {
-      name;
-      seed;
-      variant;
-      rate = Sim.Units.mbps rate_mbps;
-      one_way_delay;
-      ifq_capacity = int_of_float ifq_capacity;
-      duration;
-      bytes;
-      max_rto;
-      progress_rtos = int_of_float progress_rtos;
-      check_completion;
-      forward;
-      reverse;
-    }
+  Ok { spec; progress_rtos; check_completion }
 
 (* --- running one case ------------------------------------------------- *)
 
-let sample_period = Sim.Time.ms 250
-
-(* Distinct derive_seed streams for the two fault models, far from the
-   small stream indices sweeps use for their cells. *)
-let forward_stream = 0xFA1
-let reverse_stream = 0xFA2
-
 let run_case case =
-  let scenario =
-    Scenario.anl_lbnl ~seed:case.seed ~rate:case.rate
-      ~one_way_delay:case.one_way_delay ~ifq_capacity:case.ifq_capacity ()
+  let spec = case.spec in
+  let built = Spec.build spec in
+  let sched = Spec.sched built in
+  let sender =
+    match Spec.tcp_senders built with
+    | s :: _ -> s
+    | [] -> invalid_arg "Chaos.run_case: case spec has no TCP flow at t=0"
   in
-  let sched = scenario.Scenario.sched in
-  let fwd =
-    Fm.create
-      ~rng:
-        (Sim.Rng.of_seed
-           (Sim.Rng.derive_seed ~root:case.seed ~stream:forward_stream))
-      case.forward
-  in
-  let rev =
-    Fm.create
-      ~rng:
-        (Sim.Rng.of_seed
-           (Sim.Rng.derive_seed ~root:case.seed ~stream:reverse_stream))
-      case.reverse
-  in
-  Fm.install fwd (Scenario.forward_link scenario);
-  Fm.install rev (Scenario.reverse_link scenario);
-  let slow_start =
-    match Tcp.Slow_start.by_name case.variant with
-    | Ok ss -> ss
-    | Error e -> invalid_arg e
-  in
-  let config = { Tcp.Config.default with max_rto = case.max_rto } in
-  let transfer =
-    Workload.Bulk.start
-      ~src:(Scenario.sender_host scenario)
-      ~dst:(Scenario.receiver_host scenario)
-      ~flow:1 ~ids:scenario.Scenario.ids ~config ~slow_start
-      ?bytes:case.bytes ~name:case.name ()
-  in
-  let sender = Workload.Bulk.sender transfer in
   let mss = float_of_int Tcp.Config.default.Tcp.Config.mss in
   let violations = ref [] in
   let violate fmt =
@@ -340,13 +199,19 @@ let run_case case =
          current.(2) current.(3) current.(4)
          (Tcp.Sender.rto_backoff sender))
   in
-  ignore (Sim.Scheduler.every sched sample_period sample);
+  ignore (Sim.Scheduler.every sched spec.Spec.sample_period sample);
   (* Progress invariant: within [progress_rtos · max_rto] of the last
      outage ending, the connection must have made forward progress (or
      already be complete) — a stalled-forever sender after a blackout is
      exactly the regression class this harness exists to catch. *)
+  let fwd, rev = Spec.fault_models built in
+  let bytes = case_bytes case in
+  let max_rto = case_max_rto case in
   let last_outage_end =
-    match (Fm.last_outage_end fwd, Fm.last_outage_end rev) with
+    match
+      ( Option.bind fwd Fm.last_outage_end,
+        Option.bind rev Fm.last_outage_end )
+    with
     | None, None -> None
     | Some a, None -> Some a
     | None, Some b -> Some b
@@ -355,9 +220,9 @@ let run_case case =
   (match last_outage_end with
   | None -> ()
   | Some stop ->
-      let window = Sim.Time.mul_int case.max_rto case.progress_rtos in
+      let window = Sim.Time.mul_int max_rto case.progress_rtos in
       let deadline = Sim.Time.add stop window in
-      if Sim.Time.(deadline <= case.duration) then
+      if Sim.Time.(deadline <= spec.Spec.duration) then
         ignore
           (Sim.Scheduler.at sched stop (fun () ->
                let base = Tcp.Sender.bytes_acked sender in
@@ -365,7 +230,7 @@ let run_case case =
                  (Sim.Scheduler.at sched deadline (fun () ->
                       let now_acked = Tcp.Sender.bytes_acked sender in
                       let complete =
-                        match case.bytes with
+                        match bytes with
                         | Some b -> now_acked >= b
                         | None -> false
                       in
@@ -375,54 +240,58 @@ let run_case case =
                            ending at t=%.3fs (stuck at %d bytes)"
                           case.progress_rtos (Sim.Time.to_sec window)
                           (Sim.Time.to_sec stop) base)))));
-  Sim.Scheduler.run ~until:case.duration sched;
+  ignore (Spec.execute built);
   (* Packet conservation, per direction: every NIC transmit is exactly
-     one of delivered / lost / still flying, net of fault duplicates. *)
-  let conservation label nic link =
-    let tx = Netsim.Nic.tx_packets nic in
-    let accounted =
-      Netsim.Link.delivered link + Netsim.Link.lost link
-      + Netsim.Link.in_flight link
-      - Netsim.Link.duplicated link
-    in
-    if tx <> accounted then
-      violate
-        "%s packet conservation broken: tx=%d but delivered=%d lost=%d \
-         in_flight=%d duplicated=%d"
-        label tx (Netsim.Link.delivered link) (Netsim.Link.lost link)
-        (Netsim.Link.in_flight link)
-        (Netsim.Link.duplicated link)
-  in
-  conservation "forward"
-    (Netsim.Host.nic (Scenario.sender_host scenario))
-    (Scenario.forward_link scenario);
-  conservation "reverse"
-    (Netsim.Host.nic (Scenario.receiver_host scenario))
-    (Scenario.reverse_link scenario);
-  let delivered_fwd = Netsim.Link.delivered (Scenario.forward_link scenario) in
-  let rx = Netsim.Host.rx_packets (Scenario.receiver_host scenario) in
-  if delivered_fwd <> rx then
-    violate "delivery accounting broken: link delivered %d, host received %d"
-      delivered_fwd rx;
+     one of delivered / lost / still flying, net of fault duplicates.
+     Only meaningful on a duplex path, where the measured hosts sit
+     directly on the measured links (a dumbbell has routers between). *)
+  (match spec.Spec.topology with
+  | Spec.Dumbbell _ -> ()
+  | Spec.Duplex _ ->
+      let conservation label nic link =
+        let tx = Netsim.Nic.tx_packets nic in
+        let accounted =
+          Netsim.Link.delivered link + Netsim.Link.lost link
+          + Netsim.Link.in_flight link
+          - Netsim.Link.duplicated link
+        in
+        if tx <> accounted then
+          violate
+            "%s packet conservation broken: tx=%d but delivered=%d lost=%d \
+             in_flight=%d duplicated=%d"
+            label tx (Netsim.Link.delivered link) (Netsim.Link.lost link)
+            (Netsim.Link.in_flight link)
+            (Netsim.Link.duplicated link)
+      in
+      conservation "forward"
+        (Netsim.Host.nic (Spec.src_host built ~pair:0))
+        (Spec.forward_link built);
+      conservation "reverse"
+        (Netsim.Host.nic (Spec.dst_host built ~pair:0))
+        (Spec.reverse_link built);
+      let delivered_fwd = Netsim.Link.delivered (Spec.forward_link built) in
+      let rx = Netsim.Host.rx_packets (Spec.dst_host built ~pair:0) in
+      if delivered_fwd <> rx then
+        violate
+          "delivery accounting broken: link delivered %d, host received %d"
+          delivered_fwd rx);
   let bytes_acked = Tcp.Sender.bytes_acked sender in
   let completed =
-    match case.bytes with Some b -> bytes_acked >= b | None -> false
+    match bytes with Some b -> bytes_acked >= b | None -> false
   in
   if case.check_completion && not completed then
     violate "transfer incomplete at t=%.1fs: %d of %s bytes acked"
-      (Sim.Time.to_sec case.duration)
+      (Sim.Time.to_sec spec.Spec.duration)
       bytes_acked
-      (match case.bytes with
-      | Some b -> string_of_int b
-      | None -> "unbounded");
+      (match bytes with Some b -> string_of_int b | None -> "unbounded");
+  let fm_count f = match fwd with Some m -> f m | None -> 0 in
   Buffer.add_string trace
-    (Printf.sprintf
-       "summary,%d,%d,%d,%d,%d,%d,%d,%d\n" bytes_acked
+    (Printf.sprintf "summary,%d,%d,%d,%d,%d,%d,%d,%d\n" bytes_acked
        (Tcp.Sender.timeouts sender)
        (Tcp.Sender.retransmits sender)
        (Tcp.Sender.send_stalls sender)
-       (Fm.random_drops fwd) (Fm.outage_drops fwd) (Fm.duplicates fwd)
-       (Fm.reordered fwd));
+       (fm_count Fm.random_drops) (fm_count Fm.outage_drops)
+       (fm_count Fm.duplicates) (fm_count Fm.reordered));
   {
     case;
     completed;
@@ -452,8 +321,7 @@ let run_sweep ?pool cases =
   match pool with
   | None -> List.map run_case_captured cases
   | Some pool ->
-      Engine.Pool.map pool ~label:(fun c -> c.name) ~f:run_case_captured
-        cases
+      Engine.Pool.map pool ~label:case_name ~f:run_case_captured cases
 
 (* --- random schedule generation --------------------------------------- *)
 
@@ -462,7 +330,7 @@ let variants = [| "standard"; "restricted" |]
 let random_case ~root ~index =
   let seed = Sim.Rng.derive_seed ~root ~stream:index in
   let rng = Sim.Rng.of_seed seed in
-  let owd = default_case.one_way_delay in
+  let owd = Sim.Time.ms 30 in
   let variant = variants.(index mod Array.length variants) in
   let maybe p f = if Sim.Rng.float rng < p then Some (f ()) else None in
   let ge =
@@ -499,13 +367,10 @@ let random_case ~root ~index =
         Fm.Delay_step
           {
             at = Sim.Time.of_sec (Sim.Rng.uniform rng ~lo:1. ~hi:10.);
-            extra =
-              Sim.Time.scale owd (Sim.Rng.uniform rng ~lo:0. ~hi:2.);
+            extra = Sim.Time.scale owd (Sim.Rng.uniform rng ~lo:0. ~hi:2.);
           })
   in
-  let forward =
-    { Fm.ge; reorder; duplicate; schedule = outages @ steps }
-  in
+  let forward = { Fm.ge; reorder; duplicate; schedule = outages @ steps } in
   (* Occasionally impair the ACK path too, more lightly. *)
   let reverse =
     if Sim.Rng.float rng < 0.3 then
@@ -521,14 +386,9 @@ let random_case ~root ~index =
       }
     else Fm.passthrough
   in
-  {
-    default_case with
-    name = Printf.sprintf "chaos-%d-%03d-%s" root index variant;
-    seed;
-    variant;
-    forward;
-    reverse;
-  }
+  make_case
+    ~name:(Printf.sprintf "chaos-%d-%03d-%s" root index variant)
+    ~seed ~variant ~forward ~reverse ()
 
 let random_cases ~root n = List.init n (fun i -> random_case ~root ~index:i)
 
@@ -562,7 +422,7 @@ let sanitize name =
 
 let write_failure ~dir outcome =
   ensure_dir dir;
-  let path = Filename.concat dir (sanitize outcome.case.name ^ ".json") in
+  let path = Filename.concat dir (sanitize (case_name outcome.case) ^ ".json") in
   Out_channel.with_open_text path (fun oc ->
       Out_channel.output_string oc (Json.to_string (outcome_to_json outcome)));
   path
@@ -591,8 +451,7 @@ let load_artifact path =
           let* artifact_violations =
             match Json.list_value violations_json with
             | None -> Error "field \"violations\" is not a list"
-            | Some items ->
-                Ok (List.filter_map Json.string_value items)
+            | Some items -> Ok (List.filter_map Json.string_value items)
           in
           let* artifact_trace = str "trace" j in
           Ok { artifact_case; artifact_violations; artifact_trace })

@@ -2,37 +2,61 @@
     scenarios, with invariant checking and deterministic failure
     replay.
 
-    Every case is pure data — seed, path parameters, two
-    {!Netsim.Fault_model.profile}s — and running it is a pure function
-    of that data. The harness samples a canonical trace while the
-    simulation runs and checks structural invariants at the end
-    (termination, post-outage progress, packet conservation, monotone
-    counters, optional completion). A failing case serializes to JSON
-    under [results/chaos_failures/] and {!replay} re-runs it from the
-    artifact, byte-identical at any [--jobs] setting. *)
+    Every case is pure data — a {!Spec.t} (whose fault profiles carry
+    the impairments) plus the harness's invariant knobs — and running
+    it is a pure function of that data. The harness samples a canonical
+    trace while the simulation runs and checks structural invariants at
+    the end (termination, post-outage progress, packet conservation,
+    monotone counters, optional completion). A failing case serializes
+    to JSON under [results/chaos_failures/] and {!replay} re-runs it
+    from the artifact, byte-identical at any [--jobs] setting. *)
 
 type case = {
-  name : string;
-  seed : int;  (** scenario seed; fault-model streams derive from it *)
-  variant : string;  (** slow-start policy, {!Tcp.Slow_start.by_name} *)
-  rate : Sim.Units.rate;
-  one_way_delay : Sim.Time.t;
-  ifq_capacity : int;
-  duration : Sim.Time.t;  (** hard simulation horizon *)
-  bytes : int option;  (** transfer size; [None] = unbounded stream *)
-  max_rto : Sim.Time.t;  (** RTO ceiling handed to {!Tcp.Config} *)
+  spec : Spec.t;
+      (** the scenario; the harness drives its first TCP flow *)
   progress_rtos : int;
-      (** progress deadline after the last outage, in units of
-          [max_rto] *)
+      (** progress deadline after the last outage, in units of the
+          flow's max RTO *)
   check_completion : bool;
-      (** require all [bytes] acked within [duration] *)
-  forward : Netsim.Fault_model.profile;  (** data-path impairments *)
-  reverse : Netsim.Fault_model.profile;  (** ACK-path impairments *)
+      (** require the flow's byte budget acked within the duration *)
 }
 
+val make_case :
+  ?name:string ->
+  ?seed:int ->
+  ?variant:string ->
+  ?rate:Sim.Units.rate ->
+  ?one_way_delay:Sim.Time.t ->
+  ?ifq_capacity:int ->
+  ?duration:Sim.Time.t ->
+  ?bytes:int option ->
+  ?max_rto:Sim.Time.t ->
+  ?progress_rtos:int ->
+  ?check_completion:bool ->
+  ?forward:Netsim.Fault_model.profile ->
+  ?reverse:Netsim.Fault_model.profile ->
+  unit ->
+  case
+(** A single-bulk-flow duplex case. Defaults are the paper's testbed
+    path (100 Mbit/s, 60 ms RTT, IFQ 100), 20 s horizon, 400-segment
+    transfer ([bytes]), 2 s RTO ceiling, 4-RTO progress window,
+    completion checked, no faults. [variant] is the flow's slow-start
+    policy ({!Tcp.Slow_start.by_name}). *)
+
 val default_case : case
-(** The paper's testbed path (100 Mbit/s, 60 ms RTT, IFQ 100), 20 s
-    horizon, 400-segment transfer, 2 s RTO ceiling, no faults. *)
+(** [make_case ()]. *)
+
+val adjust :
+  ?variant:string ->
+  ?duration:Sim.Time.t ->
+  ?check_completion:bool ->
+  case ->
+  case
+(** Tweak the spec-embedded knobs of a single-flow case. *)
+
+val case_name : case -> string
+val case_max_rto : case -> Sim.Time.t
+(** The first flow's RTO ceiling (TCP default when unset). *)
 
 type outcome = {
   case : case;
@@ -42,17 +66,19 @@ type outcome = {
   retransmits : int;
   violations : string list;  (** empty iff every invariant held *)
   trace : string;
-      (** canonical CSV sampled every 250 ms — the byte-identical
-          replay witness *)
+      (** canonical CSV sampled every [spec.sample_period] — the
+          byte-identical replay witness *)
 }
 
 val passed : outcome -> bool
 
 val run_case : case -> outcome
-(** Build the scenario, install both fault models, run to
-    [case.duration] and check invariants. Deterministic in [case].
-    Raises [Invalid_argument] on an unknown [variant] or an invalid
-    fault profile. *)
+(** {!Spec.build} the scenario, attach the trace sampler and progress
+    invariant, {!Spec.execute}, and check invariants (packet
+    conservation only on duplex topologies, where the measured hosts
+    sit directly on the measured links). Deterministic in [case].
+    Raises [Invalid_argument] on an unknown variant, an invalid fault
+    profile, or a case whose spec has no TCP flow starting at t=0. *)
 
 val run_sweep : ?pool:Engine.Pool.t -> case list -> outcome list
 (** Run every case, capturing per-case exceptions as an
@@ -76,10 +102,12 @@ val random_cases : root:int -> int -> case list
 (** {2 Serialization and replay} *)
 
 val case_to_json : case -> Report.Json.t
+(** [{"spec": ..., "progress_rtos": ..., "check_completion": ...}] with
+    the spec in {!Spec.to_json} form. *)
 
 val case_of_json : Report.Json.t -> (case, string) result
-(** Inverse of {!case_to_json}; errors name the offending field. Times
-    travel as exact nanosecond integers. *)
+(** Inverse of {!case_to_json}; errors name the offending field.
+    [progress_rtos] and [check_completion] default when absent. *)
 
 val outcome_to_json : outcome -> Report.Json.t
 

@@ -189,45 +189,50 @@ module Burst_loss = struct
      a BDP/4 buffer; the sender's own NIC is 1 Gbit/s so the slow-start
      burst lands on the router queue. *)
   let run_one ~seed ~rate_mbps ~slow_start_name ~duration =
-    let sched = Sim.Scheduler.create ~seed () in
     let bottleneck_rate = Sim.Units.mbps rate_mbps in
     let rtt = Sim.Time.ms 60 in
     let bdp =
       Sim.Units.bdp_packets bottleneck_rate ~rtt ~packet_bytes:1500
     in
     let buffer_packets = Stdlib.max 10 (int_of_float (bdp /. 4.)) in
-    let net =
-      Netsim.Topology.Dumbbell.create sched ~pairs:1
-        ~access_rate:(Sim.Units.gbps 1.)
-        ~access_delay:(Sim.Time.ms 1) ~bottleneck_rate
-        ~bottleneck_delay:(Sim.Time.ms 28) ~buffer_packets
-        ~ifq_capacity:1000 ()
+    let spec =
+      {
+        Spec.default with
+        Spec.name = Printf.sprintf "e5-%s" slow_start_name;
+        seed;
+        duration;
+        record_series = false;
+        topology =
+          Spec.Dumbbell
+            {
+              Spec.pairs = 1;
+              access_rate = Sim.Units.gbps 1.;
+              access_delay = Sim.Time.ms 1;
+              bottleneck_rate;
+              bottleneck_delay = Sim.Time.ms 28;
+              buffer_packets;
+              host_ifq_capacity = 1000;
+              red = None;
+            };
+        flows =
+          [
+            {
+              Spec.default_flow with
+              Spec.label = Some slow_start_name;
+              slow_start = slow_start_name;
+            };
+          ];
+      }
     in
-    let ids = Netsim.Packet.Id_source.create () in
-    let slow_start =
-      match Tcp.Slow_start.by_name slow_start_name with
-      | Ok ss -> ss
-      | Error e -> invalid_arg e
-    in
-    let conn =
-      Tcp.Connection.establish
-        ~src:net.Netsim.Topology.Dumbbell.left.(0)
-        ~dst:net.Netsim.Topology.Dumbbell.right.(0)
-        ~flow:1 ~ids ~slow_start ~name:slow_start_name ()
-    in
-    Sim.Scheduler.run ~until:duration sched;
-    let drops =
-      Netsim.Router.dropped net.Netsim.Topology.Dumbbell.router_l
-      + Netsim.Router.dropped net.Netsim.Topology.Dumbbell.router_r
-    in
+    let o = Spec.run spec in
+    let r = List.hd o.Spec.results in
     {
       bottleneck_mbps = rate_mbps;
       buffer_packets;
       slow_start = slow_start_name;
-      router_drops = drops;
-      retransmits = Tcp.Sender.retransmits conn.Tcp.Connection.sender;
-      goodput_mbps =
-        Tcp.Receiver.goodput_mbps conn.Tcp.Connection.receiver ~at:duration;
+      router_drops = o.Spec.path.Spec.router_drops;
+      retransmits = r.Spec.retransmits;
+      goodput_mbps = r.Spec.goodput_mbps;
     }
 
   let run ?pool ?(rates_mbps = [ 10.; 100.; 622.; 1000. ])
@@ -408,61 +413,38 @@ module Parallel_streams = struct
     mean_ifq : float;
   }
 
-  let jain xs =
-    let n = float_of_int (List.length xs) in
-    let s = List.fold_left ( +. ) 0. xs in
-    let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
-    if s2 <= 0. then 1. else s *. s /. (n *. s2)
-
   let run_one ~seed ~streams ~slow_start_name ~duration =
-    let scenario = Scenario.anl_lbnl ~seed () in
-    let sched = scenario.Scenario.sched in
     (* "restricted-shared" uses one host-wide controller; the others get
        an independent policy per connection. *)
-    let shared =
-      if slow_start_name = "restricted-shared" then
-        Some
-          (Tcp.Shared_rss.create sched ~ifq:(Scenario.sender_ifq scenario) ())
-      else None
+    let shared = slow_start_name = "restricted-shared" in
+    let spec =
+      {
+        Spec.default with
+        Spec.name = Printf.sprintf "e11-%s-x%d" slow_start_name streams;
+        seed;
+        duration;
+        record_series = false;
+        flows =
+          List.init streams (fun i ->
+              {
+                Spec.default_flow with
+                Spec.label = Some (Printf.sprintf "%s-%d" slow_start_name i);
+                slow_start = (if shared then "restricted" else slow_start_name);
+                shared_rss = shared;
+              });
+      }
     in
-    let make_policy () =
-      match shared with
-      | Some controller -> Tcp.Shared_rss.policy controller
-      | None -> (
-          match Tcp.Slow_start.by_name slow_start_name with
-          | Ok ss -> ss
-          | Error e -> invalid_arg e)
-    in
-    let conns =
-      List.init streams (fun i ->
-          Tcp.Connection.establish
-            ~src:(Scenario.sender_host scenario)
-            ~dst:(Scenario.receiver_host scenario)
-            ~flow:(i + 1) ~ids:scenario.Scenario.ids
-            ~slow_start:(make_policy ())
-            ~name:(Printf.sprintf "%s-%d" slow_start_name i)
-            ())
-    in
-    Sim.Scheduler.run ~until:duration sched;
-    let goodputs =
-      List.map
-        (fun (c : Tcp.Connection.t) ->
-          Tcp.Receiver.goodput_mbps c.Tcp.Connection.receiver ~at:duration)
-        conns
-    in
-    let stalls =
-      List.fold_left
-        (fun acc (c : Tcp.Connection.t) ->
-          acc + Tcp.Sender.send_stalls c.Tcp.Connection.sender)
-        0 conns
-    in
+    let o = Spec.run spec in
     {
       streams;
       slow_start = slow_start_name;
-      aggregate_mbps = List.fold_left ( +. ) 0. goodputs;
-      total_stalls = stalls;
-      jain_index = jain goodputs;
-      mean_ifq = Netsim.Ifq.mean_occupancy (Scenario.sender_ifq scenario);
+      aggregate_mbps = o.Spec.path.Spec.aggregate_goodput_mbps;
+      total_stalls =
+        List.fold_left
+          (fun acc (r : Spec.flow_result) -> acc + r.Spec.send_stalls)
+          0 o.Spec.results;
+      jain_index = o.Spec.path.Spec.jain_index;
+      mean_ifq = o.Spec.path.Spec.queue_mean;
     }
 
   let run ?pool ?(stream_counts = [ 1; 2; 4; 8 ])
@@ -676,31 +658,39 @@ module Fairness = struct
     if s2 <= 0. then 1. else s *. s /. (n *. s2)
 
   let pair ~ss_a ~ss_b ~duration =
-    let sched = Sim.Scheduler.create ~seed:23 () in
-    let net =
-      Netsim.Topology.Dumbbell.create sched ~pairs:2
-        ~access_rate:(Sim.Units.mbps 100.)
-        ~access_delay:(Sim.Time.ms 1)
-        ~bottleneck_rate:(Sim.Units.mbps 100.)
-        ~bottleneck_delay:(Sim.Time.ms 28) ~buffer_packets:250
-        ~ifq_capacity:100 ()
+    let flow i ss_name =
+      {
+        Spec.default_flow with
+        Spec.label = Some ss_name;
+        pair = i;
+        slow_start = ss_name;
+      }
     in
-    let ids = Netsim.Packet.Id_source.create () in
-    let make i ss_name =
-      let slow_start =
-        match Tcp.Slow_start.by_name ss_name with
-        | Ok ss -> ss
-        | Error e -> invalid_arg e
-      in
-      Tcp.Connection.establish
-        ~src:net.Netsim.Topology.Dumbbell.left.(i)
-        ~dst:net.Netsim.Topology.Dumbbell.right.(i)
-        ~flow:(i + 1) ~ids ~slow_start ~name:ss_name ()
+    let spec =
+      {
+        Spec.default with
+        Spec.name = Printf.sprintf "e8-%s-vs-%s" ss_a ss_b;
+        seed = 23;
+        duration;
+        record_series = false;
+        topology =
+          Spec.Dumbbell
+            {
+              Spec.pairs = 2;
+              access_rate = Sim.Units.mbps 100.;
+              access_delay = Sim.Time.ms 1;
+              bottleneck_rate = Sim.Units.mbps 100.;
+              bottleneck_delay = Sim.Time.ms 28;
+              buffer_packets = 250;
+              host_ifq_capacity = 100;
+              red = None;
+            };
+        flows = [ flow 0 ss_a; flow 1 ss_b ];
+      }
     in
-    let a = make 0 ss_a and b = make 1 ss_b in
-    Sim.Scheduler.run ~until:duration sched;
-    ( Tcp.Receiver.goodput_mbps a.Tcp.Connection.receiver ~at:duration,
-      Tcp.Receiver.goodput_mbps b.Tcp.Connection.receiver ~at:duration )
+    match (Spec.run spec).Spec.results with
+    | [ a; b ] -> (a.Spec.goodput_mbps, b.Spec.goodput_mbps)
+    | _ -> assert false
 
   let run ?pool ?(duration = Sim.Time.sec 40) () =
     match

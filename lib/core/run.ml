@@ -1,4 +1,4 @@
-type cong_avoid_choice = Reno | Cubic | Vegas
+type cong_avoid_choice = Spec.cong_avoid = Reno | Cubic | Vegas
 
 type spec = {
   seed : int;
@@ -39,7 +39,7 @@ let default_spec =
     loss_rate = 0.;
   }
 
-type result = {
+type result = Spec.flow_result = {
   label : string;
   goodput_mbps : float;
   utilization : float;
@@ -68,107 +68,49 @@ let spec_label ?label spec =
     spec.ifq_capacity spec.seed
     (Sim.Time.to_sec spec.duration)
 
-let bulk ?label spec =
-  let label = match label with Some l -> l | None -> spec.slow_start in
-  let scenario =
-    Scenario.anl_lbnl ~seed:spec.seed ~rate:spec.rate
-      ~one_way_delay:spec.one_way_delay ~ifq_capacity:spec.ifq_capacity
-      ~loss_rate:spec.loss_rate ?ifq_red_ecn:spec.ifq_red_ecn ()
-  in
-  let sched = scenario.Scenario.sched in
-  let slow_start =
-    match
-      Tcp.Slow_start.by_name ?restricted_config:spec.restricted
-        spec.slow_start
-    with
-    | Ok ss -> ss
-    | Error e -> invalid_arg e
-  in
-  let cong_avoid =
-    match spec.cong_avoid with
-    | Reno -> Tcp.Cong_avoid.reno ()
-    | Cubic -> Tcp.Cong_avoid.cubic ()
-    | Vegas -> Tcp.Cong_avoid.vegas ()
-  in
-  let config =
-    {
-      Tcp.Config.default with
-      local_congestion = spec.local_congestion;
-      delayed_ack = spec.delayed_ack;
-      use_sack = spec.use_sack;
-      pacing = spec.pacing;
-    }
-  in
-  let transfer =
-    Workload.Bulk.start
-      ~src:(Scenario.sender_host scenario)
-      ~dst:(Scenario.receiver_host scenario)
-      ~flow:1 ~ids:scenario.Scenario.ids ~config ~slow_start ~cong_avoid
-      ?bytes:spec.bytes ~name:label ()
-  in
-  let sender = Workload.Bulk.sender transfer in
-  let receiver = Workload.Bulk.receiver transfer in
-  let ifq = Scenario.sender_ifq scenario in
-  let mss = float_of_int Tcp.Config.default.Tcp.Config.mss in
-  let stalls_series = Sim.Stats.Series.create ~name:"send_stalls" () in
-  let cwnd_series = Sim.Stats.Series.create ~name:"cwnd_segments" () in
-  let ifq_series = Sim.Stats.Series.create ~name:"ifq_packets" () in
-  let throughput_series = Sim.Stats.Series.create ~name:"throughput_mbps" () in
-  let srtt_series = Sim.Stats.Series.create ~name:"srtt_ms" () in
-  let last_bytes = ref 0 in
-  let sample () =
-    let now = Sim.Scheduler.now sched in
-    Sim.Stats.Series.add stalls_series now
-      (float_of_int (Tcp.Sender.send_stalls sender));
-    Sim.Stats.Series.add cwnd_series now (Tcp.Sender.cwnd sender /. mss);
-    Sim.Stats.Series.add ifq_series now
-      (float_of_int (Netsim.Ifq.occupancy ifq));
-    let bytes = Tcp.Receiver.bytes_received receiver in
-    let window_mbps =
-      float_of_int (8 * (bytes - !last_bytes))
-      /. Sim.Time.to_sec spec.sample_period /. 1e6
-    in
-    last_bytes := bytes;
-    Sim.Stats.Series.add throughput_series now window_mbps;
-    match Tcp.Sender.srtt sender with
-    | Some s -> Sim.Stats.Series.add srtt_series now (Sim.Time.to_ms s)
-    | None -> ()
-  in
-  ignore (Sim.Scheduler.every sched spec.sample_period sample);
-  Sim.Scheduler.run ~until:spec.duration sched;
-  let line_mbps = Sim.Units.rate_to_mbps spec.rate in
-  let time_to_90pct_util =
-    let times = Sim.Stats.Series.times throughput_series in
-    let values = Sim.Stats.Series.values throughput_series in
-    let rec search i =
-      if i >= Array.length values then None
-      else if values.(i) >= 0.9 *. line_mbps then
-        Some (Sim.Time.to_sec times.(i))
-      else search (i + 1)
-    in
-    search 0
-  in
-  let goodput = Tcp.Receiver.goodput_mbps receiver ~at:spec.duration in
+let to_spec ?label s =
+  let label = match label with Some l -> l | None -> s.slow_start in
   {
-    label;
-    goodput_mbps = goodput;
-    utilization = goodput /. line_mbps;
-    send_stalls = Tcp.Sender.send_stalls sender;
-    congestion_signals = Tcp.Sender.congestion_signals sender;
-    retransmits = Tcp.Sender.retransmits sender;
-    timeouts = Tcp.Sender.timeouts sender;
-    final_cwnd_segments = Tcp.Sender.cwnd sender /. mss;
-    mean_ifq = Netsim.Ifq.mean_occupancy ifq;
-    peak_ifq = Netsim.Ifq.peak_occupancy ifq;
-    ce_marks = Tcp.Receiver.ce_marks_seen receiver;
-    completion = Workload.Bulk.completion_time transfer;
-    time_to_90pct_util;
-    stalls_series;
-    cwnd_series;
-    ifq_series;
-    throughput_series;
-    srtt_series;
+    Spec.name = label;
+    seed = s.seed;
+    duration = s.duration;
+    sample_period = s.sample_period;
+    record_series = true;
+    topology =
+      Spec.Duplex
+        {
+          Spec.rate = s.rate;
+          one_way_delay = s.one_way_delay;
+          ifq_capacity = s.ifq_capacity;
+          loss_rate = s.loss_rate;
+          ifq_red_ecn = s.ifq_red_ecn;
+        };
+    flows =
+      [
+        {
+          Spec.default_flow with
+          Spec.label = Some label;
+          slow_start = s.slow_start;
+          restricted = s.restricted;
+          cong_avoid = s.cong_avoid;
+          local_congestion = s.local_congestion;
+          delayed_ack = s.delayed_ack;
+          use_sack = s.use_sack;
+          pacing = s.pacing;
+          workload = Spec.Bulk { bytes = s.bytes };
+        };
+      ];
+    faults =
+      {
+        Spec.forward = Netsim.Fault_model.passthrough;
+        reverse = Netsim.Fault_model.passthrough;
+      };
   }
+
+let bulk ?label spec =
+  match (Spec.run (to_spec ?label spec)).Spec.results with
+  | [ r ] -> r
+  | _ -> assert false
 
 let bulk_batch ?pool specs =
   let f (label, spec) = bulk ?label spec in

@@ -1,7 +1,9 @@
 (** One instrumented bulk-transfer run: the unit every experiment is
-    assembled from. *)
+    assembled from. Since the {!Spec} refactor this is a thin wrapper
+    over a one-flow duplex spec — kept because "one bulk flow on the
+    paper's path" is the shape nearly every sweep iterates. *)
 
-type cong_avoid_choice = Reno | Cubic | Vegas
+type cong_avoid_choice = Spec.cong_avoid = Reno | Cubic | Vegas
 
 type spec = {
   seed : int;
@@ -29,7 +31,7 @@ val default_spec : spec
     saturating transfer, standard slow-start, [Halve] local congestion,
     delayed ACKs, SACK, Reno, 250 ms sampling. *)
 
-type result = {
+type result = Spec.flow_result = {
   label : string;
   goodput_mbps : float;          (** receiver in-order bits / duration *)
   utilization : float;           (** goodput / line rate *)
@@ -53,6 +55,9 @@ type result = {
       (** per-sample-window receiver throughput, Mbit/s *)
   srtt_series : Sim.Stats.Series.t;     (** milliseconds *)
 }
+
+val to_spec : ?label:string -> spec -> Spec.t
+(** The equivalent one-flow {!Spec.t} (duplex topology, no faults). *)
 
 val bulk : ?label:string -> spec -> result
 (** Build the scenario, run one flow for [duration], return the

@@ -1,0 +1,1339 @@
+(* Declarative scenario pipeline: spec value -> built network -> outcome.
+
+   Compilation is ordered so that a spec reproducing one of the legacy
+   hand-wired assemblies (Run.bulk, experiments E5/E8/E11, the chaos
+   harness) performs the same scheduler/RNG operations in the same
+   sequence, keeping results byte-identical through the refactor:
+   scheduler -> topology -> fault models (forward, then reverse) ->
+   flows in list order -> instrumentation timers -> run. *)
+
+module Json = Report.Json
+module Fm = Netsim.Fault_model
+
+type cong_avoid = Reno | Cubic | Vegas
+
+type duplex = {
+  rate : Sim.Units.rate;
+  one_way_delay : Sim.Time.t;
+  ifq_capacity : int;
+  loss_rate : float;
+  ifq_red_ecn : Netsim.Queue_disc.red_params option;
+}
+
+type dumbbell = {
+  pairs : int;
+  access_rate : Sim.Units.rate;
+  access_delay : Sim.Time.t;
+  bottleneck_rate : Sim.Units.rate;
+  bottleneck_delay : Sim.Time.t;
+  buffer_packets : int;
+  host_ifq_capacity : int;
+  red : Netsim.Queue_disc.red_params option;
+}
+
+type topology = Duplex of duplex | Dumbbell of dumbbell
+
+type workload =
+  | Bulk of { bytes : int option }
+  | Chunked of {
+      chunk_bytes : int;
+      interval : Sim.Time.t;
+      chunks : int option;
+    }
+  | Cbr of {
+      rate : Sim.Units.rate;
+      packet_bytes : int;
+      stop_at : Sim.Time.t option;
+    }
+  | On_off of {
+      peak_rate : Sim.Units.rate;
+      mean_on : Sim.Time.t;
+      mean_off : Sim.Time.t;
+      packet_bytes : int;
+    }
+  | Short_flows of {
+      arrival_rate : float;
+      mean_size : int;
+      pareto_shape : float;
+      stop_at : Sim.Time.t option;
+    }
+
+type flow = {
+  label : string option;
+  pair : int;
+  start_at : Sim.Time.t;
+  slow_start : string;
+  restricted : Tcp.Slow_start.restricted_config option;
+  shared_rss : bool;
+  cong_avoid : cong_avoid;
+  local_congestion : Tcp.Local_congestion.policy;
+  delayed_ack : Sim.Time.t option;
+  use_sack : bool;
+  pacing : bool;
+  slow_start_restart : bool;
+  max_rto : Sim.Time.t option;
+  workload : workload;
+}
+
+type faults = { forward : Fm.profile; reverse : Fm.profile }
+
+type t = {
+  name : string;
+  seed : int;
+  duration : Sim.Time.t;
+  sample_period : Sim.Time.t;
+  record_series : bool;
+  topology : topology;
+  flows : flow list;
+  faults : faults;
+}
+
+let default_duplex =
+  {
+    rate = Sim.Units.mbps 100.;
+    one_way_delay = Sim.Time.ms 30;
+    ifq_capacity = 100;
+    loss_rate = 0.;
+    ifq_red_ecn = None;
+  }
+
+let default_flow =
+  {
+    label = None;
+    pair = 0;
+    start_at = Sim.Time.zero;
+    slow_start = "standard";
+    restricted = None;
+    shared_rss = false;
+    cong_avoid = Reno;
+    local_congestion = Tcp.Local_congestion.Halve;
+    delayed_ack = Tcp.Config.default.Tcp.Config.delayed_ack;
+    use_sack = true;
+    pacing = false;
+    slow_start_restart = Tcp.Config.default.Tcp.Config.slow_start_restart;
+    max_rto = None;
+    workload = Bulk { bytes = None };
+  }
+
+let default =
+  {
+    name = "scenario";
+    seed = 1;
+    duration = Sim.Time.sec 25;
+    sample_period = Sim.Time.ms 250;
+    record_series = true;
+    topology = Duplex default_duplex;
+    flows = [ default_flow ];
+    faults = { forward = Fm.passthrough; reverse = Fm.passthrough };
+  }
+
+let workload_kinds = [ "bulk"; "chunked"; "cbr"; "on_off"; "short_flows" ]
+
+(* --- results ----------------------------------------------------------- *)
+
+type flow_result = {
+  label : string;
+  goodput_mbps : float;
+  utilization : float;
+  send_stalls : int;
+  congestion_signals : int;
+  retransmits : int;
+  timeouts : int;
+  final_cwnd_segments : float;
+  mean_ifq : float;
+  peak_ifq : float;
+  ce_marks : int;
+  completion : Sim.Time.t option;
+  time_to_90pct_util : float option;
+  stalls_series : Sim.Stats.Series.t;
+  cwnd_series : Sim.Stats.Series.t;
+  ifq_series : Sim.Stats.Series.t;
+  throughput_series : Sim.Stats.Series.t;
+  srtt_series : Sim.Stats.Series.t;
+}
+
+type path_stats = {
+  aggregate_goodput_mbps : float;
+  jain_index : float;
+  queue_mean : float;
+  queue_peak : float;
+  router_drops : int;
+}
+
+type outcome = { results : flow_result list; path : path_stats }
+
+(* --- validation -------------------------------------------------------- *)
+
+let err fmt = Printf.ksprintf invalid_arg fmt
+
+let check_positive_rate what r =
+  if not (r > 0.) then
+    err "Spec.build: %s %g must be positive" what (Sim.Units.rate_to_mbps r)
+
+let check_delay what d =
+  if Sim.Time.is_negative d then
+    err "Spec.build: %s %gms must be non-negative" what (Sim.Time.to_ms d)
+
+let pairs_of = function Duplex _ -> 1 | Dumbbell d -> d.pairs
+
+let validate_flow ~pairs i f =
+  if f.pair < 0 || f.pair >= pairs then
+    err "Spec.build: flow %d: pair %d outside 0..%d" i f.pair (pairs - 1);
+  if Sim.Time.is_negative f.start_at then
+    err "Spec.build: flow %d: start time %gs must be non-negative" i
+      (Sim.Time.to_sec f.start_at);
+  (match Tcp.Slow_start.by_name ?restricted_config:f.restricted f.slow_start with
+  | Ok _ -> ()
+  | Error e -> err "Spec.build: flow %d: %s" i e);
+  match f.workload with
+  | Bulk { bytes = Some b } when b <= 0 ->
+      err "Spec.build: flow %d: bytes %d must be positive" i b
+  | Bulk _ -> ()
+  | Chunked { chunk_bytes; interval; chunks } ->
+      if chunk_bytes <= 0 then
+        err "Spec.build: flow %d: chunk_bytes %d must be positive" i
+          chunk_bytes;
+      if Sim.Time.(interval <= Sim.Time.zero) then
+        err "Spec.build: flow %d: chunk interval must be positive" i;
+      (match chunks with
+      | Some c when c <= 0 ->
+          err "Spec.build: flow %d: chunks %d must be positive" i c
+      | _ -> ())
+  | Cbr { rate; packet_bytes; _ } ->
+      check_positive_rate (Printf.sprintf "flow %d: cbr rate" i) rate;
+      if packet_bytes <= 0 then
+        err "Spec.build: flow %d: packet_bytes %d must be positive" i
+          packet_bytes
+  | On_off { peak_rate; mean_on; mean_off; packet_bytes } ->
+      check_positive_rate (Printf.sprintf "flow %d: peak rate" i) peak_rate;
+      if Sim.Time.(mean_on <= Sim.Time.zero)
+         || Sim.Time.(mean_off <= Sim.Time.zero)
+      then err "Spec.build: flow %d: on/off means must be positive" i;
+      if packet_bytes <= 0 then
+        err "Spec.build: flow %d: packet_bytes %d must be positive" i
+          packet_bytes
+  | Short_flows { arrival_rate; mean_size; pareto_shape; _ } ->
+      if not (arrival_rate > 0.) then
+        err "Spec.build: flow %d: arrival rate %g must be positive" i
+          arrival_rate;
+      if mean_size <= 0 then
+        err "Spec.build: flow %d: mean size %d must be positive" i mean_size;
+      if not (pareto_shape > 1.) then
+        err "Spec.build: flow %d: pareto shape %g must exceed 1" i
+          pareto_shape
+
+let validate (t : t) =
+  if t.flows = [] then err "Spec.build: at least one flow is required";
+  if Sim.Time.(t.duration <= Sim.Time.zero) then
+    err "Spec.build: duration %gs must be positive"
+      (Sim.Time.to_sec t.duration);
+  if Sim.Time.(t.sample_period <= Sim.Time.zero) then
+    err "Spec.build: sample_period %gs must be positive"
+      (Sim.Time.to_sec t.sample_period);
+  (match t.topology with
+  | Duplex d ->
+      check_positive_rate "rate" d.rate;
+      check_delay "one_way_delay" d.one_way_delay;
+      if d.ifq_capacity < 1 then
+        err "Spec.build: ifq_capacity %d must be >= 1" d.ifq_capacity;
+      if not (d.loss_rate >= 0. && d.loss_rate <= 1.) then
+        err "Spec.build: loss_rate %g must be within [0, 1]" d.loss_rate
+  | Dumbbell d ->
+      if d.pairs < 1 then err "Spec.build: pairs %d must be >= 1" d.pairs;
+      check_positive_rate "access rate" d.access_rate;
+      check_positive_rate "bottleneck rate" d.bottleneck_rate;
+      check_delay "access_delay" d.access_delay;
+      check_delay "bottleneck_delay" d.bottleneck_delay;
+      if d.buffer_packets < 1 then
+        err "Spec.build: buffer_packets %d must be >= 1" d.buffer_packets;
+      if d.host_ifq_capacity < 1 then
+        err "Spec.build: ifq_capacity %d must be >= 1" d.host_ifq_capacity);
+  List.iteri (validate_flow ~pairs:(pairs_of t.topology)) t.flows
+
+(* --- compilation -------------------------------------------------------- *)
+
+type net =
+  | Net_duplex of Scenario.t
+  | Net_dumbbell of Netsim.Topology.Dumbbell.t
+
+type driver =
+  | Bulk_driver of Workload.Bulk.t
+  | Chunked_driver of Workload.Chunked.t
+  | Cbr_driver of Workload.Cbr.t * int
+  | On_off_driver of Workload.On_off.t * int
+  | Short_driver of Workload.Short_flows.t
+
+type built_flow = {
+  fspec : flow;
+  index : int;
+  flabel : string;
+  src : Netsim.Host.t;
+  dst : Netsim.Host.t;
+  mutable driver : driver option;
+}
+
+type built = {
+  bspec : t;
+  bsched : Sim.Scheduler.t;
+  net : net;
+  ids : Netsim.Packet.Id_source.source;
+  fwd_fault : Fm.t option;
+  rev_fault : Fm.t option;
+  bflows : built_flow list;
+  shared : (int, Tcp.Shared_rss.t) Hashtbl.t;
+  line_mbps : float;
+}
+
+let sched b = b.bsched
+
+let pair_hosts net pair =
+  match net with
+  | Net_duplex s -> (Scenario.sender_host s, Scenario.receiver_host s)
+  | Net_dumbbell d ->
+      ( d.Netsim.Topology.Dumbbell.left.(pair),
+        d.Netsim.Topology.Dumbbell.right.(pair) )
+
+let src_host b ~pair = fst (pair_hosts b.net pair)
+let dst_host b ~pair = snd (pair_hosts b.net pair)
+
+let forward_link b =
+  match b.net with
+  | Net_duplex s -> Scenario.forward_link s
+  | Net_dumbbell d -> d.Netsim.Topology.Dumbbell.bottleneck_lr
+
+let reverse_link b =
+  match b.net with
+  | Net_duplex s -> Scenario.reverse_link s
+  | Net_dumbbell d -> d.Netsim.Topology.Dumbbell.bottleneck_rl
+
+let fault_models b = (b.fwd_fault, b.rev_fault)
+
+let tcp_senders b =
+  List.filter_map
+    (fun bf ->
+      match bf.driver with
+      | Some (Bulk_driver t) -> Some (Workload.Bulk.sender t)
+      | Some (Chunked_driver t) -> Some (Workload.Chunked.sender t)
+      | _ -> None)
+    b.bflows
+
+let config_of_flow (f : flow) =
+  {
+    Tcp.Config.default with
+    Tcp.Config.local_congestion = f.local_congestion;
+    delayed_ack = f.delayed_ack;
+    use_sack = f.use_sack;
+    pacing = f.pacing;
+    slow_start_restart = f.slow_start_restart;
+    max_rto =
+      (match f.max_rto with
+      | Some rto -> rto
+      | None -> Tcp.Config.default.Tcp.Config.max_rto);
+  }
+
+let resolve_cong_avoid = function
+  | Reno -> Tcp.Cong_avoid.reno ()
+  | Cubic -> Tcp.Cong_avoid.cubic ()
+  | Vegas -> Tcp.Cong_avoid.vegas ()
+
+let resolve_policy (f : flow) =
+  match Tcp.Slow_start.by_name ?restricted_config:f.restricted f.slow_start with
+  | Ok ss -> ss
+  | Error e -> invalid_arg e
+
+(* One shared controller per sending host, created when the first
+   shared flow on that host starts (so its sampling clock begins before
+   any member connection exists, matching the legacy E11 assembly). *)
+let controller_for b bf =
+  let key = Netsim.Host.id bf.src in
+  match Hashtbl.find_opt b.shared key with
+  | Some c -> c
+  | None ->
+      let c =
+        Tcp.Shared_rss.create b.bsched
+          ~ifq:(Netsim.Host.ifq bf.src)
+          ?config:bf.fspec.restricted ()
+      in
+      Hashtbl.add b.shared key c;
+      c
+
+let policy_for b bf =
+  if bf.fspec.shared_rss then Tcp.Shared_rss.policy (controller_for b bf)
+  else resolve_policy bf.fspec
+
+(* Derived RNG stream for stochastic workloads (on_off, short_flows);
+   offset keeps flow streams clear of the chaos fault streams 0xFA1/2
+   and the small indices sweeps use for their cells. *)
+let flow_rng b index =
+  Sim.Rng.of_seed
+    (Sim.Rng.derive_seed ~root:b.bspec.seed ~stream:(0x5F10 + index))
+
+let start_flow b bf =
+  let f = bf.fspec in
+  let flow_id = bf.index + 1 in
+  let driver =
+    match f.workload with
+    | Bulk { bytes } ->
+        Bulk_driver
+          (Workload.Bulk.start ~src:bf.src ~dst:bf.dst ~flow:flow_id
+             ~ids:b.ids ~config:(config_of_flow f)
+             ~slow_start:(policy_for b bf)
+             ~cong_avoid:(resolve_cong_avoid f.cong_avoid)
+             ?bytes ~name:bf.flabel ())
+    | Chunked { chunk_bytes; interval; chunks } ->
+        Chunked_driver
+          (Workload.Chunked.start ~src:bf.src ~dst:bf.dst ~flow:flow_id
+             ~ids:b.ids ~chunk_bytes ~interval ?chunks
+             ~config:(config_of_flow f)
+             ~slow_start:(policy_for b bf)
+             ~cong_avoid:(resolve_cong_avoid f.cong_avoid)
+             ~name:bf.flabel ())
+    | Cbr { rate; packet_bytes; stop_at } ->
+        Cbr_driver
+          ( Workload.Cbr.start ~host:bf.src ~dst:(Netsim.Host.id bf.dst)
+              ~flow:flow_id ~ids:b.ids ~rate ~packet_bytes ?stop_at (),
+            packet_bytes )
+    | On_off { peak_rate; mean_on; mean_off; packet_bytes } ->
+        On_off_driver
+          ( Workload.On_off.start ~host:bf.src ~dst:(Netsim.Host.id bf.dst)
+              ~flow:flow_id ~ids:b.ids ~rng:(flow_rng b bf.index) ~peak_rate
+              ~mean_on ~mean_off ~packet_bytes (),
+            packet_bytes )
+    | Short_flows { arrival_rate; mean_size; pareto_shape; stop_at } ->
+        Short_driver
+          (Workload.Short_flows.start ~src:bf.src ~dst:bf.dst ~ids:b.ids
+             ~rng:(flow_rng b bf.index) ~arrival_rate ~mean_size ~pareto_shape
+             ~first_flow:(10_000 + (1_000 * bf.index))
+             ~config:(config_of_flow f)
+             ~slow_start:(fun () -> policy_for b bf)
+             ?stop_at ())
+  in
+  bf.driver <- Some driver
+
+let default_label spec i (f : flow) =
+  match f.label with
+  | Some l -> l
+  | None ->
+      if List.length spec.flows <= 1 then f.slow_start
+      else Printf.sprintf "%s-%d" f.slow_start i
+
+let build spec =
+  validate spec;
+  let net =
+    match spec.topology with
+    | Duplex d ->
+        Net_duplex
+          (Scenario.anl_lbnl ~seed:spec.seed ~rate:d.rate
+             ~one_way_delay:d.one_way_delay ~ifq_capacity:d.ifq_capacity
+             ~loss_rate:d.loss_rate ?ifq_red_ecn:d.ifq_red_ecn ())
+    | Dumbbell d ->
+        let sched = Sim.Scheduler.create ~seed:spec.seed () in
+        Net_dumbbell
+          (Netsim.Topology.Dumbbell.create sched ~pairs:d.pairs
+             ~access_rate:d.access_rate ~access_delay:d.access_delay
+             ~bottleneck_rate:d.bottleneck_rate
+             ~bottleneck_delay:d.bottleneck_delay
+             ~buffer_packets:d.buffer_packets
+             ~ifq_capacity:d.host_ifq_capacity ?red:d.red ())
+  in
+  let bsched, ids =
+    match net with
+    | Net_duplex s -> (s.Scenario.sched, s.Scenario.ids)
+    | Net_dumbbell d ->
+        ( Netsim.Host.scheduler d.Netsim.Topology.Dumbbell.left.(0),
+          Netsim.Packet.Id_source.create () )
+  in
+  (* A passthrough profile gets no model: an installed passthrough hook
+     is behaviourally identical to none (no RNG draws, zero extra
+     delay), so skipping keeps unfaulted specs byte-identical to the
+     legacy assemblies while sparing the hook dispatch. *)
+  let make_fault ~stream profile link =
+    if profile = Fm.passthrough then None
+    else begin
+      let m =
+        Fm.create
+          ~rng:
+            (Sim.Rng.of_seed
+               (Sim.Rng.derive_seed ~root:spec.seed ~stream))
+          profile
+      in
+      Fm.install m link;
+      Some m
+    end
+  in
+  let line_mbps =
+    match spec.topology with
+    | Duplex d -> Sim.Units.rate_to_mbps d.rate
+    | Dumbbell d -> Sim.Units.rate_to_mbps d.bottleneck_rate
+  in
+  let b0 =
+    {
+      bspec = spec;
+      bsched;
+      net;
+      ids;
+      fwd_fault = None;
+      rev_fault = None;
+      bflows = [];
+      shared = Hashtbl.create 4;
+      line_mbps;
+    }
+  in
+  (* Streams 0xFA1/0xFA2: the chaos harness's historical fault streams,
+     preserved so serialized chaos artifacts replay byte-identically. *)
+  let fwd_fault = make_fault ~stream:0xFA1 spec.faults.forward (forward_link b0) in
+  let rev_fault = make_fault ~stream:0xFA2 spec.faults.reverse (reverse_link b0) in
+  let bflows =
+    List.mapi
+      (fun i f ->
+        let src, dst = pair_hosts net f.pair in
+        {
+          fspec = f;
+          index = i;
+          flabel = default_label spec i f;
+          src;
+          dst;
+          driver = None;
+        })
+      spec.flows
+  in
+  let b = { b0 with fwd_fault; rev_fault; bflows } in
+  List.iter
+    (fun bf ->
+      if Sim.Time.compare bf.fspec.start_at Sim.Time.zero = 0 then
+        start_flow b bf
+      else
+        ignore
+          (Sim.Scheduler.at b.bsched bf.fspec.start_at (fun () ->
+               start_flow b bf)))
+    bflows;
+  b
+
+(* --- execution ---------------------------------------------------------- *)
+
+let mss_f = float_of_int Tcp.Config.default.Tcp.Config.mss
+
+type instrument = {
+  ibf : built_flow;
+  stalls_s : Sim.Stats.Series.t;
+  cwnd_s : Sim.Stats.Series.t;
+  ifq_s : Sim.Stats.Series.t;
+  throughput_s : Sim.Stats.Series.t;
+  srtt_s : Sim.Stats.Series.t;
+  mutable last_bytes : int;
+}
+
+let empty_instrument bf =
+  {
+    ibf = bf;
+    stalls_s = Sim.Stats.Series.create ~name:"send_stalls" ();
+    cwnd_s = Sim.Stats.Series.create ~name:"cwnd_segments" ();
+    ifq_s = Sim.Stats.Series.create ~name:"ifq_packets" ();
+    throughput_s = Sim.Stats.Series.create ~name:"throughput_mbps" ();
+    srtt_s = Sim.Stats.Series.create ~name:"srtt_ms" ();
+    last_bytes = 0;
+  }
+
+let sender_receiver bf =
+  match bf.driver with
+  | Some (Bulk_driver t) ->
+      Some (Workload.Bulk.sender t, Workload.Bulk.receiver t)
+  | Some (Chunked_driver t) ->
+      Some (Workload.Chunked.sender t, Workload.Chunked.receiver t)
+  | _ -> None
+
+let sample_instrument b inst =
+  match sender_receiver inst.ibf with
+  | None -> ()
+  | Some (sender, receiver) ->
+      let now = Sim.Scheduler.now b.bsched in
+      Sim.Stats.Series.add inst.stalls_s now
+        (float_of_int (Tcp.Sender.send_stalls sender));
+      Sim.Stats.Series.add inst.cwnd_s now (Tcp.Sender.cwnd sender /. mss_f);
+      Sim.Stats.Series.add inst.ifq_s now
+        (float_of_int (Netsim.Ifq.occupancy (Netsim.Host.ifq inst.ibf.src)));
+      let bytes = Tcp.Receiver.bytes_received receiver in
+      let window_mbps =
+        float_of_int (8 * (bytes - inst.last_bytes))
+        /. Sim.Time.to_sec b.bspec.sample_period /. 1e6
+      in
+      inst.last_bytes <- bytes;
+      Sim.Stats.Series.add inst.throughput_s now window_mbps;
+      (match Tcp.Sender.srtt sender with
+      | Some s -> Sim.Stats.Series.add inst.srtt_s now (Sim.Time.to_ms s)
+      | None -> ())
+
+let is_tcp_workload = function
+  | Bulk _ | Chunked _ -> true
+  | Cbr _ | On_off _ | Short_flows _ -> false
+
+let time_to_90pct line_mbps throughput_s =
+  let times = Sim.Stats.Series.times throughput_s in
+  let values = Sim.Stats.Series.values throughput_s in
+  let rec search i =
+    if i >= Array.length values then None
+    else if values.(i) >= 0.9 *. line_mbps then Some (Sim.Time.to_sec times.(i))
+    else search (i + 1)
+  in
+  search 0
+
+let collect_flow b inst =
+  let bf = inst.ibf in
+  let duration = b.bspec.duration in
+  let ifq = Netsim.Host.ifq bf.src in
+  let zero =
+    {
+      label = bf.flabel;
+      goodput_mbps = 0.;
+      utilization = 0.;
+      send_stalls = 0;
+      congestion_signals = 0;
+      retransmits = 0;
+      timeouts = 0;
+      final_cwnd_segments = 0.;
+      mean_ifq = Netsim.Ifq.mean_occupancy ifq;
+      peak_ifq = Netsim.Ifq.peak_occupancy ifq;
+      ce_marks = 0;
+      completion = None;
+      time_to_90pct_util = None;
+      stalls_series = inst.stalls_s;
+      cwnd_series = inst.cwnd_s;
+      ifq_series = inst.ifq_s;
+      throughput_series = inst.throughput_s;
+      srtt_series = inst.srtt_s;
+    }
+  in
+  let udp_goodput packets packet_bytes =
+    float_of_int (8 * packets * packet_bytes) /. Sim.Time.to_sec duration /. 1e6
+  in
+  match bf.driver with
+  | None -> zero
+  | Some (Bulk_driver _ | Chunked_driver _) ->
+      let sender, receiver, completion =
+        match bf.driver with
+        | Some (Bulk_driver t) ->
+            ( Workload.Bulk.sender t,
+              Workload.Bulk.receiver t,
+              Workload.Bulk.completion_time t )
+        | Some (Chunked_driver t) ->
+            (Workload.Chunked.sender t, Workload.Chunked.receiver t, None)
+        | _ -> assert false
+      in
+      let goodput = Tcp.Receiver.goodput_mbps receiver ~at:duration in
+      {
+        zero with
+        goodput_mbps = goodput;
+        utilization = goodput /. b.line_mbps;
+        send_stalls = Tcp.Sender.send_stalls sender;
+        congestion_signals = Tcp.Sender.congestion_signals sender;
+        retransmits = Tcp.Sender.retransmits sender;
+        timeouts = Tcp.Sender.timeouts sender;
+        final_cwnd_segments = Tcp.Sender.cwnd sender /. mss_f;
+        ce_marks = Tcp.Receiver.ce_marks_seen receiver;
+        completion;
+        time_to_90pct_util = time_to_90pct b.line_mbps inst.throughput_s;
+      }
+  | Some (Cbr_driver (t, packet_bytes)) ->
+      let goodput = udp_goodput (Workload.Cbr.packets_sent t) packet_bytes in
+      {
+        zero with
+        goodput_mbps = goodput;
+        utilization = goodput /. b.line_mbps;
+        send_stalls = Workload.Cbr.packets_stalled t;
+      }
+  | Some (On_off_driver (t, packet_bytes)) ->
+      let goodput =
+        udp_goodput (Workload.On_off.packets_sent t) packet_bytes
+      in
+      { zero with goodput_mbps = goodput; utilization = goodput /. b.line_mbps }
+  | Some (Short_driver t) ->
+      let bytes =
+        List.fold_left
+          (fun acc (c : Workload.Short_flows.completed) -> acc + c.size)
+          0
+          (Workload.Short_flows.completions t)
+      in
+      let goodput =
+        float_of_int (8 * bytes) /. Sim.Time.to_sec duration /. 1e6
+      in
+      { zero with goodput_mbps = goodput; utilization = goodput /. b.line_mbps }
+
+let jain = function
+  | [] -> 1.
+  | xs ->
+      let n = float_of_int (List.length xs) in
+      let s = List.fold_left ( +. ) 0. xs in
+      let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
+      if s2 <= 0. then 1. else s *. s /. (n *. s2)
+
+let execute b =
+  let instruments = List.map empty_instrument b.bflows in
+  if b.bspec.record_series then
+    List.iter
+      (fun inst ->
+        if is_tcp_workload inst.ibf.fspec.workload then
+          ignore
+            (Sim.Scheduler.every b.bsched b.bspec.sample_period (fun () ->
+                 sample_instrument b inst)))
+      instruments;
+  Sim.Scheduler.run ~until:b.bspec.duration b.bsched;
+  let results = List.map (collect_flow b) instruments in
+  let tcp_goodputs =
+    List.filter_map
+      (fun (bf, r) ->
+        if is_tcp_workload bf.fspec.workload then Some r.goodput_mbps
+        else None)
+      (List.combine b.bflows results)
+  in
+  let pair0_ifq =
+    match b.bflows with
+    | bf :: _ -> Netsim.Host.ifq bf.src
+    | [] -> Netsim.Host.ifq (fst (pair_hosts b.net 0))
+  in
+  let router_drops =
+    match b.net with
+    | Net_duplex _ -> 0
+    | Net_dumbbell d ->
+        Netsim.Router.dropped d.Netsim.Topology.Dumbbell.router_l
+        + Netsim.Router.dropped d.Netsim.Topology.Dumbbell.router_r
+  in
+  {
+    results;
+    path =
+      {
+        aggregate_goodput_mbps = List.fold_left ( +. ) 0. tcp_goodputs;
+        jain_index = jain tcp_goodputs;
+        queue_mean = Netsim.Ifq.mean_occupancy pair0_ifq;
+        queue_peak = Netsim.Ifq.peak_occupancy pair0_ifq;
+        router_drops;
+      };
+  }
+
+let run spec = execute (build spec)
+
+let run_batch ?pool specs =
+  match pool with
+  | None -> List.map run specs
+  | Some pool -> Engine.Pool.map pool ~label:(fun s -> s.name) ~f:run specs
+
+(* --- JSON --------------------------------------------------------------- *)
+
+let time_to_json t = Json.Number (float_of_int (Sim.Time.to_ns_int t))
+let opt_to_json f = function None -> Json.Null | Some v -> f v
+
+let jitter_to_json (j : Fm.jitter) =
+  Json.Obj
+    [
+      ("prob", Json.Number j.Fm.prob);
+      ("max_extra_ns", time_to_json j.Fm.max_extra);
+    ]
+
+let ge_to_json (g : Fm.ge) =
+  Json.Obj
+    [
+      ("p_gb", Json.Number g.Fm.p_gb);
+      ("p_bg", Json.Number g.Fm.p_bg);
+      ("loss_good", Json.Number g.Fm.loss_good);
+      ("loss_bad", Json.Number g.Fm.loss_bad);
+    ]
+
+let event_to_json = function
+  | Fm.Outage { start; stop } ->
+      Json.Obj
+        [
+          ("kind", Json.String "outage");
+          ("start_ns", time_to_json start);
+          ("stop_ns", time_to_json stop);
+        ]
+  | Fm.Delay_step { at; extra } ->
+      Json.Obj
+        [
+          ("kind", Json.String "delay_step");
+          ("at_ns", time_to_json at);
+          ("extra_ns", time_to_json extra);
+        ]
+
+let profile_to_json (p : Fm.profile) =
+  Json.Obj
+    [
+      ("ge", opt_to_json ge_to_json p.Fm.ge);
+      ("reorder", opt_to_json jitter_to_json p.Fm.reorder);
+      ("duplicate", opt_to_json jitter_to_json p.Fm.duplicate);
+      ("schedule", Json.List (List.map event_to_json p.Fm.schedule));
+    ]
+
+let red_to_json (r : Netsim.Queue_disc.red_params) =
+  Json.Obj
+    [
+      ("min_th", Json.Number r.Netsim.Queue_disc.min_th);
+      ("max_th", Json.Number r.Netsim.Queue_disc.max_th);
+      ("max_p", Json.Number r.Netsim.Queue_disc.max_p);
+      ("weight", Json.Number r.Netsim.Queue_disc.weight);
+    ]
+
+let rate_to_json r = Json.Number (Sim.Units.rate_to_mbps r)
+let int_to_json i = Json.Number (float_of_int i)
+
+let topology_to_json = function
+  | Duplex d ->
+      Json.Obj
+        [
+          ("kind", Json.String "duplex");
+          ("rate_mbps", rate_to_json d.rate);
+          ("one_way_delay_ns", time_to_json d.one_way_delay);
+          ("ifq_capacity", int_to_json d.ifq_capacity);
+          ("loss_rate", Json.Number d.loss_rate);
+          ("ifq_red_ecn", opt_to_json red_to_json d.ifq_red_ecn);
+        ]
+  | Dumbbell d ->
+      Json.Obj
+        [
+          ("kind", Json.String "dumbbell");
+          ("pairs", int_to_json d.pairs);
+          ("access_rate_mbps", rate_to_json d.access_rate);
+          ("access_delay_ns", time_to_json d.access_delay);
+          ("bottleneck_rate_mbps", rate_to_json d.bottleneck_rate);
+          ("bottleneck_delay_ns", time_to_json d.bottleneck_delay);
+          ("buffer_packets", int_to_json d.buffer_packets);
+          ("ifq_capacity", int_to_json d.host_ifq_capacity);
+          ("red", opt_to_json red_to_json d.red);
+        ]
+
+let workload_to_json = function
+  | Bulk { bytes } ->
+      Json.Obj
+        [ ("kind", Json.String "bulk"); ("bytes", opt_to_json int_to_json bytes) ]
+  | Chunked { chunk_bytes; interval; chunks } ->
+      Json.Obj
+        [
+          ("kind", Json.String "chunked");
+          ("chunk_bytes", int_to_json chunk_bytes);
+          ("interval_ns", time_to_json interval);
+          ("chunks", opt_to_json int_to_json chunks);
+        ]
+  | Cbr { rate; packet_bytes; stop_at } ->
+      Json.Obj
+        [
+          ("kind", Json.String "cbr");
+          ("rate_mbps", rate_to_json rate);
+          ("packet_bytes", int_to_json packet_bytes);
+          ("stop_at_ns", opt_to_json time_to_json stop_at);
+        ]
+  | On_off { peak_rate; mean_on; mean_off; packet_bytes } ->
+      Json.Obj
+        [
+          ("kind", Json.String "on_off");
+          ("peak_rate_mbps", rate_to_json peak_rate);
+          ("mean_on_ns", time_to_json mean_on);
+          ("mean_off_ns", time_to_json mean_off);
+          ("packet_bytes", int_to_json packet_bytes);
+        ]
+  | Short_flows { arrival_rate; mean_size; pareto_shape; stop_at } ->
+      Json.Obj
+        [
+          ("kind", Json.String "short_flows");
+          ("arrival_rate", Json.Number arrival_rate);
+          ("mean_size", int_to_json mean_size);
+          ("pareto_shape", Json.Number pareto_shape);
+          ("stop_at_ns", opt_to_json time_to_json stop_at);
+        ]
+
+let restricted_to_json (c : Tcp.Slow_start.restricted_config) =
+  Json.Obj
+    [
+      ("kp", Json.Number c.Tcp.Slow_start.gains.Control.Pid.kp);
+      ("ti", Json.Number c.Tcp.Slow_start.gains.Control.Pid.ti);
+      ("td", Json.Number c.Tcp.Slow_start.gains.Control.Pid.td);
+      ("setpoint_fraction", Json.Number c.Tcp.Slow_start.setpoint_fraction);
+      ("max_step_segments", Json.Number c.Tcp.Slow_start.max_step_segments);
+      ( "sample_min_interval_ns",
+        time_to_json c.Tcp.Slow_start.sample_min_interval );
+    ]
+
+let cong_avoid_to_string = function
+  | Reno -> "reno"
+  | Cubic -> "cubic"
+  | Vegas -> "vegas"
+
+let flow_to_json (f : flow) =
+  Json.Obj
+    [
+      ("label", opt_to_json (fun l -> Json.String l) f.label);
+      ("pair", int_to_json f.pair);
+      ("start_at_ns", time_to_json f.start_at);
+      ("slow_start", Json.String f.slow_start);
+      ("restricted", opt_to_json restricted_to_json f.restricted);
+      ("shared_rss", Json.Bool f.shared_rss);
+      ("cong_avoid", Json.String (cong_avoid_to_string f.cong_avoid));
+      ( "local_congestion",
+        Json.String (Tcp.Local_congestion.to_string f.local_congestion) );
+      ("delayed_ack_ns", opt_to_json time_to_json f.delayed_ack);
+      ("use_sack", Json.Bool f.use_sack);
+      ("pacing", Json.Bool f.pacing);
+      ("slow_start_restart", Json.Bool f.slow_start_restart);
+      ("max_rto_ns", opt_to_json time_to_json f.max_rto);
+      ("workload", workload_to_json f.workload);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("name", Json.String t.name);
+      (* Seeds from [Rng.derive_seed] are 62-bit; a JSON double only
+         holds 53, so the seed travels as a decimal string. *)
+      ("seed", Json.String (string_of_int t.seed));
+      ("duration_ns", time_to_json t.duration);
+      ("sample_period_ns", time_to_json t.sample_period);
+      ("record_series", Json.Bool t.record_series);
+      ("topology", topology_to_json t.topology);
+      ("flows", Json.List (List.map flow_to_json t.flows));
+      ( "faults",
+        Json.Obj
+          [
+            ("forward", profile_to_json t.faults.forward);
+            ("reverse", profile_to_json t.faults.reverse);
+          ] );
+    ]
+
+(* Parsing. Present fields must be well-typed (errors name the field);
+   missing fields fall back to the defaults; unknown keys are ignored. *)
+
+let ( let* ) = Result.bind
+
+let field key j =
+  match Json.member key j with
+  | Some v -> Ok v
+  | None -> Error (Printf.sprintf "missing field %S" key)
+
+let num key j =
+  let* v = field key j in
+  match Json.number v with
+  | Some f -> Ok f
+  | None -> Error (Printf.sprintf "field %S is not a number" key)
+
+let str key j =
+  let* v = field key j in
+  match Json.string_value v with
+  | Some s -> Ok s
+  | None -> Error (Printf.sprintf "field %S is not a string" key)
+
+let num_default d key j =
+  match Json.member key j with None -> Ok d | Some _ -> num key j
+
+let int_default d key j =
+  Result.map int_of_float (num_default (float_of_int d) key j)
+
+let str_default d key j =
+  match Json.member key j with None -> Ok d | Some _ -> str key j
+
+let bool_default d key j =
+  match Json.member key j with
+  | None -> Ok d
+  | Some (Json.Bool b) -> Ok b
+  | Some _ -> Error (Printf.sprintf "field %S is not a bool" key)
+
+(* A duration: [<key>_ns] (integer nanoseconds) or [<key>_s] (float
+   seconds); [d] when neither key is present. *)
+let time_default d key j =
+  match Json.member (key ^ "_ns") j with
+  | Some v -> (
+      match Json.number v with
+      | Some f -> Ok (Sim.Time.of_ns_int (int_of_float f))
+      | None -> Error (Printf.sprintf "field \"%s_ns\" is not a number" key))
+  | None -> (
+      match Json.member (key ^ "_s") j with
+      | None -> Ok d
+      | Some v -> (
+          match Json.number v with
+          | Some f -> Ok (Sim.Time.of_sec f)
+          | None ->
+              Error (Printf.sprintf "field \"%s_s\" is not a number" key)))
+
+let time key j =
+  let* t = time_default Sim.Time.zero key j in
+  match (Json.member (key ^ "_ns") j, Json.member (key ^ "_s") j) with
+  | None, None ->
+      Error (Printf.sprintf "missing field %S" (key ^ "_ns"))
+  | _ -> Ok t
+
+let opt_time_default d key j =
+  match (Json.member (key ^ "_ns") j, Json.member (key ^ "_s") j) with
+  | None, None -> Ok d
+  | Some Json.Null, _ -> Ok None
+  | _ -> Result.map Option.some (time key j)
+
+let opt_field key parse j =
+  match Json.member key j with
+  | None | Some Json.Null -> Ok None
+  | Some v -> Result.map Option.some (parse v)
+
+let all parse items =
+  List.fold_left
+    (fun acc item ->
+      let* acc = acc in
+      let* v = parse item in
+      Ok (v :: acc))
+    (Ok []) items
+  |> Result.map List.rev
+
+let jitter_of_json j =
+  let* prob = num "prob" j in
+  let* max_extra = time "max_extra" j in
+  Ok { Fm.prob; max_extra }
+
+let ge_of_json j =
+  let* p_gb = num "p_gb" j in
+  let* p_bg = num "p_bg" j in
+  let* loss_good = num "loss_good" j in
+  let* loss_bad = num "loss_bad" j in
+  Ok { Fm.p_gb; p_bg; loss_good; loss_bad }
+
+let event_of_json j =
+  let* kind = str "kind" j in
+  match kind with
+  | "outage" ->
+      let* start = time "start" j in
+      let* stop = time "stop" j in
+      Ok (Fm.Outage { start; stop })
+  | "delay_step" ->
+      let* at = time "at" j in
+      let* extra = time "extra" j in
+      Ok (Fm.Delay_step { at; extra })
+  | other -> Error (Printf.sprintf "unknown schedule event kind %S" other)
+
+let profile_of_json j =
+  let* ge = opt_field "ge" ge_of_json j in
+  let* reorder = opt_field "reorder" jitter_of_json j in
+  let* duplicate = opt_field "duplicate" jitter_of_json j in
+  let* schedule =
+    match Json.member "schedule" j with
+    | None -> Ok []
+    | Some v -> (
+        match Json.list_value v with
+        | None -> Error "field \"schedule\" is not a list"
+        | Some items -> all event_of_json items)
+  in
+  Ok { Fm.ge; reorder; duplicate; schedule }
+
+let red_of_json j =
+  let* min_th = num "min_th" j in
+  let* max_th = num "max_th" j in
+  let* max_p = num "max_p" j in
+  let* weight = num "weight" j in
+  Ok { Netsim.Queue_disc.min_th; max_th; max_p; weight }
+
+let topology_of_json j =
+  let* kind = str_default "duplex" "kind" j in
+  match kind with
+  | "duplex" ->
+      let* rate_mbps =
+        num_default (Sim.Units.rate_to_mbps default_duplex.rate) "rate_mbps" j
+      in
+      let* one_way_delay =
+        time_default default_duplex.one_way_delay "one_way_delay" j
+      in
+      let* ifq_capacity =
+        int_default default_duplex.ifq_capacity "ifq_capacity" j
+      in
+      let* loss_rate = num_default default_duplex.loss_rate "loss_rate" j in
+      let* ifq_red_ecn = opt_field "ifq_red_ecn" red_of_json j in
+      Ok
+        (Duplex
+           {
+             rate = Sim.Units.mbps rate_mbps;
+             one_way_delay;
+             ifq_capacity;
+             loss_rate;
+             ifq_red_ecn;
+           })
+  | "dumbbell" ->
+      let* pairs = int_default 2 "pairs" j in
+      let* access_rate_mbps = num_default 100. "access_rate_mbps" j in
+      let* access_delay = time_default (Sim.Time.ms 1) "access_delay" j in
+      let* bottleneck_rate_mbps = num_default 100. "bottleneck_rate_mbps" j in
+      let* bottleneck_delay =
+        time_default (Sim.Time.ms 28) "bottleneck_delay" j
+      in
+      let* buffer_packets = int_default 250 "buffer_packets" j in
+      let* host_ifq_capacity = int_default 100 "ifq_capacity" j in
+      let* red = opt_field "red" red_of_json j in
+      Ok
+        (Dumbbell
+           {
+             pairs;
+             access_rate = Sim.Units.mbps access_rate_mbps;
+             access_delay;
+             bottleneck_rate = Sim.Units.mbps bottleneck_rate_mbps;
+             bottleneck_delay;
+             buffer_packets;
+             host_ifq_capacity;
+             red;
+           })
+  | other -> Error (Printf.sprintf "unknown topology kind %S" other)
+
+let workload_of_json j =
+  let* kind = str_default "bulk" "kind" j in
+  match kind with
+  | "bulk" ->
+      let* bytes =
+        opt_field "bytes" (fun v ->
+            match Json.number v with
+            | Some f -> Ok (int_of_float f)
+            | None -> Error "field \"bytes\" is not a number")
+          j
+      in
+      Ok (Bulk { bytes })
+  | "chunked" ->
+      let* chunk_bytes = num "chunk_bytes" j in
+      let* interval = time "interval" j in
+      let* chunks =
+        opt_field "chunks" (fun v ->
+            match Json.number v with
+            | Some f -> Ok (int_of_float f)
+            | None -> Error "field \"chunks\" is not a number")
+          j
+      in
+      Ok (Chunked { chunk_bytes = int_of_float chunk_bytes; interval; chunks })
+  | "cbr" ->
+      let* rate_mbps = num "rate_mbps" j in
+      let* packet_bytes = int_default 1000 "packet_bytes" j in
+      let* stop_at = opt_time_default None "stop_at" j in
+      Ok (Cbr { rate = Sim.Units.mbps rate_mbps; packet_bytes; stop_at })
+  | "on_off" ->
+      let* peak_rate_mbps = num "peak_rate_mbps" j in
+      let* mean_on = time "mean_on" j in
+      let* mean_off = time "mean_off" j in
+      let* packet_bytes = int_default 1000 "packet_bytes" j in
+      Ok
+        (On_off
+           {
+             peak_rate = Sim.Units.mbps peak_rate_mbps;
+             mean_on;
+             mean_off;
+             packet_bytes;
+           })
+  | "short_flows" ->
+      let* arrival_rate = num "arrival_rate" j in
+      let* mean_size = int_default 30_720 "mean_size" j in
+      let* pareto_shape = num_default 1.2 "pareto_shape" j in
+      let* stop_at = opt_time_default None "stop_at" j in
+      Ok (Short_flows { arrival_rate; mean_size; pareto_shape; stop_at })
+  | other -> Error (Printf.sprintf "unknown workload kind %S" other)
+
+let restricted_of_json j =
+  let* kp = num "kp" j in
+  let* ti = num "ti" j in
+  let* td = num "td" j in
+  let* setpoint_fraction = num "setpoint_fraction" j in
+  let* max_step_segments = num "max_step_segments" j in
+  let* sample_min_interval = time "sample_min_interval" j in
+  Ok
+    {
+      Tcp.Slow_start.gains = { Control.Pid.kp; ti; td };
+      setpoint_fraction;
+      max_step_segments;
+      sample_min_interval;
+    }
+
+let cong_avoid_of_string = function
+  | "reno" -> Ok Reno
+  | "cubic" -> Ok Cubic
+  | "vegas" -> Ok Vegas
+  | other ->
+      Error (Printf.sprintf "unknown cong_avoid %S (reno|cubic|vegas)" other)
+
+let flow_of_json j =
+  let d = default_flow in
+  let* label =
+    opt_field "label" (fun v ->
+        match Json.string_value v with
+        | Some s -> Ok s
+        | None -> Error "field \"label\" is not a string")
+      j
+  in
+  let* pair = int_default d.pair "pair" j in
+  let* start_at = time_default d.start_at "start_at" j in
+  let* slow_start = str_default d.slow_start "slow_start" j in
+  let* restricted = opt_field "restricted" restricted_of_json j in
+  let* shared_rss = bool_default d.shared_rss "shared_rss" j in
+  let* cong_avoid =
+    let* s = str_default (cong_avoid_to_string d.cong_avoid) "cong_avoid" j in
+    cong_avoid_of_string s
+  in
+  let* local_congestion =
+    let* s =
+      str_default
+        (Tcp.Local_congestion.to_string d.local_congestion)
+        "local_congestion" j
+    in
+    Tcp.Local_congestion.of_string s
+  in
+  let* delayed_ack = opt_time_default d.delayed_ack "delayed_ack" j in
+  let* use_sack = bool_default d.use_sack "use_sack" j in
+  let* pacing = bool_default d.pacing "pacing" j in
+  let* slow_start_restart =
+    bool_default d.slow_start_restart "slow_start_restart" j
+  in
+  let* max_rto = opt_time_default d.max_rto "max_rto" j in
+  let* workload =
+    match Json.member "workload" j with
+    | None -> Ok d.workload
+    | Some w -> workload_of_json w
+  in
+  Ok
+    {
+      label;
+      pair;
+      start_at;
+      slow_start;
+      restricted;
+      shared_rss;
+      cong_avoid;
+      local_congestion;
+      delayed_ack;
+      use_sack;
+      pacing;
+      slow_start_restart;
+      max_rto;
+      workload;
+    }
+
+let of_json j =
+  let d = default in
+  let* name = str_default d.name "name" j in
+  let* seed =
+    match Json.member "seed" j with
+    | None -> Ok d.seed
+    | Some (Json.String s) -> (
+        match int_of_string_opt s with
+        | Some n -> Ok n
+        | None ->
+            Error (Printf.sprintf "field \"seed\" is not an integer: %S" s))
+    | Some _ ->
+        Error
+          "field \"seed\" must be a decimal string (62-bit seeds do not \
+           survive JSON doubles)"
+  in
+  let* duration = time_default d.duration "duration" j in
+  let* sample_period = time_default d.sample_period "sample_period" j in
+  let* record_series = bool_default d.record_series "record_series" j in
+  let* topology =
+    match Json.member "topology" j with
+    | None -> Ok d.topology
+    | Some t -> topology_of_json t
+  in
+  let* flows =
+    match Json.member "flows" j with
+    | None -> Ok d.flows
+    | Some v -> (
+        match Json.list_value v with
+        | None -> Error "field \"flows\" is not a list"
+        | Some items -> all flow_of_json items)
+  in
+  let* faults =
+    match Json.member "faults" j with
+    | None -> Ok d.faults
+    | Some fj ->
+        let* forward =
+          match Json.member "forward" fj with
+          | None -> Ok Fm.passthrough
+          | Some p -> profile_of_json p
+        in
+        let* reverse =
+          match Json.member "reverse" fj with
+          | None -> Ok Fm.passthrough
+          | Some p -> profile_of_json p
+        in
+        Ok { forward; reverse }
+  in
+  Ok
+    { name; seed; duration; sample_period; record_series; topology; flows;
+      faults }
+
+(* --- result serialization ---------------------------------------------- *)
+
+let flow_result_to_json r =
+  Json.Obj
+    [
+      ("label", Json.String r.label);
+      ("goodput_mbps", Json.Number r.goodput_mbps);
+      ("utilization", Json.Number r.utilization);
+      ("send_stalls", int_to_json r.send_stalls);
+      ("congestion_signals", int_to_json r.congestion_signals);
+      ("retransmits", int_to_json r.retransmits);
+      ("timeouts", int_to_json r.timeouts);
+      ("final_cwnd_segments", Json.Number r.final_cwnd_segments);
+      ("mean_ifq", Json.Number r.mean_ifq);
+      ("peak_ifq", Json.Number r.peak_ifq);
+      ("ce_marks", int_to_json r.ce_marks);
+      ( "completion_s",
+        opt_to_json (fun c -> Json.Number (Sim.Time.to_sec c)) r.completion );
+      ( "time_to_90pct_util_s",
+        opt_to_json (fun s -> Json.Number s) r.time_to_90pct_util );
+    ]
+
+let outcome_to_json o =
+  Json.Obj
+    [
+      ("flows", Json.List (List.map flow_result_to_json o.results));
+      ( "path",
+        Json.Obj
+          [
+            ("aggregate_goodput_mbps", Json.Number o.path.aggregate_goodput_mbps);
+            ("jain_index", Json.Number o.path.jain_index);
+            ("queue_mean", Json.Number o.path.queue_mean);
+            ("queue_peak", Json.Number o.path.queue_peak);
+            ("router_drops", int_to_json o.path.router_drops);
+          ] );
+    ]
+
+(* --- template ----------------------------------------------------------- *)
+
+let template () =
+  {|{
+  "_doc": "rss_sim scenario spec. Unknown keys (like these _doc entries) are ignored; missing keys take the defaults shown by `rss_sim spec`. Durations accept either <key>_ns integers or <key>_s float seconds.",
+  "name": "example",
+  "_doc_seed": "decimal string, not a number: 62-bit seeds do not survive JSON doubles",
+  "seed": "1",
+  "duration_s": 10,
+  "sample_period_s": 0.25,
+  "record_series": true,
+  "_doc_topology": "kind duplex (paper's sender-limited path: rate_mbps, one_way_delay_*, ifq_capacity, loss_rate, ifq_red_ecn) or dumbbell (pairs, access_rate_mbps, access_delay_*, bottleneck_rate_mbps, bottleneck_delay_*, buffer_packets, ifq_capacity, red)",
+  "topology": {
+    "kind": "dumbbell",
+    "pairs": 2,
+    "access_rate_mbps": 100,
+    "access_delay_s": 0.001,
+    "bottleneck_rate_mbps": 100,
+    "bottleneck_delay_s": 0.028,
+    "buffer_packets": 250,
+    "ifq_capacity": 100
+  },
+  "_doc_flows": "one entry per flow; pair selects the host pair; slow_start is any `rss_sim list` policy; shared_rss=true steers the flow from a host-wide restricted controller; workload.kind is bulk|chunked|cbr|on_off|short_flows",
+  "flows": [
+    {
+      "label": "restricted",
+      "pair": 0,
+      "slow_start": "restricted",
+      "workload": { "kind": "bulk", "bytes": null }
+    },
+    {
+      "label": "standard",
+      "pair": 1,
+      "start_at_s": 1.0,
+      "slow_start": "standard",
+      "workload": { "kind": "bulk", "bytes": null }
+    }
+  ],
+  "_doc_faults": "Netsim.Fault_model profiles for the data (forward) and ACK (reverse) directions: ge {p_gb,p_bg,loss_good,loss_bad}, reorder/duplicate {prob,max_extra_*}, schedule [{kind:outage,start_*,stop_*} | {kind:delay_step,at_*,extra_*}]",
+  "faults": {
+    "forward": {
+      "ge": null,
+      "reorder": null,
+      "duplicate": null,
+      "schedule": [ { "kind": "outage", "start_s": 4.0, "stop_s": 4.5 } ]
+    },
+    "reverse": { "ge": null, "reorder": null, "duplicate": null, "schedule": [] }
+  }
+}
+|}

@@ -1,0 +1,242 @@
+(** Declarative scenario specifications — the single front door to the
+    simulator.
+
+    A {!t} is pure data: a topology, a list of flows, fault profiles
+    and instrumentation options. {!build} compiles it into a live
+    network (scheduler, hosts, links, connections, workload drivers),
+    {!execute} runs the clock and harvests one {!flow_result} per flow
+    plus aggregate {!path_stats}. Everything the experiment suite used
+    to hand-wire — [Run.bulk]'s duplex path, E5's dumbbell, E8's
+    fairness pair, E11's parallel streams, the chaos harness's faulted
+    scenarios — is a value of this type, and {!of_json} makes the same
+    scenarios loadable from a file ([rss_sim run --spec FILE.json]).
+
+    Running a spec is a pure function of the spec value: results are
+    byte-identical across runs, worker counts and replay. *)
+
+(* --- the specification ----------------------------------------------- *)
+
+type cong_avoid = Reno | Cubic | Vegas
+
+(** The paper's ANL→LBNL testbed shape: two hosts joined by a
+    symmetric pipe whose bottleneck is the sender's NIC, so queueing
+    happens in the sender's interface queue. *)
+type duplex = {
+  rate : Sim.Units.rate;
+  one_way_delay : Sim.Time.t;
+  ifq_capacity : int;
+  loss_rate : float;  (** random loss on the data direction, 0..1 *)
+  ifq_red_ecn : Netsim.Queue_disc.red_params option;
+      (** run both hosts' interface queues as RED with ECN marking *)
+}
+
+(** N left hosts — router — bottleneck — router — N right hosts; left
+    host [i] talks to right host [i]. Queueing happens in the routers'
+    bottleneck queues. *)
+type dumbbell = {
+  pairs : int;
+  access_rate : Sim.Units.rate;
+  access_delay : Sim.Time.t;
+  bottleneck_rate : Sim.Units.rate;
+  bottleneck_delay : Sim.Time.t;
+  buffer_packets : int;          (** router queue depth *)
+  host_ifq_capacity : int;
+  red : Netsim.Queue_disc.red_params option;
+      (** bottleneck queues run RED instead of drop-tail *)
+}
+
+type topology = Duplex of duplex | Dumbbell of dumbbell
+
+type workload =
+  | Bulk of { bytes : int option }
+      (** one long TCP transfer; [None] = saturating *)
+  | Chunked of {
+      chunk_bytes : int;
+      interval : Sim.Time.t;
+      chunks : int option;  (** [None] = unbounded *)
+    }  (** disk-paced TCP source: a chunk every [interval] *)
+  | Cbr of {
+      rate : Sim.Units.rate;
+      packet_bytes : int;
+      stop_at : Sim.Time.t option;
+    }  (** constant-bit-rate UDP cross traffic *)
+  | On_off of {
+      peak_rate : Sim.Units.rate;
+      mean_on : Sim.Time.t;
+      mean_off : Sim.Time.t;
+      packet_bytes : int;
+    }  (** bursty UDP: exponential on/off, CBR while on *)
+  | Short_flows of {
+      arrival_rate : float;  (** flows per second *)
+      mean_size : int;
+      pareto_shape : float;
+      stop_at : Sim.Time.t option;
+    }  (** Poisson arrivals of Pareto-sized TCP mice *)
+
+type flow = {
+  label : string option;
+      (** [None]: the slow-start name (suffixed [-index] when the spec
+          has several flows) *)
+  pair : int;
+      (** endpoint pair: 0 on a duplex; 0..pairs-1 on a dumbbell *)
+  start_at : Sim.Time.t;
+  slow_start : string;  (** {!Tcp.Slow_start.by_name} key *)
+  restricted : Tcp.Slow_start.restricted_config option;
+      (** override for the restricted policies' controller *)
+  shared_rss : bool;
+      (** steer this flow from its host's shared RSS controller (one
+          {!Tcp.Shared_rss.t} per sending host, created at the first
+          shared flow) instead of a per-connection policy *)
+  cong_avoid : cong_avoid;
+  local_congestion : Tcp.Local_congestion.policy;
+  delayed_ack : Sim.Time.t option;
+  use_sack : bool;
+  pacing : bool;
+  slow_start_restart : bool;
+  max_rto : Sim.Time.t option;  (** [None] = TCP config default *)
+  workload : workload;
+}
+
+type faults = {
+  forward : Netsim.Fault_model.profile;
+      (** data direction: duplex a→b, dumbbell left→right bottleneck *)
+  reverse : Netsim.Fault_model.profile;  (** ACK direction *)
+}
+
+type t = {
+  name : string;
+  seed : int;
+  duration : Sim.Time.t;
+  sample_period : Sim.Time.t;
+  record_series : bool;
+      (** sample per-flow time series every [sample_period]; off for
+          scalar-only sweeps *)
+  topology : topology;
+  flows : flow list;
+  faults : faults;
+}
+
+val default_duplex : duplex
+(** The paper's path: 100 Mbit/s, 30 ms each way, IFQ 100, no loss. *)
+
+val default_flow : flow
+(** One saturating bulk flow from pair 0 at t=0: standard slow-start,
+    Reno, [Halve] local congestion, delayed ACKs, SACK, no pacing. *)
+
+val default : t
+(** [default_duplex] carrying one [default_flow] for 25 s, 250 ms
+    sampling, no faults — exactly [Run.default_spec]. *)
+
+val workload_kinds : string list
+(** JSON [kind] names, for CLIs. *)
+
+(* --- results ---------------------------------------------------------- *)
+
+type flow_result = {
+  label : string;
+  goodput_mbps : float;          (** receiver in-order bits / duration *)
+  utilization : float;           (** goodput / line rate *)
+  send_stalls : int;
+  congestion_signals : int;
+  retransmits : int;
+  timeouts : int;
+  final_cwnd_segments : float;
+  mean_ifq : float;              (** the flow's source-host IFQ *)
+  peak_ifq : float;
+  ce_marks : int;
+  completion : Sim.Time.t option;
+      (** set when a byte budget was given and fully delivered *)
+  time_to_90pct_util : float option;
+      (** seconds until windowed throughput first reached 90 % of line
+          rate; [None] if never (or series recording was off) *)
+  stalls_series : Sim.Stats.Series.t;
+  cwnd_series : Sim.Stats.Series.t;
+  ifq_series : Sim.Stats.Series.t;
+  throughput_series : Sim.Stats.Series.t;
+  srtt_series : Sim.Stats.Series.t;
+}
+(** UDP flows report packet-level goodput, zero TCP counters and empty
+    series; a [Cbr] flow's [send_stalls] counts IFQ-refused datagrams.
+    [Short_flows] reports the summed bytes of completed transfers. *)
+
+type path_stats = {
+  aggregate_goodput_mbps : float;  (** sum over TCP flows *)
+  jain_index : float;              (** fairness over TCP flows *)
+  queue_mean : float;  (** pair-0 sender's IFQ, time-averaged packets *)
+  queue_peak : float;
+  router_drops : int;  (** dumbbell router drops; 0 on a duplex *)
+}
+
+type outcome = { results : flow_result list; path : path_stats }
+
+(* --- compile and execute ---------------------------------------------- *)
+
+type built
+(** A compiled spec: live network plus started (or scheduled) flows,
+    ready to run. *)
+
+val build : t -> built
+(** Validate the spec and instantiate the network, fault models,
+    connections and workload drivers. Flows with [start_at = 0] are
+    started immediately, later ones via scheduler timers, all in list
+    order. Raises [Invalid_argument] with the offending field on a
+    malformed spec ([duration > 0], [ifq_capacity >= 1], [loss_rate]
+    in [0,1], non-negative start times, known policy names, ...). *)
+
+val execute : built -> outcome
+(** Attach instrumentation (when [record_series]), run the scheduler to
+    [duration] and collect results, in flow order. Call once. *)
+
+val run : t -> outcome
+(** [execute (build t)]. *)
+
+val run_batch : ?pool:Engine.Pool.t -> t list -> outcome list
+(** One independent task per spec on [pool] (sequential when [None]);
+    results in input order, identical for any worker count. *)
+
+(* --- introspection of a built spec (chaos harness hooks) ------------- *)
+
+val sched : built -> Sim.Scheduler.t
+
+val src_host : built -> pair:int -> Netsim.Host.t
+val dst_host : built -> pair:int -> Netsim.Host.t
+
+val forward_link : built -> Netsim.Link.t
+(** Data-direction pipe (duplex a→b; dumbbell left→right bottleneck). *)
+
+val reverse_link : built -> Netsim.Link.t
+
+val tcp_senders : built -> Tcp.Sender.t list
+(** Senders of single-connection TCP flows ([Bulk]/[Chunked]) already
+    started, in flow order — flows still waiting on [start_at] timers
+    are absent until they fire. *)
+
+val fault_models :
+  built -> Netsim.Fault_model.t option * Netsim.Fault_model.t option
+(** (forward, reverse) — [None] when that profile was passthrough (no
+    model is installed, which is behaviourally identical). *)
+
+(* --- JSON ------------------------------------------------------------- *)
+
+val to_json : t -> Report.Json.t
+(** Times serialize as [*_ns] integers, rates as [*_mbps], the seed as
+    a decimal string (62-bit seeds do not survive JSON doubles). *)
+
+val of_json : Report.Json.t -> (t, string) result
+(** Inverse of {!to_json}; errors name the offending field. Missing
+    fields fall back to {!default}'s values; [*_s] float-second keys
+    are accepted anywhere a [*_ns] key is; unknown keys are ignored
+    (so specs can carry ["_doc"] comments). *)
+
+val profile_to_json : Netsim.Fault_model.profile -> Report.Json.t
+val profile_of_json :
+  Report.Json.t -> (Netsim.Fault_model.profile, string) result
+
+val flow_result_to_json : flow_result -> Report.Json.t
+(** Scalar fields only — series travel as CSV, not JSON. *)
+
+val outcome_to_json : outcome -> Report.Json.t
+
+val template : unit -> string
+(** A commented spec-file template (["_doc"] keys explain each field);
+    parses back through {!of_json}. *)

@@ -23,6 +23,8 @@ module Dumbbell = struct
     router_r : Router.t;
     bottleneck_queue_lr : Queue_disc.t;
     bottleneck_queue_rl : Queue_disc.t;
+    bottleneck_lr : Link.t;
+    bottleneck_rl : Link.t;
   }
 
   let right_id i = 100 + i
@@ -97,5 +99,7 @@ module Dumbbell = struct
       router_r;
       bottleneck_queue_lr;
       bottleneck_queue_rl;
+      bottleneck_lr = lr_link;
+      bottleneck_rl = rl_link;
     }
 end

@@ -36,6 +36,8 @@ module Dumbbell : sig
     router_r : Router.t;
     bottleneck_queue_lr : Queue_disc.t;
     bottleneck_queue_rl : Queue_disc.t;
+    bottleneck_lr : Link.t;  (** left→right bottleneck pipe *)
+    bottleneck_rl : Link.t;  (** right→left bottleneck pipe *)
   }
 
   val create :

@@ -23,8 +23,11 @@ let escape buf s =
       | c -> Buffer.add_char buf c)
     s
 
+(* JSON has no nan/inf literals — "%.17g" would emit invalid documents
+   for non-finite values, so those encode as null. *)
 let number_to_string f =
-  if Float.is_integer f && Float.abs f < 1e15 then
+  if not (Float.is_finite f) then "null"
+  else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
   else Printf.sprintf "%.17g" f
 

@@ -13,7 +13,9 @@ type t =
   | Obj of (string * t) list
 
 val to_string : t -> string
-(** Render with two-space indentation and a trailing newline. *)
+(** Render with two-space indentation and a trailing newline.
+    Non-finite [Number]s (nan, ±infinity) render as [null] — JSON has
+    no literals for them. *)
 
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document; the error carries an offset. *)

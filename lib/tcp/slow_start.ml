@@ -231,6 +231,10 @@ let commanded ~target_segments =
   in
   { name = "commanded"; on_ack; reset = (fun () -> ()) }
 
+let names =
+  [ "standard"; "abc"; "limited"; "hystart"; "restricted";
+    "restricted-adaptive" ]
+
 let by_name ?restricted_config name =
   match name with
   | "standard" -> Ok (standard ())

@@ -107,3 +107,6 @@ val by_name :
   ?restricted_config:restricted_config -> string -> (t, string) result
 (** "standard" | "abc" | "limited" | "hystart" | "restricted" |
     "restricted-adaptive" — for CLIs. *)
+
+val names : string list
+(** Every key {!by_name} accepts, in documentation order. *)

@@ -25,6 +25,7 @@ let () =
       ("workload", Test_workload.suite);
       ("report", Test_report.suite);
       ("core", Test_core.suite);
+      ("core.spec", Test_spec.suite);
       ("core.chaos", Test_chaos.suite);
       ("engine.pool", Test_engine.suite);
       ("engine.determinism", Test_determinism.suite);

@@ -32,20 +32,13 @@ let two_rto_outage_profile max_rto =
   }
 
 let fixed_case ~name ~variant ~profile =
-  {
-    Core.Chaos.default_case with
-    Core.Chaos.name;
-    seed = 1234;
-    variant;
-    duration = Sim.Time.sec 30;
-    bytes = Some (400 * mss);
-    forward = profile;
-  }
+  Core.Chaos.make_case ~name ~seed:1234 ~variant ~duration:(Sim.Time.sec 30)
+    ~bytes:(Some (400 * mss)) ~forward:profile ()
 
 let check_passes case =
   let o = Core.Chaos.run_case case in
   Alcotest.(check (list string))
-    (case.Core.Chaos.name ^ " passes all invariants")
+    (Core.Chaos.case_name case ^ " passes all invariants")
     [] o.Core.Chaos.violations;
   Alcotest.(check bool) "completed" true o.Core.Chaos.completed
 
@@ -59,7 +52,7 @@ let test_ge_burst_loss_both_variants () =
 
 let test_two_rto_outage_both_variants () =
   let profile =
-    two_rto_outage_profile Core.Chaos.default_case.Core.Chaos.max_rto
+    two_rto_outage_profile (Core.Chaos.case_max_rto Core.Chaos.default_case)
   in
   let case = fixed_case ~name:"outage-standard" ~variant:"standard" ~profile in
   let o = Core.Chaos.run_case case in
@@ -105,20 +98,15 @@ let test_case_json_errors () =
                in
                go 0))
   in
-  reject "{}" "name";
-  reject {|{"name":"x"}|} "seed";
-  reject {|{"name":"x","seed":12}|} "seed"
+  reject "{}" "spec";
+  reject {|{"spec":{"seed":12}}|} "seed";
+  reject {|{"spec":{"topology":{"kind":"mesh"}}}|} "topology"
 
 let quick_sweep_cases =
   (* Random cases shrunk to a 6-second horizon so the determinism and
      failure-capture tests stay fast; completion is not required. *)
   List.map
-    (fun c ->
-      {
-        c with
-        Core.Chaos.duration = Sim.Time.sec 6;
-        check_completion = false;
-      })
+    (Core.Chaos.adjust ~duration:(Sim.Time.sec 6) ~check_completion:false)
     (Core.Chaos.random_cases ~root:42 4)
 
 let traces outcomes = List.map (fun o -> o.Core.Chaos.trace) outcomes
@@ -143,7 +131,7 @@ let test_sweep_captures_poisoned_cell () =
   let poisoned =
     List.mapi
       (fun i c ->
-        if i = 1 then { c with Core.Chaos.variant = "no-such-policy" } else c)
+        if i = 1 then Core.Chaos.adjust ~variant:"no-such-policy" c else c)
       quick_sweep_cases
   in
   let sequential = Core.Chaos.run_sweep poisoned in
@@ -168,12 +156,9 @@ let test_failure_artifact_replay () =
   (* Force a failure (impossible deadline), write the artifact, reload
      it, and check the replay is byte-identical. *)
   let case =
-    {
+    Core.Chaos.adjust ~duration:(Sim.Time.ms 500)
       (fixed_case ~name:"doomed case #1" ~variant:"standard"
          ~profile:ge_burst_profile)
-      with
-      Core.Chaos.duration = Sim.Time.ms 500;
-    }
   in
   let o = Core.Chaos.run_case case in
   Alcotest.(check bool) "case fails as constructed" false

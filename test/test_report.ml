@@ -95,8 +95,35 @@ let test_csv_write_string () =
   close_in ic;
   Alcotest.(check string) "verbatim contents" "a,b" header
 
+let test_json_non_finite () =
+  let doc =
+    Report.Json.Obj
+      [
+        ("nan", Report.Json.Number Float.nan);
+        ("inf", Report.Json.Number Float.infinity);
+        ("neg_inf", Report.Json.Number Float.neg_infinity);
+        ("finite", Report.Json.Number 1.5);
+      ]
+  in
+  let text = Report.Json.to_string doc in
+  (* JSON has no nan/inf literals; the writer must stay parseable. *)
+  match Report.Json.of_string text with
+  | Error e -> Alcotest.failf "emitted invalid JSON: %s" e
+  | Ok parsed ->
+      let is_null key =
+        match Report.Json.member key parsed with
+        | Some Report.Json.Null -> true
+        | _ -> false
+      in
+      Alcotest.(check bool) "nan -> null" true (is_null "nan");
+      Alcotest.(check bool) "inf -> null" true (is_null "inf");
+      Alcotest.(check bool) "-inf -> null" true (is_null "neg_inf");
+      Alcotest.(check (option (float 1e-9))) "finite survives" (Some 1.5)
+        (Option.bind (Report.Json.member "finite" parsed) Report.Json.number)
+
 let suite =
   [
+    Alcotest.test_case "json non-finite floats" `Quick test_json_non_finite;
     Alcotest.test_case "csv write_string" `Quick test_csv_write_string;
     Alcotest.test_case "table render" `Quick test_table_render;
     Alcotest.test_case "table pads short rows" `Quick

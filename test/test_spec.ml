@@ -1,0 +1,412 @@
+(* Core.Spec: JSON round-trips, fixed-seed goldens, worker-count
+   determinism, Run.bulk equivalence and build-time validation. *)
+
+module Spec = Core.Spec
+module Fm = Netsim.Fault_model
+
+let sec = Sim.Time.sec
+let ms = Sim.Time.ms
+
+(* --- round-trip -------------------------------------------------------- *)
+
+let round_trip spec =
+  let text = Report.Json.to_string (Spec.to_json spec) in
+  match Report.Json.of_string text with
+  | Error e -> Alcotest.failf "re-parse failed: %s" e
+  | Ok json -> (
+      match Spec.of_json json with
+      | Error e -> Alcotest.failf "of_json failed: %s" e
+      | Ok spec' -> spec')
+
+let check_round_trip name spec =
+  Alcotest.(check bool) name true (round_trip spec = spec)
+
+let test_round_trip_default () = check_round_trip "default" Spec.default
+
+let test_round_trip_62bit_seed () =
+  (* derive_seed yields full-width native ints (possibly negative); the
+     decimal-string encoding must carry them exactly. *)
+  let seed = Sim.Rng.derive_seed ~root:0x1234_5678 ~stream:42 in
+  Alcotest.(check bool) "seed exceeds double precision" true
+    (abs seed > 1 lsl 53);
+  check_round_trip "62-bit seed" { Spec.default with Spec.seed }
+
+let full_fault_profile =
+  {
+    Fm.ge =
+      Some { Fm.p_gb = 0.002; p_bg = 0.25; loss_good = 0.001; loss_bad = 0.5 };
+    reorder = Some { Fm.prob = 0.01; max_extra = ms 12 };
+    duplicate = Some { Fm.prob = 0.005; max_extra = ms 3 };
+    schedule =
+      [
+        Fm.Outage { start = sec 2; stop = Sim.Time.add (sec 2) (ms 400) };
+        Fm.Delay_step { at = sec 4; extra = ms 25 };
+      ];
+  }
+
+let test_round_trip_faults () =
+  check_round_trip "fault profiles"
+    {
+      Spec.default with
+      Spec.faults =
+        { Spec.forward = full_fault_profile; reverse = full_fault_profile };
+    }
+
+let test_round_trip_workloads () =
+  let flow workload = { Spec.default_flow with Spec.workload } in
+  check_round_trip "every workload kind"
+    {
+      Spec.default with
+      Spec.flows =
+        [
+          flow (Spec.Bulk { bytes = Some 1_000_000 });
+          flow
+            (Spec.Chunked
+               { chunk_bytes = 65536; interval = ms 50; chunks = Some 20 });
+          flow
+            (Spec.Cbr
+               {
+                 rate = Sim.Units.mbps 10.;
+                 packet_bytes = 1000;
+                 stop_at = Some (sec 20);
+               });
+          flow
+            (Spec.On_off
+               {
+                 peak_rate = Sim.Units.mbps 40.;
+                 mean_on = ms 500;
+                 mean_off = ms 1500;
+                 packet_bytes = 1000;
+               });
+          flow
+            (Spec.Short_flows
+               {
+                 arrival_rate = 10.;
+                 mean_size = 30_720;
+                 pareto_shape = 1.2;
+                 stop_at = None;
+               });
+        ];
+    }
+
+let test_round_trip_dumbbell_red () =
+  check_round_trip "dumbbell with RED and flow overrides"
+    {
+      Spec.default with
+      Spec.topology =
+        Spec.Dumbbell
+          {
+            Spec.pairs = 3;
+            access_rate = Sim.Units.mbps 1000.;
+            access_delay = ms 1;
+            bottleneck_rate = Sim.Units.mbps 100.;
+            bottleneck_delay = ms 28;
+            buffer_packets = 250;
+            host_ifq_capacity = 100;
+            red =
+              Some
+                {
+                  Netsim.Queue_disc.min_th = 50.;
+                  max_th = 150.;
+                  max_p = 0.1;
+                  weight = 0.002;
+                };
+          };
+      flows =
+        [
+          {
+            Spec.default_flow with
+            Spec.label = Some "tuned";
+            pair = 2;
+            start_at = ms 250;
+            slow_start = "restricted-adaptive";
+            restricted =
+              Some
+                {
+                  Tcp.Slow_start.gains = Control.Pid.pid ~kp:0.5 ~ti:0.1 ~td:0.05;
+                  setpoint_fraction = 0.8;
+                  max_step_segments = 4.;
+                  sample_min_interval = ms 2;
+                };
+            shared_rss = true;
+            cong_avoid = Spec.Cubic;
+            local_congestion = Tcp.Local_congestion.Cwr;
+            delayed_ack = None;
+            use_sack = false;
+            pacing = true;
+            slow_start_restart = false;
+            max_rto = Some (sec 2);
+          };
+        ];
+    }
+
+let test_template_parses_and_builds () =
+  match Report.Json.of_string (Spec.template ()) with
+  | Error e -> Alcotest.failf "template is not valid JSON: %s" e
+  | Ok json -> (
+      match Spec.of_json json with
+      | Error e -> Alcotest.failf "template rejected: %s" e
+      | Ok spec ->
+          ignore (Spec.build spec);
+          Alcotest.(check bool) "template has several flows" true
+            (List.length spec.Spec.flows >= 2))
+
+let test_of_json_errors () =
+  let reject text fragment =
+    let json =
+      match Report.Json.of_string text with
+      | Ok j -> j
+      | Error e -> Alcotest.failf "test input is not JSON: %s" e
+    in
+    match Spec.of_json json with
+    | Ok _ -> Alcotest.failf "accepted %s" text
+    | Error e ->
+        let contains hay needle =
+          let nh = String.length hay and nn = String.length needle in
+          let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+          at 0
+        in
+        let found = contains e fragment in
+        Alcotest.(check bool)
+          (Printf.sprintf "%S mentions %S" e fragment)
+          true found
+  in
+  reject {|{"seed": 12}|} "seed";
+  reject {|{"topology": {"kind": "mesh"}}|} "topology";
+  reject {|{"flows": [{"workload": {"kind": "torrent"}}]}|} "workload"
+
+(* --- fixed-seed goldens (from scratch run, full precision) ------------- *)
+
+let golden_duplex_spec =
+  {
+    Spec.default with
+    Spec.name = "golden-duplex";
+    seed = 7;
+    duration = sec 5;
+    record_series = false;
+    flows =
+      [
+        { Spec.default_flow with Spec.label = Some "rss";
+          slow_start = "restricted" };
+      ];
+  }
+
+let golden_dumbbell_spec =
+  {
+    Spec.default with
+    Spec.name = "golden-dumbbell";
+    seed = 9;
+    duration = sec 5;
+    record_series = false;
+    topology =
+      Spec.Dumbbell
+        {
+          Spec.pairs = 2;
+          access_rate = Sim.Units.mbps 1000.;
+          access_delay = ms 1;
+          bottleneck_rate = Sim.Units.mbps 100.;
+          bottleneck_delay = ms 28;
+          buffer_packets = 250;
+          host_ifq_capacity = 100;
+          red = None;
+        };
+    flows =
+      [
+        { Spec.default_flow with Spec.label = Some "rss";
+          slow_start = "restricted" };
+        { Spec.default_flow with Spec.label = Some "std"; pair = 1;
+          start_at = ms 500 };
+      ];
+    faults =
+      {
+        Spec.forward =
+          {
+            Fm.passthrough with
+            Fm.ge =
+              Some { Fm.p_gb = 0.002; p_bg = 0.2; loss_good = 0.; loss_bad = 0.3 };
+          };
+        reverse = Fm.passthrough;
+      };
+  }
+
+let check_flow ~label ~goodput ~stalls ~cong ~retx ~timeouts ~cwnd
+    (r : Spec.flow_result) =
+  Alcotest.(check string) (label ^ " label") label r.Spec.label;
+  Alcotest.(check (float 1e-6)) (label ^ " goodput") goodput r.Spec.goodput_mbps;
+  Alcotest.(check int) (label ^ " stalls") stalls r.Spec.send_stalls;
+  Alcotest.(check int) (label ^ " cong signals") cong r.Spec.congestion_signals;
+  Alcotest.(check int) (label ^ " retx") retx r.Spec.retransmits;
+  Alcotest.(check int) (label ^ " timeouts") timeouts r.Spec.timeouts;
+  Alcotest.(check (float 1e-6)) (label ^ " cwnd") cwnd
+    r.Spec.final_cwnd_segments
+
+let test_golden_duplex () =
+  let o = Spec.run golden_duplex_spec in
+  (match o.Spec.results with
+  | [ r ] ->
+      check_flow ~label:"rss" ~goodput:83.682528 ~stalls:0 ~cong:0 ~retx:0
+        ~timeouts:0 ~cwnd:597.00891889230695 r;
+      Alcotest.(check (float 1e-6)) "mean ifq" 68.016001919994352
+        r.Spec.mean_ifq;
+      Alcotest.(check (float 1e-6)) "peak ifq" 96. r.Spec.peak_ifq
+  | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs));
+  Alcotest.(check (float 1e-9)) "jain" 1. o.Spec.path.Spec.jain_index;
+  Alcotest.(check int) "no router drops on a duplex" 0
+    o.Spec.path.Spec.router_drops
+
+let test_golden_dumbbell () =
+  let o = Spec.run golden_dumbbell_spec in
+  (match o.Spec.results with
+  | [ rss; std ] ->
+      check_flow ~label:"rss" ~goodput:8.017152 ~stalls:0 ~cong:5 ~retx:6
+        ~timeouts:0 ~cwnd:13.54290865013656 rss;
+      check_flow ~label:"std" ~goodput:10.832032 ~stalls:0 ~cong:3 ~retx:5
+        ~timeouts:0 ~cwnd:41.908648991806743 std
+  | rs -> Alcotest.failf "expected 2 results, got %d" (List.length rs));
+  Alcotest.(check (float 1e-6)) "aggregate" 18.849184
+    o.Spec.path.Spec.aggregate_goodput_mbps;
+  Alcotest.(check (float 1e-9)) "jain" 0.97818497816417027
+    o.Spec.path.Spec.jain_index
+
+(* --- determinism across worker counts ---------------------------------- *)
+
+let scalars (o : Spec.outcome) =
+  ( List.map
+      (fun (r : Spec.flow_result) ->
+        ( r.Spec.label,
+          r.Spec.goodput_mbps,
+          r.Spec.send_stalls,
+          r.Spec.retransmits,
+          r.Spec.timeouts,
+          r.Spec.final_cwnd_segments ))
+      o.Spec.results,
+    o.Spec.path )
+
+let test_jobs_determinism () =
+  let specs =
+    [
+      golden_duplex_spec;
+      golden_dumbbell_spec;
+      { golden_dumbbell_spec with Spec.name = "golden-dumbbell-17"; seed = 17 };
+    ]
+  in
+  let sequential = List.map scalars (Spec.run_batch specs) in
+  let pooled =
+    Engine.Pool.with_pool ~jobs:4 (fun pool ->
+        List.map scalars (Spec.run_batch ~pool specs))
+  in
+  Alcotest.(check bool) "pool of 4 matches sequential" true
+    (sequential = pooled)
+
+(* --- Run.bulk is the one-flow special case ----------------------------- *)
+
+let test_bulk_equals_one_flow_spec () =
+  let run_spec =
+    {
+      Core.Run.default_spec with
+      Core.Run.duration = sec 3;
+      slow_start = "restricted";
+      seed = 11;
+    }
+  in
+  let r = Core.Run.bulk run_spec in
+  let hand_built =
+    {
+      Spec.default with
+      Spec.name = "restricted";
+      seed = 11;
+      duration = sec 3;
+      flows =
+        [
+          { Spec.default_flow with Spec.label = Some "restricted";
+            slow_start = "restricted" };
+        ];
+    }
+  in
+  match (Spec.run hand_built).Spec.results with
+  | [ r' ] ->
+      Alcotest.(check (float 0.)) "same goodput" r.Core.Run.goodput_mbps
+        r'.Spec.goodput_mbps;
+      Alcotest.(check int) "same stalls" r.Core.Run.send_stalls
+        r'.Spec.send_stalls;
+      Alcotest.(check (float 0.)) "same cwnd" r.Core.Run.final_cwnd_segments
+        r'.Spec.final_cwnd_segments;
+      Alcotest.(check int) "same series length"
+        (Sim.Stats.Series.length r.Core.Run.cwnd_series)
+        (Sim.Stats.Series.length r'.Spec.cwnd_series)
+  | rs -> Alcotest.failf "expected 1 result, got %d" (List.length rs)
+
+(* --- validation -------------------------------------------------------- *)
+
+let test_validation () =
+  let rejects name spec =
+    match Spec.build spec with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s: expected Invalid_argument" name
+  in
+  rejects "non-positive duration"
+    { Spec.default with Spec.duration = Sim.Time.zero };
+  rejects "zero ifq"
+    {
+      Spec.default with
+      Spec.topology =
+        Spec.Duplex { Spec.default_duplex with Spec.ifq_capacity = 0 };
+    };
+  rejects "loss rate above 1"
+    {
+      Spec.default with
+      Spec.topology =
+        Spec.Duplex { Spec.default_duplex with Spec.loss_rate = 1.5 };
+    };
+  rejects "negative start time"
+    {
+      Spec.default with
+      Spec.flows =
+        [ { Spec.default_flow with Spec.start_at = Sim.Time.of_sec (-1.) } ];
+    };
+  rejects "unknown policy"
+    {
+      Spec.default with
+      Spec.flows = [ { Spec.default_flow with Spec.slow_start = "bogus" } ];
+    };
+  rejects "pair out of range"
+    { Spec.default with Spec.flows = [ { Spec.default_flow with Spec.pair = 1 } ] };
+  rejects "no flows" { Spec.default with Spec.flows = [] };
+  rejects "bad chunk workload"
+    {
+      Spec.default with
+      Spec.flows =
+        [
+          {
+            Spec.default_flow with
+            Spec.workload =
+              Spec.Chunked
+                { chunk_bytes = 0; interval = ms 50; chunks = None };
+          };
+        ];
+    }
+
+let suite =
+  [
+    Alcotest.test_case "round-trip: default" `Quick test_round_trip_default;
+    Alcotest.test_case "round-trip: 62-bit seed" `Quick
+      test_round_trip_62bit_seed;
+    Alcotest.test_case "round-trip: fault profiles" `Quick
+      test_round_trip_faults;
+    Alcotest.test_case "round-trip: workload kinds" `Quick
+      test_round_trip_workloads;
+    Alcotest.test_case "round-trip: dumbbell, RED, overrides" `Quick
+      test_round_trip_dumbbell_red;
+    Alcotest.test_case "template parses and builds" `Quick
+      test_template_parses_and_builds;
+    Alcotest.test_case "of_json errors name the field" `Quick
+      test_of_json_errors;
+    Alcotest.test_case "golden: duplex restricted" `Slow test_golden_duplex;
+    Alcotest.test_case "golden: faulted dumbbell pair" `Slow
+      test_golden_dumbbell;
+    Alcotest.test_case "identical at any worker count" `Slow
+      test_jobs_determinism;
+    Alcotest.test_case "Run.bulk is the one-flow spec" `Slow
+      test_bulk_equals_one_flow_spec;
+    Alcotest.test_case "build validates the spec" `Quick test_validation;
+  ]
