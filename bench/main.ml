@@ -595,6 +595,33 @@ let core_metric_periodic () =
   in
   metrics
 
+let core_metric_trace_off () =
+  (* The periodic loop with a tracer installed on the scheduler but the
+     sched category masked out (the default): every dispatch pays the
+     emit call, the mask test discards it. This is the "compiled in,
+     disabled" configuration every untraced production run uses, so it
+     is gated like the bare periodic loop — and allocation must stay
+     at zero words/event. *)
+  let s = Sim.Scheduler.create () in
+  Sim.Scheduler.set_tracer s (Some (Trace.create ~capacity:1024 ()));
+  let count = ref 0 in
+  ignore (Sim.Scheduler.every s (Sim.Time.us 10) (fun () -> incr count));
+  time_and_alloc (fun () ->
+      Sim.Scheduler.run ~until:(Sim.Time.sec 10) s;
+      !count)
+
+let core_metric_trace_emit () =
+  (* Retained emission into a wrapped ring: four int stores per record,
+     zero allocation. *)
+  let tr = Trace.create ~capacity:65536 () in
+  let n = 1_000_000 in
+  time_and_alloc (fun () ->
+      for i = 0 to n - 1 do
+        Trace.emit tr ~time_ns:i ~code:Trace.Code.link_tx ~src:1
+          ~arg1:(i land 0xff) ~arg2:1500
+      done;
+      n)
+
 (* Best of three: a single ~50 ms wall-clock sample is at the mercy of
    transient machine load, which would make the regression gate flaky. *)
 let core_metric_e2e f =
@@ -636,6 +663,8 @@ let write_core_json path =
               metric "eq/churn-1M" (core_metric_churn ());
               metric "eq/cancel-heavy" (core_metric_cancel_heavy ());
               metric "eq/periodic-1M" (core_metric_periodic ());
+              metric "trace/emit-off-1M" (core_metric_trace_off ());
+              metric "trace/emit-on-1M" (core_metric_trace_emit ());
               e2e "e2e/fig1-2s"
                 (core_metric_e2e (fun () ->
                      ignore (Core.Experiments.Fig1.run ~duration ())));

@@ -88,7 +88,7 @@ let print_path_stats (p : Core.Spec.path_stats) =
     p.Core.Spec.aggregate_goodput_mbps p.Core.Spec.jain_index
     p.Core.Spec.queue_mean p.Core.Spec.queue_peak p.Core.Spec.router_drops
 
-let run_spec_file ~path ~jobs ~out_dir =
+let load_spec path =
   let contents =
     try
       let ic = open_in_bin path in
@@ -99,30 +99,32 @@ let run_spec_file ~path ~jobs ~out_dir =
       prerr_endline e;
       exit 2
   in
-  let spec =
-    match Report.Json.of_string contents with
-    | Error e ->
-        Printf.eprintf "%s: %s\n" path e;
-        exit 2
-    | Ok json -> (
-        match Core.Spec.of_json json with
-        | Error e ->
-            Printf.eprintf "%s: %s\n" path e;
-            exit 2
-        | Ok spec -> spec)
-  in
-  let outcome =
-    try
-      if jobs > 1 then
-        Engine.Pool.with_pool ~jobs (fun pool ->
-            match Core.Spec.run_batch ~pool [ spec ] with
-            | [ o ] -> o
-            | _ -> assert false)
-      else Core.Spec.run spec
-    with Invalid_argument e ->
-      prerr_endline e;
+  match Report.Json.of_string contents with
+  | Error e ->
+      Printf.eprintf "%s: %s\n" path e;
       exit 2
-  in
+  | Ok json -> (
+      match Core.Spec.of_json json with
+      | Error e ->
+          Printf.eprintf "%s: %s\n" path e;
+          exit 2
+      | Ok spec -> spec)
+
+let run_spec ~jobs spec =
+  try
+    if jobs > 1 then
+      Engine.Pool.with_pool ~jobs (fun pool ->
+          match Core.Spec.run_batch ~pool [ spec ] with
+          | [ o ] -> o
+          | _ -> assert false)
+    else Core.Spec.run spec
+  with Invalid_argument e ->
+    prerr_endline e;
+    exit 2
+
+let run_spec_file ~path ~jobs ~out_dir =
+  let spec = load_spec path in
+  let outcome = run_spec ~jobs spec in
   List.iter print_result outcome.Core.Spec.results;
   print_path_stats outcome.Core.Spec.path;
   match out_dir with
@@ -415,6 +417,96 @@ let chaos_cmd =
           invariants; failures are written as replayable JSON artifacts.")
     term
 
+(* --- trace --------------------------------------------------------------- *)
+
+let trace_cmd =
+  let spec_file =
+    let doc = "JSON scenario spec to run under the tracer." in
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "spec" ] ~docv:"FILE" ~doc)
+  in
+  let out_dir =
+    let doc =
+      "Directory for the artifacts: <name>_events.csv (the event ring), \
+       <name>_trace.json (Chrome trace_event, load in chrome://tracing \
+       or Perfetto) and <name>_metrics.csv (the unified metrics \
+       registry sampled every sample_period)."
+    in
+    Arg.(value & opt string "results/trace" & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let jobs =
+    let doc =
+      "Worker domains (1 disables parallelism). Artifacts are \
+       byte-identical for any value."
+    in
+    Arg.(value & opt positive_int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let capacity =
+    let doc =
+      "Override the spec's trace_capacity (ring size in records; oldest \
+       records are overwritten beyond it)."
+    in
+    Arg.(value & opt (some int) None & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let action spec_path out_dir jobs capacity =
+    let spec = load_spec spec_path in
+    (* The subcommand's whole point is tracing: force it on, whatever
+       the spec says. *)
+    let spec =
+      {
+        spec with
+        Core.Spec.record_trace = true;
+        trace_capacity =
+          (match capacity with
+          | Some c -> c
+          | None -> spec.Core.Spec.trace_capacity);
+      }
+    in
+    let outcome = run_spec ~jobs spec in
+    List.iter print_result outcome.Core.Spec.results;
+    print_path_stats outcome.Core.Spec.path;
+    let tr =
+      match outcome.Core.Spec.trace with
+      | Some tr -> tr
+      | None -> assert false (* record_trace was forced on *)
+    in
+    Printf.printf
+      "trace        %d record(s) retained, %d dropped (ring capacity %d)\n"
+      (Trace.length tr) (Trace.dropped tr) (Trace.capacity tr);
+    ensure_dir out_dir;
+    let base = sanitize spec.Core.Spec.name in
+    let write name content =
+      let path = Filename.concat out_dir (base ^ name) in
+      Report.Csv.write_string ~path content;
+      Printf.printf "wrote %s\n" path
+    in
+    write "_events.csv" (Report.Trace_event.to_csv tr);
+    write "_trace.json"
+      (Report.Trace_event.to_chrome ~name:spec.Core.Spec.name tr);
+    match outcome.Core.Spec.metrics with
+    | None -> ()
+    | Some m ->
+        let path = Filename.concat out_dir (base ^ "_metrics.csv") in
+        Report.Csv.write ~path
+          ~header:("time_s" :: m.Core.Spec.metric_names)
+          ~rows:
+            (List.map
+               (fun (t, values) -> t :: Array.to_list values)
+               m.Core.Spec.samples);
+        Printf.printf "wrote %s\n" path
+  in
+  let term = Term.(const action $ spec_file $ out_dir $ jobs $ capacity) in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Run a JSON-described scenario with the run-wide event tracer \
+          and metrics registry attached, then export the ring as CSV \
+          and Chrome trace_event JSON plus a metrics time-series CSV. \
+          Deterministic: artifacts are byte-identical at any --jobs.")
+    term
+
 (* --- list ---------------------------------------------------------------- *)
 
 let list_cmd =
@@ -523,5 +615,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; compare_cmd; chaos_cmd; calibrate_cmd; list_cmd;
-            spec_cmd ]))
+          [ run_cmd; compare_cmd; chaos_cmd; trace_cmd; calibrate_cmd;
+            list_cmd; spec_cmd ]))

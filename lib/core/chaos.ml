@@ -30,6 +30,8 @@ let make_case ?(name = "chaos") ?(seed = 1) ?(variant = "standard")
         duration;
         sample_period = Sim.Time.ms 250;
         record_series = false;
+        record_trace = false;
+        trace_capacity = 65536;
         topology =
           Spec.Duplex
             {

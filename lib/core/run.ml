@@ -76,6 +76,8 @@ let to_spec ?label s =
     duration = s.duration;
     sample_period = s.sample_period;
     record_series = true;
+    record_trace = false;
+    trace_capacity = 65536;
     topology =
       Spec.Duplex
         {

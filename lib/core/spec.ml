@@ -83,6 +83,8 @@ type t = {
   duration : Sim.Time.t;
   sample_period : Sim.Time.t;
   record_series : bool;
+  record_trace : bool;
+  trace_capacity : int;
   topology : topology;
   flows : flow list;
   faults : faults;
@@ -122,6 +124,8 @@ let default =
     duration = Sim.Time.sec 25;
     sample_period = Sim.Time.ms 250;
     record_series = true;
+    record_trace = false;
+    trace_capacity = 65536;
     topology = Duplex default_duplex;
     flows = [ default_flow ];
     faults = { forward = Fm.passthrough; reverse = Fm.passthrough };
@@ -160,7 +164,17 @@ type path_stats = {
   router_drops : int;
 }
 
-type outcome = { results : flow_result list; path : path_stats }
+type metrics = {
+  metric_names : string list;
+  samples : (float * float array) list;
+}
+
+type outcome = {
+  results : flow_result list;
+  path : path_stats;
+  trace : Trace.t option;
+  metrics : metrics option;
+}
 
 (* --- validation -------------------------------------------------------- *)
 
@@ -282,9 +296,11 @@ type built = {
   bflows : built_flow list;
   shared : (int, Tcp.Shared_rss.t) Hashtbl.t;
   line_mbps : float;
+  btrace : Trace.t option;
 }
 
 let sched b = b.bsched
+let trace b = b.btrace
 
 let pair_hosts net pair =
   match net with
@@ -408,7 +424,18 @@ let start_flow b bf =
              ~slow_start:(fun () -> policy_for b bf)
              ?stop_at ())
   in
-  bf.driver <- Some driver
+  bf.driver <- Some driver;
+  (* Single-connection TCP drivers get the run tracer; Short_flows mice
+     churn through internal senders and stay untraced (their aggregate
+     behaviour shows up in the link/IFQ records). *)
+  match b.btrace with
+  | None -> ()
+  | Some tr -> (
+      match driver with
+      | Bulk_driver t -> Tcp.Sender.set_tracer (Workload.Bulk.sender t) (Some tr)
+      | Chunked_driver t ->
+          Tcp.Sender.set_tracer (Workload.Chunked.sender t) (Some tr)
+      | Cbr_driver _ | On_off_driver _ | Short_driver _ -> ())
 
 let default_label spec i (f : flow) =
   match f.label with
@@ -466,6 +493,11 @@ let build spec =
     | Duplex d -> Sim.Units.rate_to_mbps d.rate
     | Dumbbell d -> Sim.Units.rate_to_mbps d.bottleneck_rate
   in
+  let btrace =
+    if spec.record_trace then
+      Some (Trace.create ~capacity:spec.trace_capacity ())
+    else None
+  in
   let b0 =
     {
       bspec = spec;
@@ -477,6 +509,7 @@ let build spec =
       bflows = [];
       shared = Hashtbl.create 4;
       line_mbps;
+      btrace;
     }
   in
   (* Streams 0xFA1/0xFA2: the chaos harness's historical fault streams,
@@ -498,6 +531,25 @@ let build spec =
       spec.flows
   in
   let b = { b0 with fwd_fault; rev_fault; bflows } in
+  (* Trace source ids: 1/2 for the forward/reverse pipe, host ids for
+     IFQ and NIC records, flow ids for sender records. Installing the
+     tracer draws no randomness and schedules nothing, so a traced run
+     performs exactly the model transitions of an untraced one. *)
+  (match btrace with
+  | None -> ()
+  | Some _ ->
+      Sim.Scheduler.set_tracer bsched btrace;
+      Netsim.Link.set_tracer (forward_link b) ~src:1 btrace;
+      Netsim.Link.set_tracer (reverse_link b) ~src:2 btrace;
+      for pair = 0 to pairs_of spec.topology - 1 do
+        let src, dst = pair_hosts net pair in
+        List.iter
+          (fun host ->
+            let id = Netsim.Host.id host in
+            Netsim.Ifq.set_tracer (Netsim.Host.ifq host) ~src:id btrace;
+            Netsim.Nic.set_tracer (Netsim.Host.nic host) ~src:id btrace)
+          [ src; dst ]
+      done);
   List.iter
     (fun bf ->
       if Sim.Time.compare bf.fspec.start_at Sim.Time.zero = 0 then
@@ -658,6 +710,68 @@ let collect_flow b inst =
       in
       { zero with goodput_mbps = goodput; utilization = goodput /. b.line_mbps }
 
+(* One namespace over everything the run can report, in a fixed order:
+   web100 per-connection variables (conn/<label>/<Var>, flow order),
+   then pipe counters (link/<dir>/<what>), then per-host soft-component
+   gauges (host/<id>/<what>, pair order). Registration rejects
+   duplicates, so two flows sharing a label fail loudly instead of
+   silently misaligning every exported column after them. *)
+let build_registry b =
+  let reg = Trace.Registry.create () in
+  List.iter
+    (fun bf ->
+      if is_tcp_workload bf.fspec.workload then
+        List.iter
+          (fun var ->
+            (* The sender may not exist yet (start_at timer pending);
+               probes resolve it at sampling time and read 0 until. *)
+            Trace.Registry.register reg
+              ~name:(Printf.sprintf "conn/%s/%s" bf.flabel var)
+              (fun () ->
+                match sender_receiver bf with
+                | Some (sender, _) ->
+                    Option.value ~default:0.
+                      (Web100.Group.read (Tcp.Sender.stats sender) var)
+                | None -> 0.))
+          Web100.Kis.all)
+    b.bflows;
+  let link_metrics dir link =
+    List.iter
+      (fun (what, probe) ->
+        Trace.Registry.register reg
+          ~name:(Printf.sprintf "link/%s/%s" dir what)
+          probe)
+      [
+        ("delivered", fun () -> float_of_int (Netsim.Link.delivered link));
+        ("lost", fun () -> float_of_int (Netsim.Link.lost link));
+        ("duplicated", fun () -> float_of_int (Netsim.Link.duplicated link));
+        ("in_flight", fun () -> float_of_int (Netsim.Link.in_flight link));
+      ]
+  in
+  link_metrics "forward" (forward_link b);
+  link_metrics "reverse" (reverse_link b);
+  for pair = 0 to pairs_of b.bspec.topology - 1 do
+    let src, dst = pair_hosts b.net pair in
+    List.iter
+      (fun host ->
+        let id = Netsim.Host.id host in
+        let ifq = Netsim.Host.ifq host in
+        let nic = Netsim.Host.nic host in
+        List.iter
+          (fun (what, probe) ->
+            Trace.Registry.register reg
+              ~name:(Printf.sprintf "host/%d/%s" id what)
+              probe)
+          [
+            ("ifq_occupancy", fun () -> float_of_int (Netsim.Ifq.occupancy ifq));
+            ("ifq_stalls", fun () -> float_of_int (Netsim.Ifq.stalls ifq));
+            ("nic_tx_packets", fun () -> float_of_int (Netsim.Nic.tx_packets nic));
+            ("nic_tx_bytes", fun () -> float_of_int (Netsim.Nic.tx_bytes nic));
+          ])
+      [ src; dst ]
+  done;
+  reg
+
 let jain = function
   | [] -> 1.
   | xs ->
@@ -676,6 +790,19 @@ let execute b =
             (Sim.Scheduler.every b.bsched b.bspec.sample_period (fun () ->
                  sample_instrument b inst)))
       instruments;
+  (* The metrics sampler is registered after the legacy per-flow
+     instruments so that runs without [record_trace] perform the exact
+     event-queue operation sequence they always did. Probes only read
+     state, so the extra timer never perturbs the model. *)
+  let registry = Option.map (fun _ -> build_registry b) b.btrace in
+  let metrics_acc = ref [] in
+  (match registry with
+  | None -> ()
+  | Some reg ->
+      ignore
+        (Sim.Scheduler.every b.bsched b.bspec.sample_period (fun () ->
+             let now = Sim.Time.to_sec (Sim.Scheduler.now b.bsched) in
+             metrics_acc := (now, Trace.Registry.sample reg) :: !metrics_acc)));
   Sim.Scheduler.run ~until:b.bspec.duration b.bsched;
   let results = List.map (collect_flow b) instruments in
   let tcp_goodputs =
@@ -707,6 +834,15 @@ let execute b =
         queue_peak = Netsim.Ifq.peak_occupancy pair0_ifq;
         router_drops;
       };
+    trace = b.btrace;
+    metrics =
+      Option.map
+        (fun reg ->
+          {
+            metric_names = Trace.Registry.names reg;
+            samples = List.rev !metrics_acc;
+          })
+        registry;
   }
 
 let run spec = execute (build spec)
@@ -885,6 +1021,8 @@ let to_json t =
       ("duration_ns", time_to_json t.duration);
       ("sample_period_ns", time_to_json t.sample_period);
       ("record_series", Json.Bool t.record_series);
+      ("record_trace", Json.Bool t.record_trace);
+      ("trace_capacity", int_to_json t.trace_capacity);
       ("topology", topology_to_json t.topology);
       ("flows", Json.List (List.map flow_to_json t.flows));
       ( "faults",
@@ -1217,6 +1355,8 @@ let of_json j =
   let* duration = time_default d.duration "duration" j in
   let* sample_period = time_default d.sample_period "sample_period" j in
   let* record_series = bool_default d.record_series "record_series" j in
+  let* record_trace = bool_default d.record_trace "record_trace" j in
+  let* trace_capacity = int_default d.trace_capacity "trace_capacity" j in
   let* topology =
     match Json.member "topology" j with
     | None -> Ok d.topology
@@ -1247,8 +1387,8 @@ let of_json j =
         Ok { forward; reverse }
   in
   Ok
-    { name; seed; duration; sample_period; record_series; topology; flows;
-      faults }
+    { name; seed; duration; sample_period; record_series; record_trace;
+      trace_capacity; topology; flows; faults }
 
 (* --- result serialization ---------------------------------------------- *)
 
@@ -1298,6 +1438,9 @@ let template () =
   "duration_s": 10,
   "sample_period_s": 0.25,
   "record_series": true,
+  "_doc_record_trace": "true attaches the run-wide event tracer (ring of trace_capacity records) and the unified metrics registry; read them back with `rss_sim trace`",
+  "record_trace": false,
+  "trace_capacity": 65536,
   "_doc_topology": "kind duplex (paper's sender-limited path: rate_mbps, one_way_delay_*, ifq_capacity, loss_rate, ifq_red_ecn) or dumbbell (pairs, access_rate_mbps, access_delay_*, bottleneck_rate_mbps, bottleneck_delay_*, buffer_packets, ifq_capacity, red)",
   "topology": {
     "kind": "dumbbell",

@@ -111,6 +111,14 @@ type t = {
   record_series : bool;
       (** sample per-flow time series every [sample_period]; off for
           scalar-only sweeps *)
+  record_trace : bool;
+      (** attach the run-wide {!Trace.t} event tracer (scheduler,
+          links, IFQs, NICs, TCP senders) plus the unified metrics
+          registry sampled every [sample_period]; results land in
+          {!outcome}[.trace]/[.metrics] *)
+  trace_capacity : int;
+      (** trace ring size in records; oldest records are overwritten
+          beyond it ({!Trace.dropped}) *)
   topology : topology;
   flows : flow list;
   faults : faults;
@@ -167,7 +175,24 @@ type path_stats = {
   router_drops : int;  (** dumbbell router drops; 0 on a duplex *)
 }
 
-type outcome = { results : flow_result list; path : path_stats }
+type metrics = {
+  metric_names : string list;
+      (** registry namespace in registration order — the export column
+          order: [conn/<label>/<Var>] (web100, flow order), then
+          [link/<dir>/<what>], then [host/<id>/<what>] *)
+  samples : (float * float array) list;
+      (** (time_s, values in [metric_names] order), one per
+          [sample_period] tick, in time order *)
+}
+
+type outcome = {
+  results : flow_result list;
+  path : path_stats;
+  trace : Trace.t option;  (** the event ring, when [record_trace] *)
+  metrics : metrics option;
+      (** registry samples, when [record_trace]; raises at build time
+          if two flows share a label (duplicate metric names) *)
+}
 
 (* --- compile and execute ---------------------------------------------- *)
 
@@ -197,6 +222,10 @@ val run_batch : ?pool:Engine.Pool.t -> t list -> outcome list
 (* --- introspection of a built spec (chaos harness hooks) ------------- *)
 
 val sched : built -> Sim.Scheduler.t
+
+val trace : built -> Trace.t option
+(** The event ring installed at {!build} time when [record_trace];
+    [None] otherwise. *)
 
 val src_host : built -> pair:int -> Netsim.Host.t
 val dst_host : built -> pair:int -> Netsim.Host.t

@@ -6,6 +6,8 @@ type t = {
   mutable stall_count : int;
   mutable stall_hooks : (unit -> unit) list;
   mutable space_hooks : (unit -> unit) list;
+  mutable tracer : Trace.t option;
+  mutable trace_src : int;
 }
 
 let create sched ~capacity ?red_ecn () =
@@ -24,7 +26,13 @@ let create sched ~capacity ?red_ecn () =
     stall_count = 0;
     stall_hooks = [];
     space_hooks = [];
+    tracer = None;
+    trace_src = 0;
   }
+
+let set_tracer t ?(src = 0) tracer =
+  t.tracer <- tracer;
+  t.trace_src <- src
 
 let queue t = t.disc
 let occupancy t = Queue_disc.length t.disc
@@ -36,13 +44,25 @@ let record t =
   Sim.Stats.Time_weighted.set t.gauge ~now:(Sim.Scheduler.now t.sched)
     (float_of_int (occupancy t))
 
+let trace t ~code ~arg1 ~arg2 =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.emit tr
+        ~time_ns:(Sim.Time.to_ns_int (Sim.Scheduler.now t.sched))
+        ~code ~src:t.trace_src ~arg1 ~arg2
+
 let try_enqueue t pkt =
   match Queue_disc.enqueue t.disc ~now:(Sim.Scheduler.now t.sched) pkt with
   | Ok () ->
       record t;
+      trace t ~code:Trace.Code.ifq_enqueue ~arg1:(occupancy t)
+        ~arg2:pkt.Packet.flow;
       true
   | Error _ ->
       t.stall_count <- t.stall_count + 1;
+      trace t ~code:Trace.Code.ifq_stall ~arg1:t.stall_count
+        ~arg2:pkt.Packet.flow;
       List.iter (fun hook -> hook ()) (List.rev t.stall_hooks);
       false
 

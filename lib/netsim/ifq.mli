@@ -51,6 +51,13 @@ val note_dequeue : t -> unit
 (** Must be wired as the NIC's dequeue hook; updates occupancy tracking
     and fires {!on_space} hooks on a full→not-full transition. *)
 
+val set_tracer : t -> ?src:int -> Trace.t option -> unit
+(** Install (or remove) an event tracer: accepted enqueues emit
+    [ifq.enqueue] (occupancy after, flow) and refused ones [ifq.stall]
+    (total stalls, flow), with [src] (default 0) identifying this
+    queue. With [None] tracing costs one pattern match and allocates
+    nothing. *)
+
 val mean_occupancy : t -> float
 (** Time-weighted average occupancy (packets) since creation. *)
 

@@ -11,6 +11,8 @@ type t = {
   mutable lost_count : int;
   mutable dup_count : int;
   mutable flying : int;
+  mutable tracer : Trace.t option;
+  mutable trace_src : int;
 }
 
 let create sched ~delay ?(loss_rate = 0.) ?rng () =
@@ -36,9 +38,23 @@ let create sched ~delay ?(loss_rate = 0.) ?rng () =
     lost_count = 0;
     dup_count = 0;
     flying = 0;
+    tracer = None;
+    trace_src = 0;
   }
 
 let connect t sink = t.sink <- Some sink
+
+let set_tracer t ?(src = 0) tracer =
+  t.tracer <- tracer;
+  t.trace_src <- src
+
+let trace t ~code pkt =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.emit tr
+        ~time_ns:(Sim.Time.to_ns_int (Sim.Scheduler.now t.sched))
+        ~code ~src:t.trace_src ~arg1:pkt.Packet.flow ~arg2:(Packet.size pkt)
 
 (* Registration order is observation order. Copy-on-add keeps the hot
    transmit path a flat array walk; taps are only added at setup time. *)
@@ -57,6 +73,7 @@ let deliver_after t sink pkt extra =
     (Sim.Scheduler.after t.sched delay (fun () ->
          t.flying <- t.flying - 1;
          t.delivered_count <- t.delivered_count + 1;
+         trace t ~code:Trace.Code.link_deliver pkt;
          sink pkt))
 
 let transmit t pkt =
@@ -69,17 +86,23 @@ let transmit t pkt =
   for i = 0 to Array.length t.taps - 1 do
     t.taps.(i) now pkt
   done;
+  trace t ~code:Trace.Code.link_tx pkt;
   let filtered =
     match t.drop_filter with Some f -> f pkt | None -> false
   in
   if filtered || (t.loss_rate > 0. && Sim.Rng.float t.rng < t.loss_rate)
-  then t.lost_count <- t.lost_count + 1
+  then begin
+    t.lost_count <- t.lost_count + 1;
+    trace t ~code:Trace.Code.link_drop pkt
+  end
   else
     match t.fault_hook with
     | None -> deliver_after t sink pkt Sim.Time.zero
     | Some hook -> (
         match hook now pkt with
-        | [] -> t.lost_count <- t.lost_count + 1
+        | [] ->
+            t.lost_count <- t.lost_count + 1;
+            trace t ~code:Trace.Code.link_drop pkt
         | [ extra ] -> deliver_after t sink pkt extra
         | extras ->
             t.dup_count <- t.dup_count + List.length extras - 1;

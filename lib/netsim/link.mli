@@ -52,6 +52,14 @@ val set_fault_hook : t -> (Sim.Time.t -> Packet.t -> Sim.Time.t list) -> unit
     two or more elements duplicate the packet (extra copies counted in
     {!duplicated}). Negative delays are clamped to zero. *)
 
+val set_tracer : t -> ?src:int -> Trace.t option -> unit
+(** Install (or remove) an event tracer: every transmit emits
+    [link.tx], every loss (corruption, drop filter or fault hook)
+    [link.drop], and every arrival [link.deliver], all carrying the
+    packet's flow id and wire size with [src] (default 0) identifying
+    this link. With [None] tracing costs one pattern match and
+    allocates nothing. *)
+
 val delay : t -> Sim.Time.t
 val delivered : t -> int
 val lost : t -> int

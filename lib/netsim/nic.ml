@@ -7,6 +7,8 @@ type t = {
   mutable tx_packet_count : int;
   mutable tx_byte_count : int;
   mutable dequeue_hook : (Packet.t -> unit) option;
+  mutable tracer : Trace.t option;
+  mutable trace_src : int;
 }
 
 let create sched ~rate ~queue =
@@ -21,9 +23,15 @@ let create sched ~rate ~queue =
     tx_packet_count = 0;
     tx_byte_count = 0;
     dequeue_hook = None;
+    tracer = None;
+    trace_src = 0;
   }
 
 let attach t link = t.link <- Some link
+
+let set_tracer t ?(src = 0) tracer =
+  t.tracer <- tracer;
+  t.trace_src <- src
 
 let rec start_next t =
   let link =
@@ -41,6 +49,13 @@ let rec start_next t =
         (Sim.Scheduler.after t.sched tx (fun () ->
              t.tx_packet_count <- t.tx_packet_count + 1;
              t.tx_byte_count <- t.tx_byte_count + Packet.size pkt;
+             (match t.tracer with
+             | None -> ()
+             | Some tr ->
+                 Trace.emit tr
+                   ~time_ns:(Sim.Time.to_ns_int (Sim.Scheduler.now t.sched))
+                   ~code:Trace.Code.nic_tx ~src:t.trace_src
+                   ~arg1:pkt.Packet.flow ~arg2:(Packet.size pkt));
              Link.transmit link pkt;
              start_next t))
 

@@ -23,6 +23,12 @@ val busy : t -> bool
 val tx_packets : t -> int
 val tx_bytes : t -> int
 
+val set_tracer : t -> ?src:int -> Trace.t option -> unit
+(** Install (or remove) an event tracer: each completed serialization
+    emits [nic.tx] (flow, wire bytes) with [src] (default 0)
+    identifying this NIC. With [None] tracing costs one pattern match
+    and allocates nothing. *)
+
 val set_dequeue_hook : t -> (Packet.t -> unit) -> unit
 (** Invoked each time a packet leaves the queue and starts serializing —
     the host's IFQ uses this to observe occupancy drops. *)

@@ -4,6 +4,17 @@ let rec mkdir_p dir =
     (try Sys.mkdir dir 0o755 with Sys_error _ -> ())
   end
 
+(* Shortest of %.6g/%.12g/%.17g that parses back to the same float.
+   Plain %.6g collapsed second-scale timestamps (1000.123456 and
+   1000.123789 both printed as "1000.12"), merging distinct ticks on
+   runs longer than ~1000 s. *)
+let cell v =
+  let s = Printf.sprintf "%.6g" v in
+  if float_of_string s = v then s
+  else
+    let s = Printf.sprintf "%.12g" v in
+    if float_of_string s = v then s else Printf.sprintf "%.17g" v
+
 let write ~path ~header ~rows =
   mkdir_p (Filename.dirname path);
   let oc = open_out path in
@@ -12,8 +23,7 @@ let write ~path ~header ~rows =
      output_char oc '\n';
      List.iter
        (fun row ->
-         output_string oc
-           (String.concat "," (List.map (Printf.sprintf "%.6g") row));
+         output_string oc (String.concat "," (List.map cell row));
          output_char oc '\n')
        rows;
      close_out oc

@@ -3,7 +3,9 @@
 val write :
   path:string -> header:string list -> rows:float list list -> unit
 (** Create parent directories as needed and write one file. Cells are
-    formatted with ["%.6g"]. *)
+    formatted with the shortest of ["%.6g"]/["%.12g"]/["%.17g"] that
+    round-trips through [float_of_string], so long-run timestamps keep
+    full precision while small values stay compact. *)
 
 val write_series :
   path:string -> name:string -> Sim.Stats.Series.t -> unit

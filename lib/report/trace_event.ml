@@ -1,0 +1,38 @@
+let to_csv tr =
+  let buf = Buffer.create (4096 + (Trace.length tr * 48)) in
+  Buffer.add_string buf "time_s,event,src,arg1,arg2\n";
+  Trace.iter tr (fun ~time_ns ~code ~src ~arg1 ~arg2 ->
+      Buffer.add_string buf
+        (Printf.sprintf "%.9f,%s,%d,%d,%d\n"
+           (float_of_int time_ns /. 1e9)
+           (Trace.Code.name code) src arg1 arg2));
+  Buffer.contents buf
+
+(* ts is microseconds in the trace_event format; %.3f keeps exact
+   nanosecond resolution without scientific notation. *)
+let ts_us time_ns = Printf.sprintf "%.3f" (float_of_int time_ns /. 1e3)
+
+let to_chrome ?(name = "rss_sim") tr =
+  let buf = Buffer.create (4096 + (Trace.length tr * 96)) in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  Buffer.add_string buf
+    (Printf.sprintf
+       "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{\"name\":%S}}"
+       name);
+  Trace.iter tr (fun ~time_ns ~code ~src ~arg1 ~arg2 ->
+      Buffer.add_char buf ',';
+      let event = Trace.Code.name code in
+      let cat = Trace.Code.category_name (Trace.Code.category code) in
+      if Trace.Code.is_counter code then
+        (* One counter track per flow; cwnd and ssthresh as series. *)
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":\"%s/%d\",\"cat\":%S,\"ph\":\"C\",\"ts\":%s,\"pid\":1,\"tid\":0,\"args\":{\"cwnd\":%d,\"ssthresh\":%d}}"
+             event src cat (ts_us time_ns) arg1 arg2)
+      else
+        Buffer.add_string buf
+          (Printf.sprintf
+             "{\"name\":%S,\"cat\":%S,\"ph\":\"i\",\"ts\":%s,\"pid\":1,\"tid\":%d,\"s\":\"t\",\"args\":{\"arg1\":%d,\"arg2\":%d}}"
+             event cat (ts_us time_ns) src arg1 arg2));
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf

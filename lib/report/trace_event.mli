@@ -1,0 +1,18 @@
+(** Exporters for {!Trace.t} rings.
+
+    Both exporters are pure functions of the ring contents — no clocks,
+    no randomness, no host state — so a deterministic trace serializes
+    byte-identically on every run and at any worker count. *)
+
+val to_csv : Trace.t -> string
+(** One row per retained record, oldest first:
+    [time_s,event,src,arg1,arg2] with nanosecond-precision timestamps
+    ([%.9f]) and symbolic event names from {!Trace.Code.name}. *)
+
+val to_chrome : ?name:string -> Trace.t -> string
+(** Chrome [trace_event] JSON (load in [chrome://tracing] or Perfetto).
+    [name] (default ["rss_sim"]) labels the process. Counter-valued
+    codes ({!Trace.Code.is_counter}) become ["C"] records — [tcp.cwnd]
+    plots cwnd and ssthresh as stacked series per flow — and everything
+    else becomes thread-scoped instants on thread [src]. Timestamps are
+    microseconds with [%.3f], exact to the nanosecond. *)

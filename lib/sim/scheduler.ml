@@ -6,6 +6,7 @@ type t = {
   random : Rng.t;
   seed : int;
   mutable derived_streams : int;
+  mutable tracer : Trace.t option;
 }
 
 let create ?(seed = 1) () =
@@ -15,7 +16,11 @@ let create ?(seed = 1) () =
     random = Rng.of_seed seed;
     seed;
     derived_streams = 0;
+    tracer = None;
   }
+
+let set_tracer t tr = t.tracer <- tr
+let tracer t = t.tracer
 
 let now t = t.clock
 let rng t = t.random
@@ -68,6 +73,11 @@ let step t =
   else begin
     let action = Event_queue.pop_action_exn t.events in
     t.clock <- Time.of_ns_int ns;
+    (match t.tracer with
+    | None -> ()
+    | Some tr ->
+        Trace.emit tr ~time_ns:ns ~code:Trace.Code.sched_dispatch ~src:0
+          ~arg1:(Event_queue.live_count t.events) ~arg2:0);
     action ();
     true
   end

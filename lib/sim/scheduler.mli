@@ -59,3 +59,15 @@ val step : t -> bool
 
 val pending : t -> int
 (** Live events still scheduled (O(1)). *)
+
+val set_tracer : t -> Trace.t option -> unit
+(** Install (or remove) an event tracer. With a tracer installed, each
+    dispatched event emits a [sched.dispatch] record — a category that
+    is off in {!Trace.Code.default_mask}, so the dispatch firehose costs
+    one masked emit unless explicitly enabled. With [None] (the
+    default) the run loop pays one pattern match and allocates
+    nothing. *)
+
+val tracer : t -> Trace.t option
+(** The tracer installed by {!set_tracer}, if any — components hanging
+    off this scheduler fetch it here at wiring time. *)

@@ -53,8 +53,12 @@ module Summary = struct
     end
 
   let pp fmt t =
-    Format.fprintf fmt "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.n (mean t)
-      (stddev t) t.mn t.mx
+    (* mn/mx are infinity/neg_infinity sentinels before the first add;
+       printing them as min/max of an empty summary is misleading. *)
+    if t.n = 0 then Format.fprintf fmt "n=0 mean=- sd=- min=- max=-"
+    else
+      Format.fprintf fmt "n=%d mean=%.4g sd=%.4g min=%.4g max=%.4g" t.n
+        (mean t) (stddev t) t.mn t.mx
 end
 
 module Histogram = struct
@@ -93,22 +97,31 @@ module Histogram = struct
     if t.n = 0 then invalid_arg "Histogram.quantile: empty histogram";
     let q = Float.max 0. (Float.min 1. q) in
     let target = q *. float_of_int t.n in
-    if target <= float_of_int t.under then t.lo
+    (* [target <= under] must not fire when under = 0: q=0 gives
+       target = 0 <= 0 and used to return t.lo even when the lowest
+       populated bin sat far above it. *)
+    if t.under > 0 && target <= float_of_int t.under then t.lo
     else begin
       let seen = ref (float_of_int t.under) in
-      let result = ref t.hi in
+      let result = ref nan in
       (try
          for i = 0 to Array.length t.counts - 1 do
            let c = float_of_int t.counts.(i) in
-           if !seen +. c >= target && c > 0. then begin
-             let frac = (target -. !seen) /. c in
-             result := t.lo +. ((float_of_int i +. frac) *. width t);
-             raise Exit
-           end;
-           seen := !seen +. c
+           if c > 0. then begin
+             if !seen +. c >= target then begin
+               (* q=0 lands on the first populated bin with frac = 0,
+                  i.e. the low edge of the lowest populated bin. *)
+               let frac = Float.max 0. ((target -. !seen) /. c) in
+               result := t.lo +. ((float_of_int i +. frac) *. width t);
+               raise Exit
+             end;
+             seen := !seen +. c
+           end
          done
        with Exit -> ());
-      !result
+      (* Remaining mass (possibly all of it) lives in the overflow
+         bucket, whose samples are >= hi: clamp to hi explicitly. *)
+      if Float.is_nan !result then t.hi else !result
     end
 
   let pp fmt t =

@@ -42,6 +42,8 @@ type t = {
   mutable pace_timer : Sim.Scheduler.handle option;
   mutable cwr_pending : bool; (* tell the peer we reduced (RFC 3168) *)
   mutable last_data_send : Sim.Time.t;
+  mutable tracer : Trace.t option;
+  mutable last_traced_cwnd : float; (* dedupe tcp.cwnd records *)
 }
 
 let mssf t = float_of_int t.cfg.Config.mss
@@ -64,6 +66,34 @@ let counter t name = Web100.Group.counter t.group name
 let gauge t name = Web100.Group.gauge t.group name
 let bump ?by t name = Web100.Group.Counter.incr ?by (counter t name)
 
+(* --- trace plumbing --------------------------------------------------- *)
+
+let set_tracer t tracer = t.tracer <- tracer
+
+(* The flow id doubles as the trace source, so per-connection records
+   demux the same way packets do. *)
+let trace t ~code ~arg1 ~arg2 =
+  match t.tracer with
+  | None -> ()
+  | Some tr ->
+      Trace.emit tr
+        ~time_ns:(Sim.Time.to_ns_int (Sim.Scheduler.now t.sched))
+        ~code ~src:t.flow ~arg1 ~arg2
+
+let trace_cwnd t =
+  match t.tracer with
+  | None -> ()
+  | Some _ ->
+      if t.cwnd_b <> t.last_traced_cwnd then begin
+        t.last_traced_cwnd <- t.cwnd_b;
+        let ssthresh =
+          if t.ssthresh_b >= float_of_int max_int then max_int
+          else int_of_float t.ssthresh_b
+        in
+        trace t ~code:Trace.Code.tcp_cwnd ~arg1:(int_of_float t.cwnd_b)
+          ~arg2:ssthresh
+      end
+
 let update_gauges t =
   let set name v = Web100.Group.Gauge.set (gauge t name) v in
   set Web100.Kis.cur_cwnd t.cwnd_b;
@@ -77,7 +107,8 @@ let update_gauges t =
   | None -> ());
   set Web100.Kis.cur_rto (Sim.Time.to_ms (Rtt_estimator.rto t.rtt));
   set Web100.Kis.cur_ifq
-    (float_of_int (Netsim.Ifq.occupancy (Netsim.Host.ifq t.host)))
+    (float_of_int (Netsim.Ifq.occupancy (Netsim.Host.ifq t.host)));
+  trace_cwnd t
 
 (* --- segment construction -------------------------------------------- *)
 
@@ -116,6 +147,9 @@ let view t : Slow_start.view =
 
 let react_to_stall t =
   bump t Web100.Kis.send_stall;
+  trace t ~code:Trace.Code.tcp_send_stall
+    ~arg1:(Web100.Group.Counter.value (counter t Web100.Kis.send_stall))
+    ~arg2:(Netsim.Ifq.occupancy (Netsim.Host.ifq t.host));
   if t.una >= t.reaction_mark then begin
     (* At most one window reduction per round trip, like the kernel. *)
     t.reaction_mark <- t.nxt;
@@ -161,7 +195,8 @@ let transmit_range t ~retx (lo, hi) =
       t.bytes_sent_total <- t.bytes_sent_total + len;
       if retx then begin
         bump t Web100.Kis.pkts_retrans;
-        bump ~by:len t Web100.Kis.bytes_retrans
+        bump ~by:len t Web100.Kis.bytes_retrans;
+        trace t ~code:Trace.Code.tcp_retransmit ~arg1:lo ~arg2:len
       end;
       true
   | `Stalled ->
@@ -197,6 +232,9 @@ and on_rto t =
   else if flight_bytes t > 0 || t.nxt > t.una then begin
     bump t Web100.Kis.timeouts;
     bump t Web100.Kis.congestion_signals;
+    trace t ~code:Trace.Code.tcp_rto
+      ~arg1:(Rtt_estimator.backoff_factor t.rtt)
+      ~arg2:(flight_bytes t);
     let ssthresh', cwnd' =
       t.cc.Cong_avoid.on_rto ~cwnd:t.cwnd_b ~flight:(flight_bytes t)
         ~mss:t.cfg.Config.mss
@@ -378,6 +416,7 @@ let check_complete t =
 let enter_fast_recovery t =
   bump t Web100.Kis.fast_retran;
   bump t Web100.Kis.congestion_signals;
+  trace t ~code:Trace.Code.tcp_fast_retransmit ~arg1:t.una ~arg2:t.nxt;
   let mss = t.cfg.Config.mss in
   let ssthresh', cwnd' =
     t.cc.Cong_avoid.on_loss ~cwnd:t.cwnd_b ~flight:(flight_bytes t) ~mss
@@ -615,6 +654,8 @@ let create ~host ~dst ~flow ~ids ?(config = Config.default)
       pace_timer = None;
       cwr_pending = false;
       last_data_send = Sim.Time.zero;
+      tracer = None;
+      last_traced_cwnd = nan;
     }
   in
   Netsim.Host.register_flow host ~flow (fun pkt -> handle_packet t pkt);

@@ -77,4 +77,14 @@ val retransmits : t -> int
 val stats : t -> Web100.Group.t
 (** The web100 instrument group; gauges are refreshed on every event. *)
 
+val set_tracer : t -> Trace.t option -> unit
+(** Install (or remove) an event tracer. The sender emits
+    [tcp.send_stall] (cumulative stalls, IFQ occupancy) on each refused
+    enqueue, [tcp.cwnd] (cwnd, ssthresh — a counter record) whenever
+    the window changes, [tcp.retransmit] (offset, bytes) per
+    retransmitted range, [tcp.fast_retransmit] (snd_una, recover point)
+    on fast-recovery entry, and [tcp.rto] (backoff multiplier, flight
+    bytes) per timeout. Records use the flow id as [src]. With [None]
+    tracing costs one pattern match and allocates nothing. *)
+
 val slow_start_name : t -> string

@@ -10,7 +10,12 @@ type t = {
 let start sched ~period ~vars group =
   let table = Hashtbl.create (List.length vars) in
   List.iter
-    (fun v -> Hashtbl.add table v (Sim.Stats.Series.create ~name:v ()))
+    (fun v ->
+      (* Hashtbl.add would shadow the first binding: the later series
+         gets sampled twice and every CSV column after [v] misaligns. *)
+      if Hashtbl.mem table v then
+        invalid_arg (Printf.sprintf "Web100.Logger.start: duplicate var %S" v);
+      Hashtbl.add table v (Sim.Stats.Series.create ~name:v ()))
     vars;
   let ticks = ref [] in
   let sample () =
@@ -42,15 +47,19 @@ let to_csv t =
     t.vars;
   Buffer.add_char buf '\n';
   let times = List.rev !(t.ticks) in
+  (* One values snapshot per var, hoisted out of the tick loop:
+     Series.values copies the whole backing array, so calling it per
+     cell made this O(ticks^2 * vars). *)
+  let columns =
+    List.map (fun v -> Sim.Stats.Series.values (Hashtbl.find t.table v)) t.vars
+  in
   List.iteri
     (fun i tick ->
       Buffer.add_string buf (Printf.sprintf "%.6f" (Sim.Time.to_sec tick));
       List.iter
-        (fun v ->
-          let s = Hashtbl.find t.table v in
-          let value = (Sim.Stats.Series.values s).(i) in
-          Buffer.add_string buf (Printf.sprintf ",%.6g" value))
-        t.vars;
+        (fun values ->
+          Buffer.add_string buf (Printf.sprintf ",%.6g" values.(i)))
+        columns;
       Buffer.add_char buf '\n')
     times;
   Buffer.contents buf

@@ -13,6 +13,7 @@ let () =
       ("netsim.fault-model", Test_fault_model.suite);
       ("control", Test_control.suite);
       ("web100", Test_web100.suite);
+      ("trace", Test_trace.suite);
       ("tcp.interval-set", Test_interval_set.suite);
       ("tcp.rtt-estimator", Test_rtt_estimator.suite);
       ("tcp.sack-reorder", Test_sack_reorder.suite);

@@ -95,6 +95,87 @@ let test_csv_write_string () =
   close_in ic;
   Alcotest.(check string) "verbatim contents" "a,b" header
 
+let test_csv_precision_late_timestamps () =
+  let dir = Filename.temp_file "rss" "" in
+  Sys.remove dir;
+  let path = Filename.concat dir "late.csv" in
+  (* Past 1000 s, %.6g collapsed microsecond-resolution timestamps to
+     "1000.12": consecutive samples became identical rows. Cells must
+     round-trip exactly. *)
+  let t1 = 1000.123456 and t2 = 1000.123789 in
+  Report.Csv.write ~path ~header:[ "time_s"; "v" ]
+    ~rows:[ [ t1; 1. ]; [ t2; 2. ]; [ 12345.6789012345; 3. ] ];
+  let ic = open_in path in
+  let lines = ref [] in
+  (try
+     while true do
+       lines := input_line ic :: !lines
+     done
+   with End_of_file -> close_in ic);
+  (match List.rev !lines with
+  | [ _header; r1; r2; r3 ] ->
+      let cell row = List.hd (String.split_on_char ',' row) in
+      Alcotest.(check bool) "rows stay distinct" false (cell r1 = cell r2);
+      Alcotest.(check (float 0.)) "t1 round-trips" t1
+        (float_of_string (cell r1));
+      Alcotest.(check (float 0.)) "t2 round-trips" t2
+        (float_of_string (cell r2));
+      Alcotest.(check (float 0.)) "long mantissa round-trips" 12345.6789012345
+        (float_of_string (cell r3))
+  | l -> Alcotest.failf "expected 4 lines, got %d" (List.length l));
+  (* Short values keep their compact spelling. *)
+  let path2 = Filename.concat dir "short.csv" in
+  Report.Csv.write ~path:path2 ~header:[ "v" ] ~rows:[ [ 3.5 ]; [ 0.5 ] ];
+  let ic = open_in path2 in
+  ignore (input_line ic);
+  let short = input_line ic in
+  close_in ic;
+  Alcotest.(check string) "3.5 stays 3.5" "3.5" short
+
+let test_trace_export_csv () =
+  let tr = Trace.create ~capacity:8 () in
+  Trace.emit tr ~time_ns:1_500_000_000 ~code:Trace.Code.link_tx ~src:1
+    ~arg1:7 ~arg2:1500;
+  Trace.emit tr ~time_ns:1_500_000_001 ~code:Trace.Code.tcp_cwnd ~src:2
+    ~arg1:29200 ~arg2:64000;
+  let lines =
+    String.split_on_char '\n' (String.trim (Report.Trace_event.to_csv tr))
+  in
+  Alcotest.(check (list string))
+    "csv rows"
+    [
+      "time_s,event,src,arg1,arg2";
+      "1.500000000,link.tx,1,7,1500";
+      "1.500000001,tcp.cwnd,2,29200,64000";
+    ]
+    lines
+
+let test_trace_export_chrome () =
+  let tr = Trace.create ~capacity:8 () in
+  Trace.emit tr ~time_ns:2_000 ~code:Trace.Code.ifq_stall ~src:3 ~arg1:1
+    ~arg2:0;
+  Trace.emit tr ~time_ns:3_000 ~code:Trace.Code.tcp_cwnd ~src:1 ~arg1:14600
+    ~arg2:29200;
+  let text = Report.Trace_event.to_chrome ~name:"unit" tr in
+  (match Report.Json.of_string text with
+  | Error e -> Alcotest.failf "invalid chrome trace JSON: %s" e
+  | Ok doc -> (
+      match Report.Json.member "traceEvents" doc with
+      | Some (Report.Json.List events) ->
+          (* metadata + one instant + one counter *)
+          Alcotest.(check int) "event count" 3 (List.length events)
+      | _ -> Alcotest.fail "traceEvents missing"));
+  let contains sub =
+    let n = String.length text and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub text i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "counter phase" true (contains "\"ph\":\"C\"");
+  Alcotest.(check bool) "instant phase" true (contains "\"ph\":\"i\"");
+  Alcotest.(check bool) "per-flow counter track" true
+    (contains "tcp.cwnd/1");
+  Alcotest.(check bool) "microsecond timestamps" true (contains "\"ts\":2.000")
+
 let test_json_non_finite () =
   let doc =
     Report.Json.Obj
@@ -134,4 +215,8 @@ let suite =
     Alcotest.test_case "chart of_series" `Quick test_chart_of_series;
     Alcotest.test_case "csv write" `Quick test_csv_write;
     Alcotest.test_case "csv series" `Quick test_csv_series;
+    Alcotest.test_case "csv precision past 1000 s" `Quick
+      test_csv_precision_late_timestamps;
+    Alcotest.test_case "trace export csv" `Quick test_trace_export_csv;
+    Alcotest.test_case "trace export chrome" `Quick test_trace_export_chrome;
   ]

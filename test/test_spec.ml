@@ -44,6 +44,92 @@ let full_fault_profile =
       ];
   }
 
+let test_round_trip_trace_fields () =
+  check_round_trip "trace instrumentation options"
+    { Spec.default with Spec.record_trace = true; trace_capacity = 1024 };
+  (* Specs written before the trace fields existed must still parse,
+     with tracing off. *)
+  let json =
+    Report.Json.Obj [ ("name", Report.Json.String "legacy") ]
+  in
+  match Spec.of_json json with
+  | Error e -> Alcotest.failf "legacy spec rejected: %s" e
+  | Ok spec ->
+      Alcotest.(check bool) "record_trace defaults off" false
+        spec.Spec.record_trace;
+      Alcotest.(check int) "trace_capacity defaults" 65536
+        spec.Spec.trace_capacity
+
+(* A traced run must observe without perturbing: identical flow
+   results to the untraced run, trace/metrics present, ring and
+   registry samples deterministic across repeats. *)
+let test_traced_run_observes_only () =
+  let spec =
+    {
+      Spec.default with
+      Spec.name = "traced";
+      duration = sec 2;
+      record_trace = true;
+      trace_capacity = 4096;
+    }
+  in
+  let traced = Spec.run spec in
+  let plain = Spec.run { spec with Spec.record_trace = false } in
+  Alcotest.(check bool) "plain run has no trace" true (plain.Spec.trace = None);
+  Alcotest.(check bool) "plain run has no metrics" true
+    (plain.Spec.metrics = None);
+  let scalars o =
+    List.map
+      (fun (r : Spec.flow_result) ->
+        ( r.Spec.label,
+          r.Spec.goodput_mbps,
+          r.Spec.send_stalls,
+          r.Spec.retransmits,
+          r.Spec.timeouts,
+          r.Spec.final_cwnd_segments ))
+      o.Spec.results
+  in
+  Alcotest.(check bool) "tracing does not perturb results" true
+    (scalars traced = scalars plain);
+  let tr =
+    match traced.Spec.trace with
+    | Some tr -> tr
+    | None -> Alcotest.fail "traced run lost its ring"
+  in
+  Alcotest.(check bool) "ring saw events" true (Trace.total tr > 0);
+  let m =
+    match traced.Spec.metrics with
+    | Some m -> m
+    | None -> Alcotest.fail "traced run lost its metrics"
+  in
+  (* conn/* for the flow, link/{forward,reverse}/*, host/{0,1}/*. *)
+  Alcotest.(check bool) "registry carries conn metrics" true
+    (List.exists
+       (fun n -> String.length n > 5 && String.sub n 0 5 = "conn/")
+       m.Spec.metric_names);
+  Alcotest.(check bool) "registry carries link metrics" true
+    (List.mem "link/forward/delivered" m.Spec.metric_names);
+  Alcotest.(check bool) "registry carries host metrics" true
+    (List.mem "host/0/ifq_occupancy" m.Spec.metric_names);
+  Alcotest.(check int) "one sample per period (2s / 250ms)" 8
+    (List.length m.Spec.samples);
+  List.iter
+    (fun (_, values) ->
+      Alcotest.(check int) "sample width = names width"
+        (List.length m.Spec.metric_names)
+        (Array.length values))
+    m.Spec.samples;
+  (* Determinism: a repeat run yields the identical ring and samples. *)
+  let traced' = Spec.run spec in
+  let dump o =
+    match (o.Spec.trace, o.Spec.metrics) with
+    | Some tr, Some m ->
+        (Report.Trace_event.to_csv tr, m.Spec.metric_names, m.Spec.samples)
+    | _ -> Alcotest.fail "repeat run lost instrumentation"
+  in
+  Alcotest.(check bool) "byte-identical across repeats" true
+    (dump traced = dump traced')
+
 let test_round_trip_faults () =
   check_round_trip "fault profiles"
     {
@@ -393,6 +479,10 @@ let suite =
       test_round_trip_62bit_seed;
     Alcotest.test_case "round-trip: fault profiles" `Quick
       test_round_trip_faults;
+    Alcotest.test_case "round-trip: trace fields" `Quick
+      test_round_trip_trace_fields;
+    Alcotest.test_case "traced run observes only" `Slow
+      test_traced_run_observes_only;
     Alcotest.test_case "round-trip: workload kinds" `Quick
       test_round_trip_workloads;
     Alcotest.test_case "round-trip: dumbbell, RED, overrides" `Quick

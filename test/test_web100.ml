@@ -71,6 +71,70 @@ let test_logger () =
   Alcotest.(check string) "csv header" "time_s,PktsOut,CurCwnd"
     (List.hd lines)
 
+let test_logger_duplicate_var () =
+  let sched = Sim.Scheduler.create () in
+  let g = Web100.Group.create () in
+  (* Hashtbl.add would shadow the first series and misalign every CSV
+     column after the duplicate; the logger must reject it up front. *)
+  Alcotest.check_raises "duplicate var"
+    (Invalid_argument "Web100.Logger.start: duplicate var \"PktsOut\"")
+    (fun () ->
+      ignore
+        (Web100.Logger.start sched ~period:(Sim.Time.ms 10)
+           ~vars:[ Web100.Kis.pkts_out; Web100.Kis.cur_cwnd; "PktsOut" ]
+           g))
+
+let test_logger_csv_alignment () =
+  let sched = Sim.Scheduler.create () in
+  let g = Web100.Group.create () in
+  let a = Web100.Group.counter g "A" in
+  let b = Web100.Group.counter g "B" in
+  ignore
+    (Sim.Scheduler.every sched (Sim.Time.ms 10) (fun () ->
+         Web100.Group.Counter.incr a;
+         Web100.Group.Counter.incr ~by:100 b));
+  let logger =
+    Web100.Logger.start sched ~period:(Sim.Time.ms 10) ~vars:[ "A"; "B" ] g
+  in
+  Sim.Scheduler.run ~until:(Sim.Time.ms 45) sched;
+  Web100.Logger.stop logger;
+  let lines =
+    String.split_on_char '\n' (String.trim (Web100.Logger.to_csv logger))
+  in
+  Alcotest.(check string) "header" "time_s,A,B" (List.hd lines);
+  (* Each row must pair A=k with B=100k — a column shift or a
+     per-cell re-read would break the ratio. *)
+  List.iteri
+    (fun i line ->
+      match String.split_on_char ',' line with
+      | [ _; va; vb ] ->
+          Alcotest.(check (float 1e-9))
+            (Printf.sprintf "row %d B = 100*A" i)
+            (100. *. float_of_string va)
+            (float_of_string vb)
+      | _ -> Alcotest.failf "malformed row %S" line)
+    (List.tl lines)
+
+let test_logger_tick_series_invariant () =
+  let sched = Sim.Scheduler.create () in
+  let g = Web100.Group.create () in
+  let vars = [ Web100.Kis.pkts_out; Web100.Kis.cur_cwnd; "X" ] in
+  let logger = Web100.Logger.start sched ~period:(Sim.Time.ms 7) ~vars g in
+  Sim.Scheduler.run ~until:(Sim.Time.ms 100) sched;
+  Web100.Logger.stop logger;
+  let csv = Web100.Logger.to_csv logger in
+  let rows = List.length (String.split_on_char '\n' (String.trim csv)) - 1 in
+  (* Every var's series holds exactly one sample per tick, and the CSV
+     emits exactly one row per tick. 7ms into 100ms -> 14 ticks. *)
+  Alcotest.(check int) "row per tick" 14 rows;
+  List.iter
+    (fun v ->
+      Alcotest.(check int)
+        (v ^ " series length = ticks")
+        14
+        (Sim.Stats.Series.length (Web100.Logger.series logger v)))
+    vars
+
 let test_snapshot_delta () =
   let g = Web100.Group.create () in
   let c = Web100.Group.counter g "PktsOut" in
@@ -115,4 +179,8 @@ let suite =
     Alcotest.test_case "read/snapshot" `Quick test_read_snapshot;
     Alcotest.test_case "KIS names" `Quick test_kis_names;
     Alcotest.test_case "periodic logger" `Quick test_logger;
+    Alcotest.test_case "logger duplicate var" `Quick test_logger_duplicate_var;
+    Alcotest.test_case "logger csv alignment" `Quick test_logger_csv_alignment;
+    Alcotest.test_case "logger tick/series invariant" `Quick
+      test_logger_tick_series_invariant;
   ]
