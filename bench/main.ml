@@ -622,6 +622,33 @@ let core_metric_trace_emit () =
       done;
       n)
 
+(* The per-ACK window-update arithmetic, driven a million times through
+   a congestion-avoidance record. [direct] constructs the closures
+   straight from Cong_avoid; [registry] resolves the same controller
+   through Tcp.Policy.by_name — the difference is the policy-zoo
+   indirection (one extra record load per dispatch), which the gate
+   keeps within noise of each other (<5% claimed in DESIGN.md §9). *)
+let core_metric_policy_ack cc =
+  let mss = Tcp.Config.default.Tcp.Config.mss in
+  let n = 1_000_000 in
+  time_and_alloc (fun () ->
+      let cwnd = ref (100. *. float_of_int mss) in
+      for _ = 1 to n do
+        cwnd :=
+          cc.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd:!cwnd ~mss
+            ~srtt:None ~min_rtt:None ~now:Sim.Time.zero;
+        if !cwnd > 1e7 then cwnd := 100. *. float_of_int mss
+      done;
+      n)
+
+let core_metric_policy_ack_direct () =
+  core_metric_policy_ack (Tcp.Cong_avoid.reno ())
+
+let core_metric_policy_ack_registry () =
+  match Tcp.Policy.by_name "standard" with
+  | Ok p -> core_metric_policy_ack p.Tcp.Policy.cong_avoid
+  | Error e -> invalid_arg e
+
 (* Best of three: a single ~50 ms wall-clock sample is at the mercy of
    transient machine load, which would make the regression gate flaky. *)
 let core_metric_e2e f =
@@ -665,6 +692,9 @@ let write_core_json path =
               metric "eq/periodic-1M" (core_metric_periodic ());
               metric "trace/emit-off-1M" (core_metric_trace_off ());
               metric "trace/emit-on-1M" (core_metric_trace_emit ());
+              metric "policy/ack-direct-1M" (core_metric_policy_ack_direct ());
+              metric "policy/ack-registry-1M"
+                (core_metric_policy_ack_registry ());
               e2e "e2e/fig1-2s"
                 (core_metric_e2e (fun () ->
                      ignore (Core.Experiments.Fig1.run ~duration ())));

@@ -294,7 +294,7 @@ let run_cmd =
 let compare_cmd =
   let jobs =
     let doc =
-      "Worker domains for the four policy runs (default: all cores; 1 \
+      "Worker domains for the policy runs (default: all cores; 1 \
        disables parallelism). Output is identical for any value."
     in
     Arg.(
@@ -302,29 +302,100 @@ let compare_cmd =
       & opt positive_int (Engine.Pool.default_jobs ())
       & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
-  let action jobs rate_mbps rtt_ms ifq duration_s seed loss =
-    let spec = spec_of ~rate_mbps ~rtt_ms ~ifq ~duration_s ~seed ~loss in
-    let cells =
-      List.map
-        (fun name -> (Some name, { spec with Core.Run.slow_start = name }))
-        [ "standard"; "limited"; "hystart"; "restricted" ]
+  let matrix =
+    let doc =
+      "Full arena: every registered congestion-control policy crossed \
+       with every arena scenario (paper-path, lossy-wan, \
+       shared-bottleneck and the chaos-bursty fault profile), scored \
+       into a league table. --rate/--rtt-ms/--ifq/--loss are ignored \
+       (scenarios define their own paths); --duration and --seed apply \
+       to every cell."
     in
-    let results =
-      if jobs > 1 then
-        Engine.Pool.with_pool ~jobs (fun pool ->
-            Core.Run.bulk_batch ~pool cells)
-      else Core.Run.bulk_batch cells
+    Arg.(value & flag & info [ "matrix" ] ~doc)
+  in
+  let policies =
+    let doc =
+      "With --matrix: restrict to a comma-separated subset of the \
+       registered policies (see $(b,rss_sim list))."
     in
-    List.iter print_result results
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "policies" ] ~docv:"NAMES" ~doc)
+  in
+  let scenarios =
+    let doc =
+      "With --matrix: restrict to a comma-separated subset of the arena \
+       scenarios (see $(b,rss_sim list))."
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "scenarios" ] ~docv:"NAMES" ~doc)
+  in
+  let out_dir =
+    let doc =
+      "With --matrix: write the matrix as CSV and JSON (league included) \
+       under this directory."
+    in
+    Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
+  in
+  let run_matrix ~jobs ~policies ~scenarios ~out_dir ~duration_s ~seed =
+    let duration = Sim.Time.of_sec duration_s in
+    let table =
+      try
+        if jobs > 1 then
+          Engine.Pool.with_pool ~jobs (fun pool ->
+              Core.Arena.run ~pool ?policies ?scenarios ~duration ~seed ())
+        else Core.Arena.run ?policies ?scenarios ~duration ~seed ()
+      with Invalid_argument e ->
+        prerr_endline e;
+        exit 2
+    in
+    print_string (Core.Arena.render table);
+    match out_dir with
+    | None -> ()
+    | Some dir ->
+        ensure_dir dir;
+        let csv_path = Filename.concat dir "policy_matrix.csv" in
+        Report.Csv.write_string ~path:csv_path (Core.Arena.to_csv table);
+        Printf.printf "wrote %s\n" csv_path;
+        let json_path = Filename.concat dir "policy_matrix.json" in
+        Report.Csv.write_string ~path:json_path
+          (Report.Json.to_string (Core.Arena.to_json table));
+        Printf.printf "wrote %s\n" json_path
+  in
+  let action jobs matrix policies scenarios out_dir rate_mbps rtt_ms ifq
+      duration_s seed loss =
+    if matrix then
+      run_matrix ~jobs ~policies ~scenarios ~out_dir ~duration_s ~seed
+    else begin
+      let spec = spec_of ~rate_mbps ~rtt_ms ~ifq ~duration_s ~seed ~loss in
+      let cells =
+        List.map
+          (fun name -> (Some name, { spec with Core.Run.slow_start = name }))
+          [ "standard"; "limited"; "hystart"; "restricted" ]
+      in
+      let results =
+        if jobs > 1 then
+          Engine.Pool.with_pool ~jobs (fun pool ->
+              Core.Run.bulk_batch ~pool cells)
+        else Core.Run.bulk_batch cells
+      in
+      List.iter print_result results
+    end
   in
   let term =
     Term.(
-      const action $ jobs $ rate_mbps $ rtt_ms $ ifq $ duration_s $ seed
-      $ loss)
+      const action $ jobs $ matrix $ policies $ scenarios $ out_dir
+      $ rate_mbps $ rtt_ms $ ifq $ duration_s $ seed $ loss)
   in
   Cmd.v
     (Cmd.info "compare"
-       ~doc:"Run every slow-start policy on the same path and compare.")
+       ~doc:
+         "Run every slow-start policy on the same path and compare; with \
+          --matrix, run the full policy-zoo arena and print a league \
+          table.")
     term
 
 (* --- chaos --------------------------------------------------------------- *)
@@ -543,6 +614,19 @@ let list_cmd =
     print_endline
       "slow-start policies (--slow-start NAME / spec flow \"slow_start\"):";
     List.iter (Printf.printf "  %s\n") Tcp.Slow_start.names;
+    print_endline "";
+    print_endline
+      "congestion-control policies (compare --matrix / spec flow \
+       \"policy\"):";
+    List.iter
+      (fun (name, doc) -> Printf.printf "  %-19s %s\n" name doc)
+      (Tcp.Policy.docs ());
+    print_endline "";
+    print_endline "arena scenarios (compare --matrix columns):";
+    List.iter
+      (fun (s : Core.Arena.scenario) ->
+        Printf.printf "  %-19s %s\n" s.Core.Arena.sname s.Core.Arena.sdoc)
+      Core.Arena.scenarios;
     print_endline "";
     print_endline "workload kinds (spec flow \"workload\".\"kind\"):";
     List.iter (Printf.printf "  %s\n") Core.Spec.workload_kinds

@@ -62,6 +62,7 @@ type flow = {
   label : string option;
   pair : int;
   start_at : Sim.Time.t;
+  policy : string option;
   slow_start : string;
   restricted : Tcp.Slow_start.restricted_config option;
   shared_rss : bool;
@@ -104,6 +105,7 @@ let default_flow =
     label = None;
     pair = 0;
     start_at = Sim.Time.zero;
+    policy = None;
     slow_start = "standard";
     restricted = None;
     shared_rss = false;
@@ -199,6 +201,15 @@ let validate_flow ~pairs i f =
   (match Tcp.Slow_start.by_name ?restricted_config:f.restricted f.slow_start with
   | Ok _ -> ()
   | Error e -> err "Spec.build: flow %d: %s" i e);
+  (match f.policy with
+  | None -> ()
+  | Some p -> (
+      if f.shared_rss then
+        err "Spec.build: flow %d: policy and shared_rss are mutually exclusive"
+          i;
+      match Tcp.Policy.by_name ?restricted_config:f.restricted p with
+      | Ok _ -> ()
+      | Error e -> err "Spec.build: flow %d: %s" i e));
   match f.workload with
   | Bulk { bytes = Some b } when b <= 0 ->
       err "Spec.build: flow %d: bytes %d must be positive" i b
@@ -333,10 +344,19 @@ let tcp_senders b =
       | _ -> None)
     b.bflows
 
-let config_of_flow (f : flow) =
+let config_of_flow ?pace_gains (f : flow) =
+  let pace_ss_gain, pace_ca_gain =
+    match pace_gains with
+    | Some gains -> gains
+    | None ->
+        ( Tcp.Config.default.Tcp.Config.pace_ss_gain,
+          Tcp.Config.default.Tcp.Config.pace_ca_gain )
+  in
   {
     Tcp.Config.default with
     Tcp.Config.local_congestion = f.local_congestion;
+    pace_ss_gain;
+    pace_ca_gain;
     delayed_ack = f.delayed_ack;
     use_sack = f.use_sack;
     pacing = f.pacing;
@@ -377,6 +397,22 @@ let policy_for b bf =
   if bf.fspec.shared_rss then Tcp.Shared_rss.policy (controller_for b bf)
   else resolve_policy bf.fspec
 
+(* (slow_start, cong_avoid, pacing hints) for one connection. A [policy]
+   name resolves through the registry as a fresh bundle; without one the
+   legacy slow_start/cong_avoid fields are resolved exactly as before,
+   keeping pre-policy specs byte-identical. *)
+let bundle_for b bf =
+  match bf.fspec.policy with
+  | Some name -> (
+      match
+        Tcp.Policy.by_name ?restricted_config:bf.fspec.restricted name
+      with
+      | Ok p ->
+          (p.Tcp.Policy.slow_start, p.Tcp.Policy.cong_avoid,
+           p.Tcp.Policy.pace_gains)
+      | Error e -> invalid_arg e)
+  | None -> (policy_for b bf, resolve_cong_avoid bf.fspec.cong_avoid, None)
+
 (* Derived RNG stream for stochastic workloads (on_off, short_flows);
    offset keeps flow streams clear of the chaos fault streams 0xFA1/2
    and the small indices sweeps use for their cells. *)
@@ -390,20 +426,18 @@ let start_flow b bf =
   let driver =
     match f.workload with
     | Bulk { bytes } ->
+        let ss, cc, pace_gains = bundle_for b bf in
         Bulk_driver
           (Workload.Bulk.start ~src:bf.src ~dst:bf.dst ~flow:flow_id
-             ~ids:b.ids ~config:(config_of_flow f)
-             ~slow_start:(policy_for b bf)
-             ~cong_avoid:(resolve_cong_avoid f.cong_avoid)
-             ?bytes ~name:bf.flabel ())
+             ~ids:b.ids ~config:(config_of_flow ?pace_gains f)
+             ~slow_start:ss ~cong_avoid:cc ?bytes ~name:bf.flabel ())
     | Chunked { chunk_bytes; interval; chunks } ->
+        let ss, cc, pace_gains = bundle_for b bf in
         Chunked_driver
           (Workload.Chunked.start ~src:bf.src ~dst:bf.dst ~flow:flow_id
              ~ids:b.ids ~chunk_bytes ~interval ?chunks
-             ~config:(config_of_flow f)
-             ~slow_start:(policy_for b bf)
-             ~cong_avoid:(resolve_cong_avoid f.cong_avoid)
-             ~name:bf.flabel ())
+             ~config:(config_of_flow ?pace_gains f)
+             ~slow_start:ss ~cong_avoid:cc ~name:bf.flabel ())
     | Cbr { rate; packet_bytes; stop_at } ->
         Cbr_driver
           ( Workload.Cbr.start ~host:bf.src ~dst:(Netsim.Host.id bf.dst)
@@ -416,12 +450,18 @@ let start_flow b bf =
               ~mean_on ~mean_off ~packet_bytes (),
             packet_bytes )
     | Short_flows { arrival_rate; mean_size; pareto_shape; stop_at } ->
+        (* Each mouse gets a fresh slow-start instance; the bundle's
+           congestion avoidance stays at the driver's internal default
+           (mice rarely leave slow-start). *)
+        let _, _, pace_gains = bundle_for b bf in
         Short_driver
           (Workload.Short_flows.start ~src:bf.src ~dst:bf.dst ~ids:b.ids
              ~rng:(flow_rng b bf.index) ~arrival_rate ~mean_size ~pareto_shape
              ~first_flow:(10_000 + (1_000 * bf.index))
-             ~config:(config_of_flow f)
-             ~slow_start:(fun () -> policy_for b bf)
+             ~config:(config_of_flow ?pace_gains f)
+             ~slow_start:(fun () ->
+               let ss, _, _ = bundle_for b bf in
+               ss)
              ?stop_at ())
   in
   bf.driver <- Some driver;
@@ -438,11 +478,14 @@ let start_flow b bf =
       | Cbr_driver _ | On_off_driver _ | Short_driver _ -> ())
 
 let default_label spec i (f : flow) =
+  let base =
+    match f.policy with Some p -> p | None -> f.slow_start
+  in
   match f.label with
   | Some l -> l
   | None ->
-      if List.length spec.flows <= 1 then f.slow_start
-      else Printf.sprintf "%s-%d" f.slow_start i
+      if List.length spec.flows <= 1 then base
+      else Printf.sprintf "%s-%d" base i
 
 let build spec =
   validate spec;
@@ -997,6 +1040,7 @@ let flow_to_json (f : flow) =
       ("label", opt_to_json (fun l -> Json.String l) f.label);
       ("pair", int_to_json f.pair);
       ("start_at_ns", time_to_json f.start_at);
+      ("policy", opt_to_json (fun p -> Json.String p) f.policy);
       ("slow_start", Json.String f.slow_start);
       ("restricted", opt_to_json restricted_to_json f.restricted);
       ("shared_rss", Json.Bool f.shared_rss);
@@ -1291,6 +1335,13 @@ let flow_of_json j =
   in
   let* pair = int_default d.pair "pair" j in
   let* start_at = time_default d.start_at "start_at" j in
+  let* policy =
+    opt_field "policy" (fun v ->
+        match Json.string_value v with
+        | Some s -> Ok s
+        | None -> Error "field \"policy\" is not a string")
+      j
+  in
   let* slow_start = str_default d.slow_start "slow_start" j in
   let* restricted = opt_field "restricted" restricted_of_json j in
   let* shared_rss = bool_default d.shared_rss "shared_rss" j in
@@ -1323,6 +1374,7 @@ let flow_of_json j =
       label;
       pair;
       start_at;
+      policy;
       slow_start;
       restricted;
       shared_rss;
@@ -1452,7 +1504,7 @@ let template () =
     "buffer_packets": 250,
     "ifq_capacity": 100
   },
-  "_doc_flows": "one entry per flow; pair selects the host pair; slow_start is any `rss_sim list` policy; shared_rss=true steers the flow from a host-wide restricted controller; workload.kind is bulk|chunked|cbr|on_off|short_flows",
+  "_doc_flows": "one entry per flow; pair selects the host pair; slow_start is any `rss_sim list` slow-start; policy (optional) instead selects a full Tcp.Policy bundle (slow-start + congestion avoidance + pacing hints) by registry name; shared_rss=true steers the flow from a host-wide restricted controller; workload.kind is bulk|chunked|cbr|on_off|short_flows",
   "flows": [
     {
       "label": "restricted",

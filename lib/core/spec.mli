@@ -80,7 +80,15 @@ type flow = {
   pair : int;
       (** endpoint pair: 0 on a duplex; 0..pairs-1 on a dumbbell *)
   start_at : Sim.Time.t;
-  slow_start : string;  (** {!Tcp.Slow_start.by_name} key *)
+  policy : string option;
+      (** {!Tcp.Policy.by_name} key — one name selecting the flow's
+          whole window-update rule (slow-start + congestion avoidance +
+          pacing hints). [None] (default) keeps the legacy
+          [slow_start]/[cong_avoid] pair, byte-identical to pre-policy
+          specs. Mutually exclusive with [shared_rss]; [restricted]
+          still overrides the PID tuning of restricted policies. *)
+  slow_start : string;
+      (** {!Tcp.Slow_start.by_name} key (ignored when [policy] is set) *)
   restricted : Tcp.Slow_start.restricted_config option;
       (** override for the restricted policies' controller *)
   shared_rss : bool;

@@ -1,5 +1,10 @@
 (** Small CSV writer for experiment artefacts (results/ directory). *)
 
+val cell : float -> string
+(** The round-trip float formatting used by {!write}: shortest of
+    ["%.6g"]/["%.12g"]/["%.17g"] that parses back to the same float —
+    for callers assembling mixed string/number CSV by hand. *)
+
 val write :
   path:string -> header:string list -> rows:float list list -> unit
 (** Create parent directories as needed and write one file. Cells are

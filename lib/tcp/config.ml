@@ -10,6 +10,8 @@ type t = {
   use_sack : bool;
   dupack_threshold : int;
   pacing : bool;
+  pace_ss_gain : float;
+  pace_ca_gain : float;
   app_read_rate : Sim.Units.rate option;
   slow_start_restart : bool;
 }
@@ -27,6 +29,8 @@ let default =
     use_sack = true;
     dupack_threshold = 3;
     pacing = false;
+    pace_ss_gain = 2.0;
+    pace_ca_gain = 1.2;
     app_read_rate = None;
     slow_start_restart = true;
   }

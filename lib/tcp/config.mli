@@ -14,8 +14,12 @@ type t = {
   dupack_threshold : int;          (** fast-retransmit trigger, default 3 *)
   pacing : bool;
       (** spread data segments at [gain·cwnd/srtt] instead of sending
-          back-to-back bursts (gain 2 in slow-start, 1.2 afterwards —
-          the sch_fq defaults). Retransmissions are never delayed. *)
+          back-to-back bursts. Retransmissions are never delayed. *)
+  pace_ss_gain : float;
+      (** pacing-rate gain while in slow-start (sch_fq default 2.0;
+          congestion policies may hint lower, see {!Policy}) *)
+  pace_ca_gain : float;
+      (** pacing-rate gain in congestion avoidance (sch_fq default 1.2) *)
   app_read_rate : Sim.Units.rate option;
       (** receiving application's consumption rate. [None] (default)
           reads instantly, so the advertised window stays at [rcv_wnd].

@@ -94,6 +94,71 @@ let cubic ?(c = 0.4) ?(beta = 0.7) () =
   in
   { name = "cubic"; on_ack; on_loss; on_rto; reset }
 
+(* Relentless congestion control (Mathis, arXiv 1102.3270): additive
+   increase as Reno, but a loss event costs only the segments actually
+   lost — here one MSS per fast-retransmit episode — instead of halving.
+   ssthresh is pinned to the reduced window so recovery resumes exactly
+   where the decrement left it. The analytical model: with per-segment
+   loss probability p, +1 segment per RTT balances p·W segment
+   decrements per RTT at p·W = 1, i.e. W* ≈ 1/p segments and throughput
+   ≈ MSS/(p·RTT) — the oracle checked by test_policy_models. Timeouts
+   still collapse the window (a lost retransmission means the decrement
+   accounting is gone). *)
+let relentless () =
+  let base = reno () in
+  let on_loss ~cwnd ~flight:_ ~mss ~now:_ =
+    let next = floor_window ~mss (cwnd -. float_of_int mss) in
+    (next, next)
+  in
+  {
+    name = "relentless";
+    on_ack = base.on_ack;
+    on_loss;
+    on_rto = base.on_rto;
+    reset = (fun () -> ());
+  }
+
+(* FAST-style delay-based control (Wei/Low FAST TCP): once per RTT the
+   window moves toward the fixed point of
+     w ← (1−γ)·w + γ·(base_rtt/avg_rtt · w + α)
+   where avg_rtt is a γ-smoothed RTT average and α (segments) is the
+   target per-flow backlog parked in the path's queues. At equilibrium
+   w·(1 − base/avg) = α: exactly α segments queued. The per-update move
+   is capped at window doubling, per the published algorithm. Loss
+   reactions are Reno's. *)
+let fast ?(alpha_seg = 16.) ?(gamma = 0.5) () =
+  let base = reno () in
+  let avg_rtt = ref None in
+  let next_update = ref Sim.Time.zero in
+  let on_ack ~newly_acked ~cwnd ~mss ~srtt ~min_rtt ~now =
+    match (srtt, min_rtt) with
+    | Some rtt, Some base_rtt when Sim.Time.is_positive base_rtt ->
+        let rtt_s = Sim.Time.to_sec rtt in
+        let avg =
+          match !avg_rtt with
+          | None -> rtt_s
+          | Some a -> ((1. -. gamma) *. a) +. (gamma *. rtt_s)
+        in
+        avg_rtt := Some avg;
+        if Sim.Time.(now < !next_update) then cwnd
+        else begin
+          next_update := Sim.Time.add now rtt;
+          let m = float_of_int mss in
+          let base_s = Sim.Time.to_sec base_rtt in
+          let target =
+            ((1. -. gamma) *. cwnd)
+            +. (gamma *. ((base_s /. avg *. cwnd) +. (alpha_seg *. m)))
+          in
+          floor_window ~mss (Float.min (2. *. cwnd) target)
+        end
+    | _ -> base.on_ack ~newly_acked ~cwnd ~mss ~srtt ~min_rtt ~now
+  in
+  let reset () =
+    avg_rtt := None;
+    next_update := Sim.Time.zero
+  in
+  { name = "fast"; on_ack; on_loss = base.on_loss; on_rto = base.on_rto; reset }
+
 (* Vegas: delay-based backlog estimation, adjusted once per RTT. *)
 let vegas ?(alpha = 2.) ?(beta_seg = 4.) () =
   let base = reno () in

@@ -27,6 +27,23 @@ val cubic : ?c:float -> ?beta:float -> unit -> t
 (** RFC 8312 CUBIC: window follows C·(t−K)³ + Wmax with β=0.7 decrease
     and a TCP-friendly (Reno-tracking) lower bound. *)
 
+val relentless : unit -> t
+(** Relentless congestion control (Mathis, arXiv 1102.3270): Reno's
+    additive increase, but a loss event reduces the window by one MSS
+    (the lost segment) instead of halving, with ssthresh pinned to the
+    reduced window. Steady state under per-segment loss probability [p]
+    sits at W* ≈ 1/p segments (throughput ≈ MSS/(p·RTT)) — the
+    analytical model the oracle tests check. RTO reaction is Reno's. *)
+
+val fast : ?alpha_seg:float -> ?gamma:float -> unit -> t
+(** FAST-style delay-based avoidance (Wei & Low): once per RTT,
+    [w ← (1−γ)·w + γ·(base_rtt/avg_rtt·w + α)] with [avg_rtt] a
+    γ-smoothed average (default γ=0.5) and [alpha_seg] (default 16) the
+    target queued backlog in segments; the per-update move is capped at
+    window doubling. Equilibrium parks exactly α segments in the path's
+    queues. Falls back to Reno's increase until RTT estimates exist;
+    loss reactions are Reno's. *)
+
 val vegas : ?alpha:float -> ?beta_seg:float -> unit -> t
 (** Vegas (Brakmo & Peterson): once per RTT estimate the backlog
     [cwnd·(rtt − base_rtt)/rtt] in segments; grow by one MSS below

@@ -1,0 +1,89 @@
+(* A congestion-control policy is the complete window-update rule of a
+   connection: the slow-start phase (entry growth + voluntary exit), the
+   congestion-avoidance phase (per-ACK growth, loss and RTO reactions)
+   and pacing hints. Bundling the two existing policy records keeps the
+   sender's hot path unchanged — it still dispatches through the same
+   Slow_start.t / Cong_avoid.t closures — while giving sweeps and CLIs
+   one name for one behaviour. *)
+
+type t = {
+  name : string;
+  doc : string;
+  slow_start : Slow_start.t;
+  cong_avoid : Cong_avoid.t;
+  pace_gains : (float * float) option;
+}
+
+type entry = {
+  ename : string;
+  edoc : string;
+  make : Slow_start.restricted_config option -> t;
+}
+
+let builtin =
+  let bundle ?pace_gains ~name ~doc ss cc =
+    {
+      ename = name;
+      edoc = doc;
+      make =
+        (fun rc ->
+          { name; doc; slow_start = ss rc; cong_avoid = cc (); pace_gains });
+    }
+  in
+  [
+    bundle ~name:"standard"
+      ~doc:"RFC 5681 slow-start + Reno AIMD (the classic baseline)"
+      (fun _ -> Slow_start.standard ())
+      Cong_avoid.reno;
+    bundle ~name:"restricted"
+      ~doc:"the paper's PID-restricted slow-start + Reno"
+      (fun rc -> Slow_start.restricted ?config:rc ())
+      Cong_avoid.reno;
+    bundle ~name:"restricted-adaptive"
+      ~doc:"gain-scheduled restricted slow-start (Ti/Td track RTT) + Reno"
+      (fun rc -> Slow_start.restricted_adaptive ?config:rc ())
+      Cong_avoid.reno;
+    bundle ~name:"hystart-cubic"
+      ~doc:"HyStart exit detection + CUBIC avoidance (the Linux default)"
+      (fun _ -> Slow_start.hystart ())
+      Cong_avoid.cubic;
+    bundle ~name:"ssthreshless"
+      ~doc:
+        "SSthreshless Start (arXiv 1401.7146): path-measured slow-start \
+         exit onto the BDP estimate + Reno"
+      (fun _ -> Slow_start.ssthreshless ())
+      Cong_avoid.reno;
+    bundle ~name:"relentless"
+      ~doc:
+        "Relentless CC (arXiv 1102.3270): loss costs only the lost \
+         segments, W* = 1/p"
+      (fun _ -> Slow_start.standard ())
+      Cong_avoid.relentless;
+    (* FAST regulates queueing delay, so when pacing is on it should
+       release the window smoothly at the ACK rate rather than with the
+       loss-probing 1.2 headroom. *)
+    bundle ~name:"fast" ~pace_gains:(2.0, 1.0)
+      ~doc:
+        "FAST-style delay-based avoidance: w <- (1-g)w + \
+         g(baseRTT/avgRTT*w + alpha)"
+      (fun _ -> Slow_start.standard ())
+      Cong_avoid.fast;
+  ]
+
+let registry = ref builtin
+
+let register ~name ~doc make =
+  if List.exists (fun e -> e.ename = name) !registry then
+    invalid_arg (Printf.sprintf "Policy.register: %S already registered" name);
+  registry := !registry @ [ { ename = name; edoc = doc; make } ]
+
+let names () = List.map (fun e -> e.ename) !registry
+let docs () = List.map (fun e -> (e.ename, e.edoc)) !registry
+
+let by_name ?restricted_config name =
+  match List.find_opt (fun e -> e.ename = name) !registry with
+  | Some e -> Ok (e.make restricted_config)
+  | None ->
+      Error
+        (Printf.sprintf "unknown congestion-control policy %S (have: %s)" name
+           (String.concat ", " (names ())))

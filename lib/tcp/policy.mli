@@ -1,0 +1,50 @@
+(** First-class congestion-control policies: one name for one complete
+    window-update rule.
+
+    A policy bundles the connection's slow-start phase (per-ACK growth
+    and voluntary exit, {!Slow_start.t}), its congestion-avoidance phase
+    (per-ACK growth plus loss/RTO reactions, {!Cong_avoid.t}) and pacing
+    hints. The sender is unchanged — it still dispatches through the two
+    policy records — but sweeps, specs and CLIs can now name the whole
+    behaviour at once, and the registry makes every policy instantly
+    cross with every {!Core.Spec} scenario ([rss_sim compare --matrix]).
+
+    Registered zoo (in registry order): ["standard"], ["restricted"],
+    ["restricted-adaptive"], ["hystart-cubic"], ["ssthreshless"],
+    ["relentless"], ["fast"]. *)
+
+type t = {
+  name : string;
+  doc : string;  (** one-line description for CLIs *)
+  slow_start : Slow_start.t;
+  cong_avoid : Cong_avoid.t;
+  pace_gains : (float * float) option;
+      (** pacing hint [(slow_start_gain, cong_avoid_gain)] for
+          {!Config.t}[.pace_ss_gain]/[.pace_ca_gain] when the connection
+          paces; [None] = keep the sch_fq defaults (2.0, 1.2) *)
+}
+
+val by_name :
+  ?restricted_config:Slow_start.restricted_config ->
+  string ->
+  (t, string) result
+(** A fresh policy instance (controllers carry per-connection state —
+    never share one instance between senders). [restricted_config]
+    overrides the PID tuning of the restricted policies and is ignored
+    by the others. *)
+
+val names : unit -> string list
+(** Every registered name, in registration order — the row order of the
+    comparison matrix. *)
+
+val docs : unit -> (string * string) list
+(** [(name, one-line doc)] pairs, in registration order. *)
+
+val register :
+  name:string ->
+  doc:string ->
+  (Slow_start.restricted_config option -> t) ->
+  unit
+(** Add a policy to the registry (appended after the built-ins). The
+    callback must return a fresh instance per call. Raises
+    [Invalid_argument] on a duplicate name. *)

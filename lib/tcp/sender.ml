@@ -292,11 +292,15 @@ and sack_recovery_send t =
           continue := false
         end
     | None -> (
+        (* New data during recovery must still respect the receiver's
+           advertised window, not just the pipe rule. *)
         match new_data_range t with
-        | Some range ->
-            if transmit_range t ~retx:false range then t.nxt <- snd range
+        | Some ((lo, hi) as range)
+          when float_of_int (flight_bytes t + (hi - lo))
+               <= Float.min t.cwnd_b (float_of_int t.rwnd) ->
+            if transmit_range t ~retx:false range then t.nxt <- hi
             else continue := false
-        | None -> continue := false)
+        | Some _ | None -> continue := false)
   done
 
 and next_unfilled_hole t =
@@ -324,7 +328,10 @@ and pace_interval t ~bytes =
   match Rtt_estimator.srtt t.rtt with
   | None -> Sim.Time.zero
   | Some srtt ->
-      let gain = if t.ph = Slow_start_p then 2.0 else 1.2 in
+      let gain =
+        if t.ph = Slow_start_p then t.cfg.Config.pace_ss_gain
+        else t.cfg.Config.pace_ca_gain
+      in
       let rate_bytes_per_sec =
         gain *. t.cwnd_b /. Float.max 1e-6 (Sim.Time.to_sec srtt)
       in

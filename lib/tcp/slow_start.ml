@@ -113,6 +113,44 @@ let hystart ?(ack_train_threshold = Sim.Time.ms 2) ?(min_samples = 8) () =
   in
   { name = "hystart"; on_ack; reset }
 
+(* SSthreshless Start (arXiv 1401.7146 idea): exit slow-start on the
+   *measured* path instead of an arbitrary initial ssthresh. Growth is
+   exponential; each RTT round tracks its minimum RTT sample, and once
+   enough samples show queuing delay above [queue_fraction]·base the
+   pipe is full — the window is trimmed onto the BDP estimate
+   cwnd·base/current and the connection moves to congestion avoidance.
+   Both the ssthresh-too-high overshoot and the ssthresh-too-low
+   undershoot of standard slow-start on long-fat paths disappear. *)
+let ssthreshless ?(queue_fraction = 0.25) ?(min_samples = 4) () =
+  (* Consecutive inflated samples, not a per-round minimum: the round in
+     which the queue first builds always opens with un-inflated samples,
+     so a round-min detector would let overflow loss win the race to the
+     slow-start exit. A run of [min_samples] back-to-back queued ACKs is
+     immune to isolated delayed-ACK noise yet fires mid-round, before
+     the buffer fills. *)
+  let consec = ref 0 in
+  let reset () = consec := 0 in
+  let on_ack view ~newly_acked:_ ~rtt_sample =
+    let mss = float_of_int view.mss in
+    match (rtt_sample, view.min_rtt ()) with
+    | Some r, Some base when Sim.Time.is_positive base ->
+        let queued =
+          Sim.Time.to_sec r -. Sim.Time.to_sec base
+          > queue_fraction *. Sim.Time.to_sec base
+        in
+        if queued then incr consec else consec := 0;
+        if !consec >= min_samples then begin
+          consec := 0;
+          let target =
+            view.cwnd () *. Sim.Time.to_sec base /. Sim.Time.to_sec r
+          in
+          { cwnd_delta = target -. view.cwnd (); exit_slow_start = true }
+        end
+        else no_exit mss
+    | _ -> no_exit mss
+  in
+  { name = "ssthreshless"; on_ack; reset }
+
 type restricted_config = {
   gains : Control.Pid.gains;
   setpoint_fraction : float;
@@ -232,7 +270,7 @@ let commanded ~target_segments =
   { name = "commanded"; on_ack; reset = (fun () -> ()) }
 
 let names =
-  [ "standard"; "abc"; "limited"; "hystart"; "restricted";
+  [ "standard"; "abc"; "limited"; "hystart"; "ssthreshless"; "restricted";
     "restricted-adaptive" ]
 
 let by_name ?restricted_config name =
@@ -241,6 +279,7 @@ let by_name ?restricted_config name =
   | "abc" -> Ok (abc ())
   | "limited" -> Ok (limited ())
   | "hystart" -> Ok (hystart ())
+  | "ssthreshless" -> Ok (ssthreshless ())
   | "restricted" -> Ok (restricted ?config:restricted_config ())
   | "restricted-adaptive" ->
       Ok (restricted_adaptive ?config:restricted_config ())

@@ -62,6 +62,17 @@ val hystart :
     clamp(min_rtt/8, 4 ms, 16 ms) over the first [min_samples] samples
     of a round, default 8). *)
 
+val ssthreshless : ?queue_fraction:float -> ?min_samples:int -> unit -> t
+(** SSthreshless Start (after arXiv 1401.7146): exponential growth whose
+    exit is decided by the measured path, not by ssthresh. Once
+    [min_samples] (default 4) consecutive RTT samples show queuing
+    delay above [queue_fraction]·base_rtt (default 0.25) the pipe is
+    judged full and the window is set to the BDP estimate
+    cwnd·base_rtt/current_rtt on the way out of slow-start (the sender
+    then pins ssthresh there). Eliminates both the overshoot (ssthresh
+    too high) and undershoot (ssthresh too low) failure modes on
+    long-fat networks. *)
+
 type restricted_config = {
   gains : Control.Pid.gains;
   setpoint_fraction : float;
@@ -105,8 +116,8 @@ val commanded : target_segments:float ref -> t
 
 val by_name :
   ?restricted_config:restricted_config -> string -> (t, string) result
-(** "standard" | "abc" | "limited" | "hystart" | "restricted" |
-    "restricted-adaptive" — for CLIs. *)
+(** "standard" | "abc" | "limited" | "hystart" | "ssthreshless" |
+    "restricted" | "restricted-adaptive" — for CLIs. *)
 
 val names : string list
 (** Every key {!by_name} accepts, in documentation order. *)

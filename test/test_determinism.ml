@@ -49,8 +49,40 @@ let test_e2_replay () =
     "e2 rows identical, sequential vs 4 domains" (e2_rows None)
     (with_parallel e2_rows)
 
+(* The policy-matrix golden: the full zoo on the paper path and the
+   chaos profile at a fixed seed, rendered through Arena.to_csv's
+   round-trip float format. The file is committed
+   (test/golden_policy_matrix.csv); regenerate with
+     rss_sim compare --matrix --scenarios paper-path,chaos-bursty \
+       --duration 2 --seed 1 --out <dir>
+   The explicit policy list keeps the golden stable even when other
+   suites extend the registry. *)
+let matrix_policies =
+  [
+    "standard"; "restricted"; "restricted-adaptive"; "hystart-cubic";
+    "ssthreshless"; "relentless"; "fast";
+  ]
+
+let matrix_csv pool =
+  Core.Arena.to_csv
+    (Core.Arena.run ?pool ~policies:matrix_policies
+       ~scenarios:[ "paper-path"; "chaos-bursty" ]
+       ~duration ~seed:1 ())
+
+let test_policy_matrix_golden () =
+  let golden =
+    In_channel.with_open_text "golden_policy_matrix.csv" In_channel.input_all
+  in
+  let sequential = matrix_csv None in
+  Alcotest.(check string) "matrix matches the committed golden" golden
+    sequential;
+  Alcotest.(check string) "matrix identical on a 4-domain pool" sequential
+    (with_parallel matrix_csv)
+
 let suite =
   [
     Alcotest.test_case "fig1 golden replay" `Quick test_fig1_replay;
     Alcotest.test_case "e2 golden replay" `Quick test_e2_replay;
+    Alcotest.test_case "policy matrix golden (jobs 1 vs 4)" `Quick
+      test_policy_matrix_golden;
   ]

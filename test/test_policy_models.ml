@@ -1,0 +1,144 @@
+(* Oracle tests: the congestion-avoidance arithmetic checked against the
+   closed-form steady-state models from the literature.
+
+   The harness drives the *real* Cong_avoid closures through a
+   deterministic ACK stream with one loss event every k = 1/p packets
+   (each ACK acknowledges one MSS, i.e. one packet), then compares the
+   steady-state mean window against the model:
+
+   - Relentless CC (arXiv 1102.3270): a loss costs exactly the lost
+     segment, so +1 segment/RTT additive increase balances p·W
+     one-segment decrements per RTT at p·W = 1 — W* = 1/p segments,
+     throughput MSS/(p·RTT).
+   - Reno: the 1/sqrt(p) rule. With halving every 1/p packets the
+     sawtooth mean is sqrt(3/(2p)) segments (Mathis et al.). *)
+
+let mss = Tcp.Config.default.Tcp.Config.mss
+let mss_f = float_of_int mss
+
+(* Mean window (in segments) over the post-warmup portion of [acks]
+   ACKed packets with a loss event every [loss_every]-th packet. *)
+let steady_mean_window ~(cc : Tcp.Cong_avoid.t) ~loss_every ~acks ~warmup =
+  let cwnd = ref (10. *. mss_f) in
+  let sum = ref 0. in
+  let n = ref 0 in
+  for i = 1 to acks do
+    cwnd :=
+      cc.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd:!cwnd ~mss ~srtt:None
+        ~min_rtt:None ~now:Sim.Time.zero;
+    if i mod loss_every = 0 then begin
+      let _ssthresh, next =
+        cc.Tcp.Cong_avoid.on_loss ~cwnd:!cwnd ~flight:(int_of_float !cwnd)
+          ~mss ~now:Sim.Time.zero
+      in
+      cwnd := next
+    end;
+    if i > warmup then begin
+      sum := !sum +. (!cwnd /. mss_f);
+      incr n
+    end
+  done;
+  !sum /. float_of_int !n
+
+let check_model ~what ~tolerance ~model measured =
+  let rel = Float.abs (measured -. model) /. model in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s: measured %.2f vs model %.2f seg (rel err %.3f, tol %.2f)"
+       what measured model rel tolerance)
+    true (rel <= tolerance)
+
+(* W* = 1/p within 10% across a decade of loss rates. *)
+let test_relentless_window () =
+  List.iter
+    (fun loss_every ->
+      let p = 1. /. float_of_int loss_every in
+      (* Reno-rate additive increase needs ~W*^2/2 ACKs to climb to the
+         fixed point, so the warmup is quadratic in 1/p. *)
+      let warmup = (100 * loss_every) + (loss_every * loss_every) in
+      let measured =
+        steady_mean_window ~cc:(Tcp.Cong_avoid.relentless ())
+          ~loss_every ~acks:(warmup + (100 * loss_every)) ~warmup
+      in
+      check_model
+        ~what:(Printf.sprintf "relentless W* at p=%g" p)
+        ~tolerance:0.10 ~model:(1. /. p) measured)
+    [ 50; 100; 200 ]
+
+(* Throughput form of the same fixed point: W*·MSS/RTT = MSS/(p·RTT). *)
+let test_relentless_throughput () =
+  let p = 0.01 in
+  let rtt = 0.12 in
+  let measured_w =
+    steady_mean_window ~cc:(Tcp.Cong_avoid.relentless ()) ~loss_every:100
+      ~acks:30_000 ~warmup:20_000
+  in
+  let measured_bps = measured_w *. mss_f *. 8. /. rtt in
+  let model_bps = mss_f *. 8. /. (p *. rtt) in
+  check_model ~what:"relentless throughput at p=0.01, rtt=120ms"
+    ~tolerance:0.10
+    ~model:(model_bps /. 1e6)
+    (measured_bps /. 1e6)
+
+(* Reno sanity baseline: mean W = sqrt(3/(2p)) within 15%. *)
+let test_reno_inverse_sqrt_p () =
+  List.iter
+    (fun loss_every ->
+      let p = 1. /. float_of_int loss_every in
+      let measured =
+        steady_mean_window ~cc:(Tcp.Cong_avoid.reno ()) ~loss_every
+          ~acks:(400 * loss_every) ~warmup:(200 * loss_every)
+      in
+      check_model
+        ~what:(Printf.sprintf "reno mean W at p=%g" p)
+        ~tolerance:0.15
+        ~model:(Float.sqrt (1.5 /. p))
+        measured)
+    [ 100; 300; 1000 ]
+
+(* End-to-end cross-check in the full simulator: on a randomly lossy
+   WAN the models put Relentless (W* = 1/p) far above Reno
+   (sqrt(1.5/p)); at p = 2% the predicted ratio is ~5.7. Recovery
+   dynamics, delayed ACKs and slow-start keep the simulator off the
+   idealized numbers, so only the ordering and a conservative ratio are
+   asserted. *)
+let test_relentless_beats_reno_on_lossy_path () =
+  let goodput policy =
+    let spec =
+      {
+        Core.Spec.default with
+        Core.Spec.name = "oracle-lossy__" ^ policy;
+        duration = Sim.Time.sec 15;
+        record_series = false;
+        topology =
+          Core.Spec.Duplex
+            {
+              Core.Spec.default_duplex with
+              Core.Spec.one_way_delay = Sim.Time.ms 60;
+              loss_rate = 0.02;
+            };
+        flows =
+          [ { Core.Spec.default_flow with Core.Spec.policy = Some policy } ];
+      }
+    in
+    (Core.Spec.run spec).Core.Spec.path.Core.Spec.aggregate_goodput_mbps
+  in
+  let relentless = goodput "relentless" in
+  let standard = goodput "standard" in
+  Alcotest.(check bool)
+    (Printf.sprintf
+       "relentless (%.2f Mbit/s) at least 2x reno (%.2f Mbit/s) at p=0.02"
+       relentless standard)
+    true
+    (relentless >= 2. *. standard)
+
+let suite =
+  [
+    Alcotest.test_case "relentless window matches 1/p" `Quick
+      test_relentless_window;
+    Alcotest.test_case "relentless throughput matches MSS/(p RTT)" `Quick
+      test_relentless_throughput;
+    Alcotest.test_case "reno follows the 1/sqrt(p) rule" `Quick
+      test_reno_inverse_sqrt_p;
+    Alcotest.test_case "relentless beats reno on a lossy path" `Quick
+      test_relentless_beats_reno_on_lossy_path;
+  ]

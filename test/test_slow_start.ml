@@ -121,6 +121,60 @@ let test_hystart_ack_train_exit () =
   done;
   Alcotest.(check bool) "ACK-train exit" true !exited
 
+let test_ssthreshless_grows_without_queuing () =
+  let ss = Tcp.Slow_start.ssthreshless () in
+  let min_rtt = ref (Some (Sim.Time.ms 60)) in
+  let view = make_view ~min_rtt () in
+  (* RTT pinned at the base: exponential growth, no exit. *)
+  for _ = 1 to 20 do
+    let d =
+      ss.Tcp.Slow_start.on_ack view ~newly_acked:mss
+        ~rtt_sample:(Some (Sim.Time.ms 60))
+    in
+    Alcotest.(check (float 0.)) "one MSS per ACK" (float_of_int mss)
+      d.Tcp.Slow_start.cwnd_delta;
+    Alcotest.(check bool) "no exit at base RTT" false
+      d.Tcp.Slow_start.exit_slow_start
+  done
+
+let test_ssthreshless_exits_on_sustained_queuing () =
+  let ss = Tcp.Slow_start.ssthreshless ~min_samples:4 () in
+  let cwnd = ref (100. *. float_of_int mss) in
+  let min_rtt = ref (Some (Sim.Time.ms 60)) in
+  let view = make_view ~cwnd ~min_rtt () in
+  (* Three queued samples (RTT 100 ms >> 60·1.25 = 75 ms), one back at
+     the base — the run restarts, no exit. *)
+  for _ = 1 to 3 do
+    let d =
+      ss.Tcp.Slow_start.on_ack view ~newly_acked:mss
+        ~rtt_sample:(Some (Sim.Time.ms 100))
+    in
+    Alcotest.(check bool) "below min_samples" false
+      d.Tcp.Slow_start.exit_slow_start
+  done;
+  let d =
+    ss.Tcp.Slow_start.on_ack view ~newly_acked:mss
+      ~rtt_sample:(Some (Sim.Time.ms 60))
+  in
+  Alcotest.(check bool) "noise resets the run" false
+    d.Tcp.Slow_start.exit_slow_start;
+  (* Four consecutive queued samples: exit, trimmed to the BDP
+     estimate cwnd·base/current = 100·0.6 = 60 segments. *)
+  let exit_d = ref None in
+  for _ = 1 to 4 do
+    let d =
+      ss.Tcp.Slow_start.on_ack view ~newly_acked:mss
+        ~rtt_sample:(Some (Sim.Time.ms 100))
+    in
+    if d.Tcp.Slow_start.exit_slow_start then exit_d := Some d
+  done;
+  match !exit_d with
+  | None -> Alcotest.fail "no exit after min_samples queued ACKs"
+  | Some d ->
+      Alcotest.(check (float 1.)) "trimmed to the BDP estimate"
+        ((60. -. 100.) *. float_of_int mss)
+        d.Tcp.Slow_start.cwnd_delta
+
 let test_restricted_ramps_when_empty () =
   let ss = Tcp.Slow_start.restricted () in
   let now = ref Sim.Time.zero in
@@ -263,7 +317,7 @@ let test_by_name () =
       | Ok ss -> Alcotest.(check string) "name" name ss.Tcp.Slow_start.name
       | Error e -> Alcotest.fail e)
     [
-      "standard"; "abc"; "limited"; "hystart"; "restricted";
+      "standard"; "abc"; "limited"; "hystart"; "ssthreshless"; "restricted";
       "restricted-adaptive";
     ];
   match Tcp.Slow_start.by_name "bogus" with
@@ -281,6 +335,10 @@ let suite =
       test_hystart_no_exit_flat_rtt;
     Alcotest.test_case "hystart ACK-train exit" `Quick
       test_hystart_ack_train_exit;
+    Alcotest.test_case "ssthreshless grows without queuing" `Quick
+      test_ssthreshless_grows_without_queuing;
+    Alcotest.test_case "ssthreshless exits on sustained queuing" `Quick
+      test_ssthreshless_exits_on_sustained_queuing;
     Alcotest.test_case "restricted ramps on empty IFQ" `Quick
       test_restricted_ramps_when_empty;
     Alcotest.test_case "restricted freezes when app-limited" `Quick
