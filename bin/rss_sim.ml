@@ -660,6 +660,94 @@ let spec_cmd =
           commented template) for use with $(b,rss_sim run --spec).")
     Term.(const action $ print_default)
 
+(* --- meanfield ----------------------------------------------------------- *)
+
+let meanfield_cmd =
+  let fast =
+    let doc =
+      "Shorter runs (8 s) over a narrower flow-count spread — the CI smoke \
+       configuration."
+    in
+    Arg.(value & flag & info [ "fast" ] ~doc)
+  in
+  let flows =
+    let doc =
+      "Comma-separated flow counts to simulate (default: powers of two \
+       spanning 1/8x..8x the predicted boundary)."
+    in
+    Arg.(value & opt (some (list int)) None & info [ "flows" ] ~docv:"N,..." ~doc)
+  in
+  let jobs =
+    let doc = "Worker domains for the sweep." in
+    Arg.(value & opt positive_int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let action fast flows jobs seed rate_mbps rtt_ms ifq =
+    let path =
+      {
+        Core.Meanfield.paper_path with
+        Core.Meanfield.capacity = Sim.Units.mbps rate_mbps /. 8.;
+        base_rtt = Sim.Time.ms rtt_ms;
+        buffer_packets = ifq;
+      }
+    in
+    let critical = Core.Meanfield.critical_flows path in
+    Printf.printf
+      "mean-field oracle: predicted stability boundary at N = %d flows\n"
+      critical;
+    let duration = Sim.Time.sec (if fast then 8 else 30) in
+    let flows =
+      match flows with
+      | Some ns -> Some ns
+      | None ->
+          if fast then
+            Some
+              (List.sort_uniq compare
+                 [
+                   Stdlib.max 1 (critical / 8);
+                   Stdlib.max 1 (critical / 4);
+                   critical * 2;
+                   critical * 4;
+                 ])
+          else None
+    in
+    let run () =
+      if jobs > 1 then
+        Engine.Pool.with_pool ~jobs (fun pool ->
+            Core.Meanfield.sweep ~pool ~duration ?flows path ~seed)
+      else Core.Meanfield.sweep ~duration ?flows path ~seed
+    in
+    let s = run () in
+    Printf.printf "  %8s  %8s  %11s  %10s  %9s  %11s\n" "flows" "margin"
+      "predicted" "queue-mean" "amplitude" "measured";
+    let name = function
+      | Core.Meanfield.Stable -> "stable"
+      | Core.Meanfield.Oscillatory -> "oscillatory"
+    in
+    List.iter
+      (fun (sp : Core.Meanfield.sweep_point) ->
+        Printf.printf "  %8d  %8.3f  %11s  %10.1f  %9.3f  %11s%s\n"
+          sp.Core.Meanfield.sp_flows sp.sp_margin (name sp.sp_predicted)
+          sp.sp_queue_mean sp.sp_amplitude (name sp.sp_measured)
+          (if sp.sp_in_band then "  (boundary band, not scored)" else ""))
+      s.Core.Meanfield.points;
+    Printf.printf
+      "agreement outside the 0.25x..2x boundary band: %d/%d\n"
+      s.Core.Meanfield.agreed s.Core.Meanfield.out_of_band;
+    if s.Core.Meanfield.agreed < s.Core.Meanfield.out_of_band then exit 1
+  in
+  let term =
+    Term.(
+      const action $ fast $ flows $ jobs $ seed $ rate_mbps $ rtt_ms $ ifq)
+  in
+  Cmd.v
+    (Cmd.info "meanfield"
+       ~doc:
+         "Sweep the many-flows engine across flow counts and check the \
+          measured stable/oscillatory RED-queue boundary against the \
+          mean-field oracle's prediction (exits 1 on disagreement outside \
+          the documented tolerance band).")
+    term
+
 (* --- calibrate ----------------------------------------------------------- *)
 
 let calibrate_cmd =
@@ -700,4 +788,4 @@ let () =
     (Cmd.eval
        (Cmd.group info
           [ run_cmd; compare_cmd; chaos_cmd; trace_cmd; calibrate_cmd;
-            list_cmd; spec_cmd ]))
+            meanfield_cmd; list_cmd; spec_cmd ]))

@@ -117,6 +117,38 @@ let scenarios =
             no_faults);
     };
     {
+      sname = "red-ecn";
+      sdoc =
+        "paper duplex with RED+ECN marking at the sender IFQ (ECE/CWR \
+         reaction path)";
+      chaos = false;
+      make =
+        (fun ~duration ~seed ~policy ->
+          base
+            ~name:(Printf.sprintf "red-ecn__%s" policy)
+            ~duration ~seed
+            (Spec.Duplex
+               {
+                 Spec.default_duplex with
+                 Spec.ifq_red_ecn = Some Netsim.Queue_disc.default_red;
+               })
+            [ flow_with ~policy () ]
+            no_faults);
+    };
+    {
+      sname = "parallel-streams";
+      sdoc = "three same-policy streams sharing the paper duplex (E11 shape)";
+      chaos = false;
+      make =
+        (fun ~duration ~seed ~policy ->
+          base
+            ~name:(Printf.sprintf "parallel-streams__%s" policy)
+            ~duration ~seed
+            (Spec.Duplex Spec.default_duplex)
+            (List.init 3 (fun _ -> flow_with ~policy ()))
+            no_faults);
+    };
+    {
       sname = "chaos-bursty";
       sdoc =
         "duplex under Gilbert-Elliott burst loss, a 400 ms outage and \

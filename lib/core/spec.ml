@@ -57,6 +57,13 @@ type workload =
       pareto_shape : float;
       stop_at : Sim.Time.t option;
     }
+  | Many_flows of {
+      flows : int;
+      arrival_rate : float option;
+      arrival_pareto_shape : float option;
+      mean_size : int option;
+      size_pareto_shape : float;
+    }
 
 type flow = {
   label : string option;
@@ -133,7 +140,8 @@ let default =
     faults = { forward = Fm.passthrough; reverse = Fm.passthrough };
   }
 
-let workload_kinds = [ "bulk"; "chunked"; "cbr"; "on_off"; "short_flows" ]
+let workload_kinds =
+  [ "bulk"; "chunked"; "cbr"; "on_off"; "short_flows"; "many_flows" ]
 
 (* --- results ----------------------------------------------------------- *)
 
@@ -246,6 +254,26 @@ let validate_flow ~pairs i f =
       if not (pareto_shape > 1.) then
         err "Spec.build: flow %d: pareto shape %g must exceed 1" i
           pareto_shape
+  | Many_flows
+      { flows; arrival_rate; arrival_pareto_shape; mean_size;
+        size_pareto_shape } ->
+      if flows <= 0 then
+        err "Spec.build: flow %d: flows %d must be positive" i flows;
+      (match arrival_rate with
+      | Some r when not (r > 0.) ->
+          err "Spec.build: flow %d: arrival rate %g must be positive" i r
+      | _ -> ());
+      (match arrival_pareto_shape with
+      | Some s when not (s > 1.) ->
+          err "Spec.build: flow %d: arrival pareto shape %g must exceed 1" i s
+      | _ -> ());
+      (match mean_size with
+      | Some m when m <= 0 ->
+          err "Spec.build: flow %d: mean size %d must be positive" i m
+      | _ -> ());
+      if mean_size <> None && not (size_pareto_shape > 1.) then
+        err "Spec.build: flow %d: size pareto shape %g must exceed 1" i
+          size_pareto_shape
 
 let validate (t : t) =
   if t.flows = [] then err "Spec.build: at least one flow is required";
@@ -273,7 +301,16 @@ let validate (t : t) =
         err "Spec.build: buffer_packets %d must be >= 1" d.buffer_packets;
       if d.host_ifq_capacity < 1 then
         err "Spec.build: ifq_capacity %d must be >= 1" d.host_ifq_capacity);
-  List.iteri (validate_flow ~pairs:(pairs_of t.topology)) t.flows
+  List.iteri (validate_flow ~pairs:(pairs_of t.topology)) t.flows;
+  (* The scheduler carries at most one timer wheel, and the many-flows
+     engine owns it for the run. *)
+  let many =
+    List.filter
+      (fun f -> match f.workload with Many_flows _ -> true | _ -> false)
+      t.flows
+  in
+  if List.length many > 1 then
+    err "Spec.build: at most one many_flows flow per spec"
 
 (* --- compilation -------------------------------------------------------- *)
 
@@ -287,6 +324,7 @@ type driver =
   | Cbr_driver of Workload.Cbr.t * int
   | On_off_driver of Workload.On_off.t * int
   | Short_driver of Workload.Short_flows.t
+  | Many_driver of Workload.Many_flows.t
 
 type built_flow = {
   fspec : flow;
@@ -342,6 +380,12 @@ let tcp_senders b =
       | Some (Bulk_driver t) -> Some (Workload.Bulk.sender t)
       | Some (Chunked_driver t) -> Some (Workload.Chunked.sender t)
       | _ -> None)
+    b.bflows
+
+let many_flows_engines b =
+  List.filter_map
+    (fun bf ->
+      match bf.driver with Some (Many_driver t) -> Some t | _ -> None)
     b.bflows
 
 let config_of_flow ?pace_gains (f : flow) =
@@ -463,6 +507,47 @@ let start_flow b bf =
                let ss, _, _ = bundle_for b bf in
                ss)
              ?stop_at ())
+    | Many_flows
+        { flows; arrival_rate; arrival_pareto_shape; mean_size;
+          size_pareto_shape } ->
+        (* The fluid engine models the bottleneck itself, derived from
+           the spec topology: a duplex path's egress IFQ, or a
+           dumbbell's bottleneck buffer. The slow-start phase is the
+           classic doubling round, so only the bundle's congestion
+           avoidance applies. *)
+        let _, cc, _ = bundle_for b bf in
+        let capacity_bytes_per_sec, base_rtt, buffer_packets, red =
+          match b.bspec.topology with
+          | Duplex d ->
+              ( d.rate /. 8.,
+                Sim.Time.mul_int d.one_way_delay 2,
+                d.ifq_capacity,
+                d.ifq_red_ecn )
+          | Dumbbell d ->
+              ( d.bottleneck_rate /. 8.,
+                Sim.Time.mul_int
+                  (Sim.Time.add
+                     (Sim.Time.mul_int d.access_delay 2)
+                     d.bottleneck_delay)
+                  2,
+                d.buffer_packets,
+                d.red )
+        in
+        Many_driver
+          (Workload.Many_flows.start ~sched:b.bsched
+             ~rng:(flow_rng b bf.index) ~seed:b.bspec.seed ~cong_avoid:cc
+             {
+               Workload.Many_flows.default_params with
+               Workload.Many_flows.flows;
+               arrival_rate;
+               arrival_pareto_shape;
+               mean_size;
+               size_pareto_shape;
+               capacity_bytes_per_sec;
+               base_rtt;
+               buffer_packets;
+               red;
+             })
   in
   bf.driver <- Some driver;
   (* Single-connection TCP drivers get the run tracer; Short_flows mice
@@ -475,7 +560,7 @@ let start_flow b bf =
       | Bulk_driver t -> Tcp.Sender.set_tracer (Workload.Bulk.sender t) (Some tr)
       | Chunked_driver t ->
           Tcp.Sender.set_tracer (Workload.Chunked.sender t) (Some tr)
-      | Cbr_driver _ | On_off_driver _ | Short_driver _ -> ())
+      | Cbr_driver _ | On_off_driver _ | Short_driver _ | Many_driver _ -> ())
 
 let default_label spec i (f : flow) =
   let base =
@@ -638,9 +723,26 @@ let sender_receiver bf =
   | _ -> None
 
 let sample_instrument b inst =
-  match sender_receiver inst.ibf with
-  | None -> ()
-  | Some (sender, receiver) ->
+  match inst.ibf.driver with
+  | Some (Many_driver t) ->
+      (* Aggregate gauges of the fluid engine: mean window, fluid
+         backlog, and goodput over the sample window. *)
+      let now = Sim.Scheduler.now b.bsched in
+      Sim.Stats.Series.add inst.cwnd_s now
+        (Workload.Many_flows.mean_cwnd_segments t);
+      Sim.Stats.Series.add inst.ifq_s now
+        (Workload.Many_flows.queue_packets t);
+      let bytes = int_of_float (Workload.Many_flows.delivered_bytes t) in
+      let window_mbps =
+        float_of_int (8 * (bytes - inst.last_bytes))
+        /. Sim.Time.to_sec b.bspec.sample_period /. 1e6
+      in
+      inst.last_bytes <- bytes;
+      Sim.Stats.Series.add inst.throughput_s now window_mbps
+  | _ -> (
+      match sender_receiver inst.ibf with
+      | None -> ()
+      | Some (sender, receiver) ->
       let now = Sim.Scheduler.now b.bsched in
       Sim.Stats.Series.add inst.stalls_s now
         (float_of_int (Tcp.Sender.send_stalls sender));
@@ -655,11 +757,20 @@ let sample_instrument b inst =
       inst.last_bytes <- bytes;
       Sim.Stats.Series.add inst.throughput_s now window_mbps;
       (match Tcp.Sender.srtt sender with
-      | Some s -> Sim.Stats.Series.add inst.srtt_s now (Sim.Time.to_ms s)
-      | None -> ())
+          | Some s -> Sim.Stats.Series.add inst.srtt_s now (Sim.Time.to_ms s)
+          | None -> ()))
 
 let is_tcp_workload = function
   | Bulk _ | Chunked _ -> true
+  | Cbr _ | On_off _ | Short_flows _ | Many_flows _ -> false
+
+(* Flows whose series and goodput report TCP dynamics: the
+   single-connection drivers plus the aggregate many-flows engine. The
+   latter stays out of {!is_tcp_workload} so the unified registry only
+   registers web100 variables for connections that actually carry a
+   kernel instrument set. *)
+let tcp_series_workload = function
+  | Bulk _ | Chunked _ | Many_flows _ -> true
   | Cbr _ | On_off _ | Short_flows _ -> false
 
 let time_to_90pct line_mbps throughput_s =
@@ -752,6 +863,19 @@ let collect_flow b inst =
         float_of_int (8 * bytes) /. Sim.Time.to_sec duration /. 1e6
       in
       { zero with goodput_mbps = goodput; utilization = goodput /. b.line_mbps }
+  | Some (Many_driver t) ->
+      let goodput = Workload.Many_flows.goodput_mbps t ~duration in
+      {
+        zero with
+        goodput_mbps = goodput;
+        utilization = goodput /. b.line_mbps;
+        congestion_signals = Workload.Many_flows.loss_events t;
+        final_cwnd_segments = Workload.Many_flows.mean_cwnd_segments t;
+        (* The engine's fluid backlog, not the host IFQ (which the
+           abstract flows never traverse). *)
+        mean_ifq = Workload.Many_flows.avg_queue_packets t;
+        peak_ifq = Workload.Many_flows.queue_packets t;
+      }
 
 (* One namespace over everything the run can report, in a fixed order:
    web100 per-connection variables (conn/<label>/<Var>, flow order),
@@ -828,7 +952,7 @@ let execute b =
   if b.bspec.record_series then
     List.iter
       (fun inst ->
-        if is_tcp_workload inst.ibf.fspec.workload then
+        if tcp_series_workload inst.ibf.fspec.workload then
           ignore
             (Sim.Scheduler.every b.bsched b.bspec.sample_period (fun () ->
                  sample_instrument b inst)))
@@ -851,7 +975,7 @@ let execute b =
   let tcp_goodputs =
     List.filter_map
       (fun (bf, r) ->
-        if is_tcp_workload bf.fspec.workload then Some r.goodput_mbps
+        if tcp_series_workload bf.fspec.workload then Some r.goodput_mbps
         else None)
       (List.combine b.bflows results)
   in
@@ -1015,6 +1139,19 @@ let workload_to_json = function
           ("mean_size", int_to_json mean_size);
           ("pareto_shape", Json.Number pareto_shape);
           ("stop_at_ns", opt_to_json time_to_json stop_at);
+        ]
+  | Many_flows
+      { flows; arrival_rate; arrival_pareto_shape; mean_size;
+        size_pareto_shape } ->
+      Json.Obj
+        [
+          ("kind", Json.String "many_flows");
+          ("flows", int_to_json flows);
+          ("arrival_rate", opt_to_json (fun r -> Json.Number r) arrival_rate);
+          ( "arrival_pareto_shape",
+            opt_to_json (fun s -> Json.Number s) arrival_pareto_shape );
+          ("mean_size", opt_to_json int_to_json mean_size);
+          ("size_pareto_shape", Json.Number size_pareto_shape);
         ]
 
 let restricted_to_json (c : Tcp.Slow_start.restricted_config) =
@@ -1300,6 +1437,24 @@ let workload_of_json j =
       let* pareto_shape = num_default 1.2 "pareto_shape" j in
       let* stop_at = opt_time_default None "stop_at" j in
       Ok (Short_flows { arrival_rate; mean_size; pareto_shape; stop_at })
+  | "many_flows" ->
+      let opt_num key =
+        opt_field key
+          (fun v ->
+            match Json.number v with
+            | Some f -> Ok f
+            | None -> Error (Printf.sprintf "field %S is not a number" key))
+          j
+      in
+      let* flows = int_default 1000 "flows" j in
+      let* arrival_rate = opt_num "arrival_rate" in
+      let* arrival_pareto_shape = opt_num "arrival_pareto_shape" in
+      let* mean_size = Result.map (Option.map int_of_float) (opt_num "mean_size") in
+      let* size_pareto_shape = num_default 1.2 "size_pareto_shape" j in
+      Ok
+        (Many_flows
+           { flows; arrival_rate; arrival_pareto_shape; mean_size;
+             size_pareto_shape })
   | other -> Error (Printf.sprintf "unknown workload kind %S" other)
 
 let restricted_of_json j =
@@ -1504,7 +1659,7 @@ let template () =
     "buffer_packets": 250,
     "ifq_capacity": 100
   },
-  "_doc_flows": "one entry per flow; pair selects the host pair; slow_start is any `rss_sim list` slow-start; policy (optional) instead selects a full Tcp.Policy bundle (slow-start + congestion avoidance + pacing hints) by registry name; shared_rss=true steers the flow from a host-wide restricted controller; workload.kind is bulk|chunked|cbr|on_off|short_flows",
+  "_doc_flows": "one entry per flow; pair selects the host pair; slow_start is any `rss_sim list` slow-start; policy (optional) instead selects a full Tcp.Policy bundle (slow-start + congestion avoidance + pacing hints) by registry name; shared_rss=true steers the flow from a host-wide restricted controller; workload.kind is bulk|chunked|cbr|on_off|short_flows|many_flows (many_flows: N abstract AIMD flows through a fluid bottleneck — flows, arrival_rate flows/s or null for all-at-zero, arrival_pareto_shape or null for Poisson, mean_size bytes or null for persistent, size_pareto_shape)",
   "flows": [
     {
       "label": "restricted",

@@ -72,6 +72,23 @@ type workload =
       pareto_shape : float;
       stop_at : Sim.Time.t option;
     }  (** Poisson arrivals of Pareto-sized TCP mice *)
+  | Many_flows of {
+      flows : int;  (** total flows *)
+      arrival_rate : float option;
+          (** flows per second; [None] = all present at time zero *)
+      arrival_pareto_shape : float option;
+          (** heavy-tailed inter-arrivals; [None] = Poisson *)
+      mean_size : int option;  (** Pareto sizes; [None] = persistent *)
+      size_pareto_shape : float;
+    }
+      (** N abstract AIMD flows through one fluid bottleneck — the
+          {!Workload.Many_flows} flow-level engine (SoA flow table +
+          timer wheel) rather than per-packet connections, scaling to
+          millions of flows. The bottleneck (capacity, base RTT,
+          buffer, optional RED) derives from the spec topology; the
+          flow's policy/cong_avoid selects the congestion-avoidance
+          rule. At most one per spec (the engine owns the scheduler's
+          timer wheel). *)
 
 type flow = {
   label : string option;
@@ -247,6 +264,9 @@ val tcp_senders : built -> Tcp.Sender.t list
 (** Senders of single-connection TCP flows ([Bulk]/[Chunked]) already
     started, in flow order — flows still waiting on [start_at] timers
     are absent until they fire. *)
+
+val many_flows_engines : built -> Workload.Many_flows.t list
+(** Started [Many_flows] engines, in flow order (at most one today). *)
 
 val fault_models :
   built -> Netsim.Fault_model.t option * Netsim.Fault_model.t option

@@ -98,6 +98,18 @@ let accept t pkt =
   t.enqueue_count <- t.enqueue_count + 1;
   Ok ()
 
+(* The steady-state RED curve — Floyd & Jacobson's piecewise-linear
+   drop probability with the gentle extension, without the per-burst
+   count correction (which averages out over many arrivals). Shared by
+   the packet-level discipline below, the fluid many-flows engine and
+   the mean-field oracle, so all three see the same p(avg). *)
+let red_drop_probability p ~avg =
+  if avg < p.min_th then 0.
+  else if avg >= 2. *. p.max_th then 1.
+  else if avg < p.max_th then
+    p.max_p *. (avg -. p.min_th) /. (p.max_th -. p.min_th)
+  else p.max_p +. ((1. -. p.max_p) *. (avg -. p.max_th) /. p.max_th)
+
 (* RED per Floyd & Jacobson 1993, with the "gentle" extension between
    max_th and 2*max_th. The average is updated on every arrival; after
    an idle period it decays as if the queue had drained at line rate. *)
@@ -112,17 +124,13 @@ let red_decide t s ~now =
       s.idle_since <- None
   | _ -> ());
   s.avg <- ((1. -. s.params.weight) *. s.avg) +. (s.params.weight *. q);
-  let { min_th; max_th; max_p; _ } = s.params in
-  if s.avg < min_th then begin
+  if s.avg < s.params.min_th then begin
     s.count <- 0;
     `Accept
   end
-  else if s.avg >= 2. *. max_th then `Drop Red_forced
+  else if s.avg >= 2. *. s.params.max_th then `Drop Red_forced
   else begin
-    let pb =
-      if s.avg < max_th then max_p *. (s.avg -. min_th) /. (max_th -. min_th)
-      else max_p +. ((1. -. max_p) *. (s.avg -. max_th) /. max_th)
-    in
+    let pb = red_drop_probability s.params ~avg:s.avg in
     s.count <- s.count + 1;
     let pa =
       let denom = 1. -. (float_of_int s.count *. pb) in

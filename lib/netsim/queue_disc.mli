@@ -16,6 +16,13 @@ type red_params = {
 
 val default_red : red_params
 
+val red_drop_probability : red_params -> avg:float -> float
+(** The steady-state RED curve: drop/mark probability at average queue
+    [avg] (packets) — 0 below [min_th], linear to [max_p] at [max_th],
+    gentle to 1 at [2·max_th]. The packet-level discipline, the fluid
+    many-flows engine and the mean-field oracle all evaluate this same
+    function. *)
+
 type t
 
 val droptail : ?capacity_bytes:int -> capacity_packets:int -> unit -> t

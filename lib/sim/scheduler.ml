@@ -7,6 +7,7 @@ type t = {
   seed : int;
   mutable derived_streams : int;
   mutable tracer : Trace.t option;
+  mutable wheel : Timer_wheel.t option;
 }
 
 let create ?(seed = 1) () =
@@ -17,7 +18,15 @@ let create ?(seed = 1) () =
     seed;
     derived_streams = 0;
     tracer = None;
+    wheel = None;
   }
+
+let attach_wheel t w =
+  match t.wheel with
+  | Some _ -> invalid_arg "Scheduler.attach_wheel: a wheel is already attached"
+  | None -> t.wheel <- Some w
+
+let wheel t = t.wheel
 
 let set_tracer t tr = t.tracer <- tr
 let tracer t = t.tracer
@@ -65,12 +74,25 @@ let every t ?start period action =
 
 let cancel t h = Event_queue.cancel t.events h
 
+(* Next attention time of the attached wheel, clamped so the clock
+   never regresses (the wheel quantizes to tick boundaries, which may
+   fall before a mid-tick clock). -1 when absent or idle. *)
+let wheel_ns t =
+  match t.wheel with
+  | None -> -1
+  | Some w ->
+      let ns = Timer_wheel.next_due_ns w in
+      if ns < 0 then -1
+      else Stdlib.max ns (Time.to_ns_int t.clock)
+
 (* The run loop uses the queue's unboxed accessors: dispatching an
-   event moves the clock and fires the action without allocating. *)
+   event moves the clock and fires the action without allocating. The
+   heap wins ties against the wheel, so attaching an idle wheel leaves
+   heap-only runs byte-identical. *)
 let step t =
   let ns = Event_queue.next_time_ns t.events in
-  if ns < 0 then false
-  else begin
+  let wns = wheel_ns t in
+  if ns >= 0 && (wns < 0 || ns <= wns) then begin
     let action = Event_queue.pop_action_exn t.events in
     t.clock <- Time.of_ns_int ns;
     (match t.tracer with
@@ -81,6 +103,19 @@ let step t =
     action ();
     true
   end
+  else if wns >= 0 then begin
+    t.clock <- Time.of_ns_int wns;
+    (match t.wheel with
+    | Some w -> Timer_wheel.advance w ~now_ns:wns
+    | None -> assert false);
+    true
+  end
+  else false
+
+let next_ns t =
+  let ns = Event_queue.next_time_ns t.events in
+  let wns = wheel_ns t in
+  if ns >= 0 && (wns < 0 || ns <= wns) then ns else wns
 
 let run ?until t =
   match until with
@@ -89,10 +124,12 @@ let run ?until t =
       let horizon_ns = Time.to_ns_int horizon in
       let continue = ref true in
       while !continue do
-        let ns = Event_queue.next_time_ns t.events in
+        let ns = next_ns t in
         if ns >= 0 && ns <= horizon_ns then ignore (step t)
         else continue := false
       done;
       if Time.(t.clock < horizon) then t.clock <- horizon
 
-let pending t = Event_queue.live_count t.events
+let pending t =
+  Event_queue.live_count t.events
+  + match t.wheel with None -> 0 | Some w -> Timer_wheel.pending w

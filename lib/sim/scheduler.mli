@@ -60,6 +60,18 @@ val step : t -> bool
 val pending : t -> int
 (** Live events still scheduled (O(1)). *)
 
+val attach_wheel : t -> Timer_wheel.t -> unit
+(** Put a {!Timer_wheel} under the run loop: {!step}/{!run} interleave
+    its (tick-quantized) firings with heap events in time order, heap
+    first on ties — so a scheduler with an idle wheel behaves exactly
+    like one without. The wheel serves the dense per-flow timer regime
+    (RTO, pacing, per-round clocks); the heap remains the home for
+    sparse or non-quantized events. At most one wheel per scheduler;
+    raises [Invalid_argument] on a second attach. *)
+
+val wheel : t -> Timer_wheel.t option
+(** The wheel installed by {!attach_wheel}, if any. *)
+
 val set_tracer : t -> Trace.t option -> unit
 (** Install (or remove) an event tracer. With a tracer installed, each
     dispatched event emits a [sched.dispatch] record — a category that

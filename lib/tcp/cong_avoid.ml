@@ -118,6 +118,34 @@ let relentless () =
     reset = (fun () -> ());
   }
 
+(* Small-RTT cwnd scaling (Briscoe & De Schepper, arXiv 1904.07598):
+   classic AIMD adds one segment per RTT, so a sub-millisecond-RTT flow
+   accelerates its *rate* thousands of times faster than a WAN flow and
+   starves it at a shared bottleneck. Below a reference RTT the additive
+   increase is scaled by srtt/ref_rtt, making rate acceleration
+   (segments/s per second) RTT-independent: +MSS·(srtt/ref) per RTT,
+   i.e. +MSS²·(srtt/ref)/cwnd per ACK. At or above ref_rtt — and before
+   an RTT estimate exists — this is exactly Reno; decrease rules are
+   untouched, so the W ≈ 1.2/√p steady state shrinks proportionally for
+   short-RTT flows instead of being RTT-blind. *)
+let small_rtt ?(ref_rtt = Sim.Time.ms 25) () =
+  let base = reno () in
+  let on_ack ~newly_acked ~cwnd ~mss ~srtt ~min_rtt ~now =
+    match srtt with
+    | Some rtt when Sim.Time.(rtt < ref_rtt) ->
+        let m = float_of_int mss in
+        let scale = Sim.Time.to_sec rtt /. Sim.Time.to_sec ref_rtt in
+        cwnd +. (scale *. m *. m /. cwnd)
+    | _ -> base.on_ack ~newly_acked ~cwnd ~mss ~srtt ~min_rtt ~now
+  in
+  {
+    name = "small-rtt";
+    on_ack;
+    on_loss = base.on_loss;
+    on_rto = base.on_rto;
+    reset = (fun () -> ());
+  }
+
 (* FAST-style delay-based control (Wei/Low FAST TCP): once per RTT the
    window moves toward the fixed point of
      w ← (1−γ)·w + γ·(base_rtt/avg_rtt · w + α)

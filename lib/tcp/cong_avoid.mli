@@ -35,6 +35,14 @@ val relentless : unit -> t
     sits at W* ≈ 1/p segments (throughput ≈ MSS/(p·RTT)) — the
     analytical model the oracle tests check. RTO reaction is Reno's. *)
 
+val small_rtt : ?ref_rtt:Sim.Time.t -> unit -> t
+(** Small-RTT cwnd scaling (Briscoe & De Schepper, arXiv 1904.07598):
+    Reno, but below [ref_rtt] (default 25 ms) the additive increase is
+    scaled by [srtt/ref_rtt], so rate acceleration is RTT-independent
+    and short-RTT flows stop starving long-RTT competitors at a shared
+    bottleneck. Identical to Reno at or above [ref_rtt]; decrease rules
+    are Reno's. *)
+
 val fast : ?alpha_seg:float -> ?gamma:float -> unit -> t
 (** FAST-style delay-based avoidance (Wei & Low): once per RTT,
     [w ← (1−γ)·w + γ·(base_rtt/avg_rtt·w + α)] with [avg_rtt] a

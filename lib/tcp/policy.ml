@@ -68,6 +68,12 @@ let builtin =
          g(baseRTT/avgRTT*w + alpha)"
       (fun _ -> Slow_start.standard ())
       Cong_avoid.fast;
+    bundle ~name:"small-rtt"
+      ~doc:
+        "small-RTT cwnd scaling (arXiv 1904.07598): additive increase \
+         scaled by srtt/25ms below the reference RTT"
+      (fun _ -> Slow_start.standard ())
+      (fun () -> Cong_avoid.small_rtt ());
   ]
 
 let registry = ref builtin

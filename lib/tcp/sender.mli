@@ -21,6 +21,7 @@ val create :
   dst:int ->
   flow:int ->
   ids:Netsim.Packet.Id_source.source ->
+  ?table:Flow_table.t ->
   ?config:Config.t ->
   ?slow_start:Slow_start.t ->
   ?cong_avoid:Cong_avoid.t ->
@@ -28,7 +29,11 @@ val create :
   unit ->
   t
 (** Builds the endpoint and registers it for [flow] on [host]. The
-    default policies are [Slow_start.standard] and [Cong_avoid.reno]. *)
+    default policies are [Slow_start.standard] and [Cong_avoid.reno].
+    The sender's numeric state (windows, offsets, counters, latches)
+    occupies one row of [table] — pass a shared {!Flow_table} so many
+    senders' state packs into the same flat arrays; by default each
+    sender gets a private single-row table. *)
 
 val start : t -> ?bytes:int -> unit -> unit
 (** Open the connection (SYN) and stream [bytes] of application data
@@ -88,3 +93,9 @@ val set_tracer : t -> Trace.t option -> unit
     tracing costs one pattern match and allocates nothing. *)
 
 val slow_start_name : t -> string
+
+val flow_table : t -> Flow_table.t
+(** The table holding this sender's numeric state… *)
+
+val row : t -> int
+(** …and its row index within it. *)

@@ -1,0 +1,77 @@
+(** Flow-level (per-RTT-round) engine for very large flow counts.
+
+    N AIMD windows coupled through one fluid bottleneck queue — the
+    abstraction of the mean-field RED literature (Reynier) — with
+    per-flow state in a {!Tcp.Flow_table} and round timers on a
+    {!Sim.Timer_wheel}: no per-flow closures or heap objects anywhere,
+    so a million concurrent flows cost ~16 words each and the timer
+    path allocates nothing.
+
+    Each flow's round timer fires once per RTT (base RTT + fluid
+    queueing delay): the round's W bytes face Bernoulli loss with the
+    per-packet probability of the shared RED curve (or the tail-drop
+    overflow fraction), slow start doubles per round, congestion
+    avoidance applies the {!Tcp.Cong_avoid} policy hooks by row index,
+    and finite-size flows retire when their budget drains.
+
+    Deterministic for a fixed seed: arrivals/sizes from the one [rng]
+    stream, per-flow loss draws from row-derived xorshift streams. *)
+
+type t
+
+type params = {
+  flows : int;  (** total flows to create *)
+  arrival_rate : float option;
+      (** flows/s (Poisson unless [arrival_pareto_shape]); [None] = all
+          present at time zero *)
+  arrival_pareto_shape : float option;
+      (** heavy-tailed inter-arrival gaps with the same mean *)
+  mean_size : int option;
+      (** Pareto-distributed flow size in bytes; [None] = persistent *)
+  size_pareto_shape : float;
+  mss : int;
+  init_cwnd_segments : int;
+  capacity_bytes_per_sec : float;  (** bottleneck capacity *)
+  base_rtt : Sim.Time.t;  (** two-way propagation delay *)
+  buffer_packets : int;  (** fluid backlog clamp *)
+  red : Netsim.Queue_disc.red_params option;
+      (** RED curve over the line-rate queue EWMA; [None] = tail drop *)
+}
+
+val default_params : params
+(** 1000 persistent flows on the paper path (100 Mbit/s, 60 ms RTT,
+    250-packet buffer, tail drop). *)
+
+val start :
+  sched:Sim.Scheduler.t ->
+  rng:Sim.Rng.t ->
+  seed:int ->
+  ?cong_avoid:Tcp.Cong_avoid.t ->
+  params ->
+  t
+(** Creates the flow table and timer wheel, attaches the wheel to
+    [sched] (raises if one is already attached), and launches or
+    schedules the flows. [seed] roots the per-flow loss streams; [rng]
+    drives arrivals and sizes only. The [cong_avoid] bundle (default
+    Reno) is shared by all flows — use stateless bundles. *)
+
+val stop : t -> unit
+(** Stop creating flows; running flows keep cycling. *)
+
+(** {2 Observation} — queue readings integrate the fluid model up to
+    the current scheduler time first. *)
+
+val queue_packets : t -> float
+val avg_queue_packets : t -> float
+(** RED's EWMA of the queue (equals {!queue_packets} under tail drop). *)
+
+val sum_cwnd_bytes : t -> float
+val mean_cwnd_segments : t -> float
+val active : t -> int
+val created : t -> int
+val completed : t -> int
+val delivered_bytes : t -> float
+val loss_events : t -> int
+val goodput_mbps : t -> duration:Sim.Time.t -> float
+val table : t -> Tcp.Flow_table.t
+val wheel : t -> Sim.Timer_wheel.t

@@ -1,0 +1,153 @@
+(* Tests for the flow-level many-flows engine and its Spec integration:
+   bit-level determinism (same seed twice, and independence from the
+   worker count), budgeted-flow retirement, and capacity conservation
+   under overload. *)
+
+module Mf = Workload.Many_flows
+
+let run_engine ?(flows = 200) ?(duration = 5.) ?mean_size ?arrival_rate
+    ?(red = None) ~seed () =
+  let sched = Sim.Scheduler.create ~seed () in
+  let t =
+    Mf.start ~sched ~rng:(Sim.Scheduler.derive_rng sched) ~seed
+      {
+        Mf.default_params with
+        flows;
+        arrival_rate;
+        mean_size;
+        red;
+        capacity_bytes_per_sec = 10e6 /. 8.;
+        base_rtt = Sim.Time.ms 40;
+        buffer_packets = 60;
+      }
+  in
+  Sim.Scheduler.run ~until:(Sim.Time.of_sec duration) sched;
+  t
+
+let fingerprint t =
+  ( Mf.delivered_bytes t,
+    Mf.loss_events t,
+    Mf.queue_packets t,
+    Mf.sum_cwnd_bytes t,
+    Mf.created t,
+    Mf.completed t )
+
+let test_engine_determinism () =
+  let a = fingerprint (run_engine ~seed:7 ()) in
+  let b = fingerprint (run_engine ~seed:7 ()) in
+  Alcotest.(check bool) "same seed, identical counters" true (a = b);
+  let c = fingerprint (run_engine ~seed:8 ()) in
+  Alcotest.(check bool) "different seed diverges" true (a <> c)
+
+let test_budgeted_flows_complete () =
+  let t =
+    run_engine ~flows:50 ~duration:30. ~mean_size:30_000 ~arrival_rate:25.
+      ~seed:3 ()
+  in
+  Alcotest.(check int) "all flows created" 50 (Mf.created t);
+  Alcotest.(check int) "all budgets drained" 50 (Mf.completed t);
+  Alcotest.(check int) "none left running" 0 (Mf.active t);
+  Alcotest.(check bool)
+    "delivered at least the minimum sizes" true
+    (Mf.delivered_bytes t >= 50. *. 1500.)
+
+let test_goodput_bounded_by_capacity () =
+  (* Heavy overload with RED: aggregate goodput must not exceed the
+     fluid bottleneck's line rate. *)
+  let red =
+    Some
+      { Netsim.Queue_disc.min_th = 15.; max_th = 45.; max_p = 0.1; weight = 0.002 }
+  in
+  let t = run_engine ~flows:5_000 ~duration:8. ~red ~seed:11 () in
+  let g = Mf.goodput_mbps t ~duration:(Sim.Time.of_sec 8.) in
+  Alcotest.(check bool)
+    (Printf.sprintf "goodput %.1f <= 10 Mbit/s capacity" g)
+    true
+    (g <= 10.0 +. 1e-6);
+  Alcotest.(check bool) "and the link is busy" true (g > 5.)
+
+let mf_spec ~jobs:_ ~seed =
+  {
+    Core.Spec.default with
+    name = "mf-jobs";
+    seed;
+    duration = Sim.Time.of_sec 6.;
+    sample_period = Sim.Time.ms 250;
+    topology =
+      Core.Spec.Duplex
+        {
+          Core.Spec.default_duplex with
+          rate = Sim.Units.mbps 20.;
+          one_way_delay = Sim.Time.ms 20;
+          ifq_capacity = 80;
+        };
+    flows =
+      [
+        {
+          Core.Spec.default_flow with
+          workload =
+            Core.Spec.Many_flows
+              {
+                flows = 300;
+                arrival_rate = Some 100.;
+                arrival_pareto_shape = None;
+                mean_size = Some 200_000;
+                size_pareto_shape = 1.3;
+              };
+        };
+      ];
+  }
+
+let outcome_fingerprint (o : Core.Spec.outcome) =
+  let r = List.hd o.results in
+  ( r.goodput_mbps,
+    r.congestion_signals,
+    r.final_cwnd_segments,
+    r.mean_ifq,
+    r.peak_ifq,
+    Array.to_list (Sim.Stats.Series.values r.cwnd_series),
+    Array.to_list (Sim.Stats.Series.values r.ifq_series),
+    o.path.queue_mean )
+
+let test_jobs_independent () =
+  (* The same batch through 1 worker and through 2 domains must be
+     byte-identical: per-flow seeds derive from the spec, not from
+     execution interleaving. *)
+  let specs = [ mf_spec ~jobs:1 ~seed:5; mf_spec ~jobs:1 ~seed:6 ] in
+  let seq =
+    Engine.Pool.with_pool ~jobs:1 (fun pool -> Core.Spec.run_batch ~pool specs)
+  in
+  let par =
+    Engine.Pool.with_pool ~jobs:2 (fun pool -> Core.Spec.run_batch ~pool specs)
+  in
+  List.iter2
+    (fun a b ->
+      Alcotest.(check bool)
+        "outcome independent of worker count" true
+        (outcome_fingerprint a = outcome_fingerprint b))
+    seq par;
+  Alcotest.(check bool)
+    "seeds still matter" true
+    (outcome_fingerprint (List.nth seq 0) <> outcome_fingerprint (List.nth seq 1))
+
+let test_spec_rejects_two_many_flows () =
+  let f = (mf_spec ~jobs:1 ~seed:1).flows |> List.hd in
+  let bad = { (mf_spec ~jobs:1 ~seed:1) with flows = [ f; f ] } in
+  Alcotest.check_raises "two many_flows flows rejected"
+    (Invalid_argument "Spec.build: at most one many_flows flow per spec")
+    (fun () ->
+      ignore (Core.Spec.build bad))
+
+let suite =
+  [
+    Alcotest.test_case "engine is deterministic per seed" `Quick
+      test_engine_determinism;
+    Alcotest.test_case "budgeted flows retire" `Quick
+      test_budgeted_flows_complete;
+    Alcotest.test_case "goodput bounded by capacity under overload" `Quick
+      test_goodput_bounded_by_capacity;
+    Alcotest.test_case "outcome independent of --jobs" `Quick
+      test_jobs_independent;
+    Alcotest.test_case "at most one many_flows per spec" `Quick
+      test_spec_rejects_two_many_flows;
+  ]

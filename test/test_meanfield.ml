@@ -1,0 +1,87 @@
+(* Tests for the mean-field TCP/RED oracle: the equilibrium solver's
+   self-consistency, the stability boundary's monotonicity, and a fast
+   engine sweep scored against the predictions. *)
+
+module M = Core.Meanfield
+
+let path = M.paper_path
+
+let test_equilibrium_consistent () =
+  List.iter
+    (fun n ->
+      let e = M.equilibrium path ~flows:n in
+      (* Reno's loss balance: p = 2 / (w (w + 2)). *)
+      let demand = 2. /. (e.w_star *. (e.w_star +. 2.)) in
+      let supply =
+        Netsim.Queue_disc.red_drop_probability path.red ~avg:e.q_star
+      in
+      (* Both sides must meet at q* (unless the solver pinned the queue
+         at its upper bound because even a full queue cannot drop
+         enough — then demand exceeds supply). *)
+      let bound = Stdlib.min (float_of_int path.buffer_packets) (2. *. path.red.max_th) in
+      if e.q_star < bound -. 1e-6 then
+        Alcotest.(check bool)
+          (Printf.sprintf "N=%d: RED curve meets Reno demand (%.3g vs %.3g)" n
+             supply demand)
+          true
+          (Float.abs (supply -. demand) <= 1e-6 +. (0.01 *. demand));
+      (* Full utilization: N·w* = C·rtt*. *)
+      let pipe =
+        path.capacity *. e.rtt_star /. float_of_int (path.mss * n)
+      in
+      Alcotest.(check (float 1e-6))
+        (Printf.sprintf "N=%d: window fills the pipe" n)
+        pipe e.w_star;
+      Alcotest.(check bool) "queue within bounds" true
+        (e.q_star >= 0. && e.q_star <= bound +. 1e-9))
+    [ 4; 64; 475; 2048 ]
+
+let test_boundary_monotone () =
+  let nc = M.critical_flows path in
+  Alcotest.(check bool)
+    (Printf.sprintf "critical count %d is positive" nc)
+    true (nc > 1);
+  (* Stable at and above the boundary, oscillatory well below it. *)
+  Alcotest.(check bool) "stable at the boundary" true
+    (M.predict path ~flows:nc = M.Stable);
+  Alcotest.(check bool) "stable at 4x" true
+    (M.predict path ~flows:(4 * nc) = M.Stable);
+  Alcotest.(check bool) "oscillatory just below" true
+    (M.predict path ~flows:(nc - 1) = M.Oscillatory);
+  Alcotest.(check bool) "oscillatory at 1/4x" true
+    (M.predict path ~flows:(Stdlib.max 1 (nc / 4)) = M.Oscillatory);
+  (* Margin crosses 1 exactly at the verdict flip. *)
+  Alcotest.(check bool) "margin >= 1 when stable" true
+    (M.gain_margin path ~flows:nc >= 1.);
+  Alcotest.(check bool) "margin < 1 when oscillatory" true
+    (M.gain_margin path ~flows:(nc - 1) < 1.)
+
+let test_fast_sweep_agrees () =
+  (* The CI-sized sweep: short runs at N far from the boundary on both
+     sides must match the oracle's verdicts. *)
+  let nc = M.critical_flows path in
+  let flows = [ Stdlib.max 1 (nc / 8); Stdlib.max 1 (nc / 4); 2 * nc; 4 * nc ] in
+  let s = M.sweep ~duration:(Sim.Time.of_sec 8.) ~flows path ~seed:1 in
+  Alcotest.(check int) "all points out of band" (List.length flows)
+    s.out_of_band;
+  Alcotest.(check int)
+    (Printf.sprintf "all %d out-of-band points agree" s.out_of_band)
+    s.out_of_band s.agreed;
+  List.iter
+    (fun (p : M.sweep_point) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "N=%d verdict matches (amp %.3f)" p.sp_flows
+           p.sp_amplitude)
+        true
+        (p.sp_predicted = p.sp_measured))
+    s.points
+
+let suite =
+  [
+    Alcotest.test_case "equilibrium is self-consistent" `Quick
+      test_equilibrium_consistent;
+    Alcotest.test_case "stability boundary is monotone in N" `Quick
+      test_boundary_monotone;
+    Alcotest.test_case "fast sweep matches the oracle" `Slow
+      test_fast_sweep_agrees;
+  ]

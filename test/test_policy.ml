@@ -19,7 +19,7 @@ let contains hay needle =
 let builtin_names =
   [
     "standard"; "restricted"; "restricted-adaptive"; "hystart-cubic";
-    "ssthreshless"; "relentless"; "fast";
+    "ssthreshless"; "relentless"; "fast"; "small-rtt";
   ]
 
 let test_registry_names () =
@@ -126,6 +126,37 @@ let test_register_and_duplicate () =
   with
   | () -> Alcotest.fail "duplicate registration accepted"
   | exception Invalid_argument _ -> ()
+
+let test_small_rtt_scaling () =
+  (* The registered bundle resolves, and its avoidance rule scales the
+     additive increase linearly with srtt below the 25 ms reference
+     while matching Reno at and above it. *)
+  (match Tcp.Policy.by_name "small-rtt" with
+  | Ok p ->
+      Alcotest.(check string) "bundle resolves" "small-rtt"
+        p.Tcp.Policy.cong_avoid.Tcp.Cong_avoid.name
+  | Error e -> Alcotest.fail e);
+  let mss = 1460 in
+  let m = float_of_int mss in
+  let cwnd = 20. *. m in
+  let cc = Tcp.Cong_avoid.small_rtt () in
+  let step srtt =
+    cc.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd ~mss ~srtt:(Some srtt)
+      ~min_rtt:(Some srtt) ~now:Sim.Time.zero
+    -. cwnd
+  in
+  let reno_step = m *. m /. cwnd in
+  Alcotest.(check (float 1e-9)) "at the reference RTT: Reno" reno_step
+    (step (ms 25));
+  Alcotest.(check (float 1e-9)) "above the reference RTT: Reno" reno_step
+    (step (ms 100));
+  Alcotest.(check (float 1e-9)) "at srtt = ref/5 the step is a fifth"
+    (reno_step /. 5.) (step (ms 5));
+  Alcotest.(check (float 1e-9))
+    "no estimate yet: falls back to Reno" reno_step
+    (cc.Tcp.Cong_avoid.on_ack ~newly_acked:mss ~cwnd ~mss ~srtt:None
+       ~min_rtt:None ~now:Sim.Time.zero
+    -. cwnd)
 
 (* --- spec integration -------------------------------------------------- *)
 
@@ -349,6 +380,8 @@ let suite =
       test_restricted_config_threads;
     Alcotest.test_case "register appends, rejects duplicates" `Quick
       test_register_and_duplicate;
+    Alcotest.test_case "small-rtt scales the additive increase" `Quick
+      test_small_rtt_scaling;
     Alcotest.test_case "spec rejects unknown policy" `Quick
       test_spec_rejects_unknown_policy;
     Alcotest.test_case "spec rejects policy + shared_rss" `Quick

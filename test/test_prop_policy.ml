@@ -162,7 +162,8 @@ let loss_free_monotone =
 
 (* End-to-end: on a random lossy duplex path the sender must keep its
    un-SACKed flight inside the receiver's advertised window and leave
-   the connection at or above the two-segment floor. *)
+   the connection at or above the one-segment loss window (an RTO near
+   the end of the run legitimately collapses cwnd to one MSS). *)
 let flight_within_rcv_wnd =
   Test.make ~name:"flight stays within the advertised window" ~count:20
     ~print:Print.(triple string int (pair int int))
@@ -194,7 +195,7 @@ let flight_within_rcv_wnd =
              if Tcp.Sender.flight sender > rcv_wnd then ok := false));
       Sim.Scheduler.run ~until:(Sim.Time.sec 3) sched;
       !ok
-      && Tcp.Sender.cwnd sender >= 2. *. mss_f
+      && Tcp.Sender.cwnd sender >= mss_f
       && Tcp.Sender.bytes_acked sender > 0)
 
 let suite =
