@@ -1,0 +1,23 @@
+module Mf = Workload.Many_flows
+let () =
+  let sched = Sim.Scheduler.create ~seed:7 () in
+  let rng = Sim.Rng.of_seed 7 in
+  let params =
+    { Mf.default_params with
+      Mf.flows = 2000;
+      arrival_rate = Some 2000.;
+      mean_size = Some 50_000;
+      capacity_bytes_per_sec = 100e6 /. 8. }
+  in
+  let t = Mf.start ~sched ~rng ~seed:7 params in
+  Sim.Scheduler.run ~until:(Sim.Time.sec 20) sched;
+  (* recompute the true sum of live cwnds from the table *)
+  let tbl = Mf.table t in
+  let truth = ref 0. in
+  for i = 0 to Tcp.Flow_table.capacity tbl - 1 do
+    if Tcp.Flow_table.is_live tbl i then
+      truth := !truth +. Tcp.Flow_table.cwnd tbl i
+  done;
+  Printf.printf "active=%d completed=%d tracked_sum_cwnd=%.1f true_sum_cwnd=%.1f drift=%.1f\n"
+    (Mf.active t) (Mf.completed t) (Mf.sum_cwnd_bytes t) !truth
+    (Mf.sum_cwnd_bytes t -. !truth)
