@@ -715,6 +715,70 @@ let core_metric_many_flows () =
       Sim.Scheduler.run ~until:(Sim.Time.sec 2) sched;
       ignore (Workload.Many_flows.delivered_bytes t))
 
+(* The checkpoint codec under the serve daemon: serialize a 1M-row flow
+   table plus a fully loaded timer wheel into a Snapshot image and
+   restore both into fresh structures, all in memory so the gate sees
+   the codec cost, not the filesystem. Per-row allocation is gated: the
+   columns must travel as whole-array section copies, not element by
+   element — the checkpoint stall this bounds is what lets a live 1M-flow
+   run snapshot on an interval without falling behind. *)
+let core_metric_snapshot_roundtrip () =
+  let n = 1_000_000 in
+  let fill () =
+    let t = Tcp.Flow_table.create ~initial_capacity:n () in
+    for i = 0 to n - 1 do
+      let r = Tcp.Flow_table.alloc t in
+      Tcp.Flow_table.set_cwnd t r (float_of_int (1 + (i mod 97)));
+      Tcp.Flow_table.set_una t r (i * 1448);
+      Tcp.Flow_table.set_timer t r i;
+      Tcp.Flow_table.seed_rng t r (i + 1)
+    done;
+    t
+  in
+  let table = fill () in
+  let wheel =
+    Sim.Timer_wheel.create ~initial_capacity:n
+      ~on_fire:(fun ~kind:_ ~flow:_ -> ())
+      ()
+  in
+  let tick = Sim.Timer_wheel.tick_ns wheel in
+  for i = 0 to n - 1 do
+    ignore (Sim.Timer_wheel.arm wheel ~due_ns:(churn_due i * tick) ~kind:0 ~flow:i)
+  done;
+  let save_wheel w wr =
+    let pending = Sim.Timer_wheel.pending w in
+    let due = Array.make pending 0 and flows = Array.make pending 0 in
+    let i = ref 0 in
+    Sim.Timer_wheel.iter_pending w ~f:(fun ~due_ns ~kind:_ ~flow ->
+        due.(!i) <- due_ns;
+        flows.(!i) <- flow;
+        incr i);
+    Sim.Snapshot.put_int_array wr "wheel.due_ns" due;
+    Sim.Snapshot.put_int_array wr "wheel.flow" flows
+  in
+  let fresh_table = Tcp.Flow_table.create ~initial_capacity:n () in
+  time_and_alloc (fun () ->
+      let wr = Sim.Snapshot.writer () in
+      Tcp.Flow_table.save table ~prefix:"ft." wr;
+      save_wheel wheel wr;
+      let image = Sim.Snapshot.to_string wr in
+      let rd = Sim.Snapshot.of_string image in
+      Tcp.Flow_table.restore fresh_table ~prefix:"ft." rd;
+      let due = Sim.Snapshot.get_int_array rd "wheel.due_ns" in
+      let flows = Sim.Snapshot.get_int_array rd "wheel.flow" in
+      let w2 =
+        Sim.Timer_wheel.create ~initial_capacity:n
+          ~on_fire:(fun ~kind:_ ~flow:_ -> ())
+          ()
+      in
+      Array.iteri
+        (fun i due_ns ->
+          ignore (Sim.Timer_wheel.arm w2 ~due_ns ~kind:0 ~flow:flows.(i)))
+        due;
+      assert (Sim.Timer_wheel.pending w2 = n);
+      assert (Tcp.Flow_table.in_use fresh_table = n);
+      n)
+
 let write_core_json path =
   let metric name (ns, words, ops) =
     Report.Json.Obj
@@ -770,6 +834,8 @@ let write_core_json path =
                 (core_metric_e2e (fun () ->
                      ignore (Core.Experiments.Variants.run ~duration ())));
               e2e "many_flows/churn" (core_metric_many_flows ());
+              metric "snapshot/save-restore-1M"
+                (core_metric_snapshot_roundtrip ());
             ] );
       ]
   in

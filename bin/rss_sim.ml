@@ -65,21 +65,18 @@ let print_result (r : Core.Run.result) =
 
 (* --- run --spec --------------------------------------------------------- *)
 
-let rec ensure_dir dir =
-  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir)
-  then begin
-    ensure_dir (Filename.dirname dir);
-    try Unix.mkdir dir 0o755
-    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
-  end
+let ensure_dir = Serve.Artifacts.ensure_dir
+let sanitize = Serve.Artifacts.sanitize
 
-let sanitize label =
-  String.map
-    (fun c ->
-      match c with
-      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
-      | _ -> '-')
-    label
+(* Per-cell failure table: a poisoned cell must cost its row, not the
+   batch — print every failure, then exit non-zero. *)
+let print_failure_table failures =
+  Printf.eprintf "%d cell(s) failed:\n" (List.length failures);
+  List.iter
+    (fun (f : Engine.Pool.failure) ->
+      Printf.eprintf "  %-44s %s\n" f.Engine.Pool.flabel
+        (Printexc.to_string f.Engine.Pool.fexn))
+    failures
 
 let print_path_stats (p : Core.Spec.path_stats) =
   Printf.printf
@@ -111,52 +108,63 @@ let load_spec path =
       | Ok spec -> spec)
 
 let run_spec ~jobs spec =
-  try
+  let verdicts =
     if jobs > 1 then
       Engine.Pool.with_pool ~jobs (fun pool ->
-          match Core.Spec.run_batch ~pool [ spec ] with
-          | [ o ] -> o
-          | _ -> assert false)
-    else Core.Spec.run spec
-  with Invalid_argument e ->
-    prerr_endline e;
-    exit 2
+          Core.Spec.run_batch_collect ~pool [ spec ])
+    else Core.Spec.run_batch_collect [ spec ]
+  in
+  match verdicts with
+  | [ Ok outcome ] -> outcome
+  | [ Error { Engine.Pool.fexn = Invalid_argument e; _ } ] ->
+      (* a malformed spec is a usage error, not a poisoned cell *)
+      prerr_endline e;
+      exit 2
+  | [ Error failure ] ->
+      print_failure_table [ failure ];
+      exit 1
+  | _ -> assert false
 
-let run_spec_file ~path ~jobs ~out_dir =
+let run_spec_file ~path ~jobs ~out_dir ~checkpoint ~checkpoint_every
+    ~resume =
   let spec = load_spec path in
-  let outcome = run_spec ~jobs spec in
+  let outcome =
+    match (checkpoint, resume) with
+    | None, None -> run_spec ~jobs spec
+    | _ -> (
+        let ck =
+          Option.map
+            (fun snapshot_path ->
+              {
+                Core.Spec.snapshot_path;
+                interval = Sim.Time.of_sec checkpoint_every;
+                should_stop = (fun () -> false);
+              })
+            checkpoint
+        in
+        try Core.Spec.run ?checkpoint:ck ?resume_from:resume spec
+        with
+        | Invalid_argument e ->
+            prerr_endline e;
+            exit 2
+        | e ->
+            print_failure_table
+              [
+                {
+                  Engine.Pool.flabel = spec.Core.Spec.name;
+                  fexn = e;
+                  fbacktrace = Printexc.get_backtrace ();
+                };
+              ];
+            exit 1)
+  in
   List.iter print_result outcome.Core.Spec.results;
   print_path_stats outcome.Core.Spec.path;
   match out_dir with
   | None -> ()
   | Some dir ->
-      ensure_dir dir;
-      let base = sanitize spec.Core.Spec.name in
-      let json_path = Filename.concat dir (base ^ "_outcome.json") in
-      let oc = open_out json_path in
-      output_string oc (Report.Json.to_string (Core.Spec.outcome_to_json outcome));
-      close_out oc;
-      Printf.printf "wrote %s\n" json_path;
-      if spec.Core.Spec.record_series then
-        List.iter
-          (fun (r : Core.Run.result) ->
-            List.iter
-              (fun (tag, series) ->
-                let path =
-                  Filename.concat dir
-                    (Printf.sprintf "%s_%s_%s.csv" base
-                       (sanitize r.Core.Run.label) tag)
-                in
-                Report.Csv.write_series ~path ~name:tag series;
-                Printf.printf "wrote %s\n" path)
-              [
-                ("cwnd", r.Core.Run.cwnd_series);
-                ("stalls", r.Core.Run.stalls_series);
-                ("ifq", r.Core.Run.ifq_series);
-                ("throughput", r.Core.Run.throughput_series);
-                ("srtt", r.Core.Run.srtt_series);
-              ])
-          outcome.Core.Spec.results
+      let paths = Serve.Artifacts.write_outcome ~dir spec outcome in
+      List.iter (Printf.printf "wrote %s\n") paths
 
 (* --- run ---------------------------------------------------------------- *)
 
@@ -211,12 +219,42 @@ let run_cmd =
     in
     Arg.(value & opt (some string) None & info [ "out" ] ~docv:"DIR" ~doc)
   in
+  let checkpoint =
+    let doc =
+      "With --spec: snapshot the run to FILE every --checkpoint-every \
+       simulated seconds (atomic write; the previous good image is kept \
+       as FILE.prev). Requires a snapshot-supported spec: one \
+       many_flows flow starting at t=0, no faults, no trace."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+  in
+  let checkpoint_every =
+    let doc = "Simulated seconds between checkpoints." in
+    Arg.(
+      value & opt float 1.
+      & info [ "checkpoint-every" ] ~docv:"SECONDS" ~doc)
+  in
+  let resume =
+    let doc =
+      "With --spec: resume from a snapshot FILE written by --checkpoint \
+       for the $(i,same) spec. The completed run's artifacts are \
+       byte-identical to an unbroken run."
+    in
+    Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
+  in
   let action slow_start local_congestion bytes csv_prefix pacing cc
-      chart spec_file jobs out_dir rate_mbps rtt_ms ifq duration_s seed
-      loss =
+      chart spec_file jobs out_dir checkpoint checkpoint_every resume
+      rate_mbps rtt_ms ifq duration_s seed loss =
     match spec_file with
-    | Some path -> run_spec_file ~path ~jobs ~out_dir
+    | Some path ->
+        run_spec_file ~path ~jobs ~out_dir ~checkpoint ~checkpoint_every
+          ~resume
     | None ->
+    if checkpoint <> None || resume <> None then begin
+      prerr_endline "--checkpoint/--resume require --spec";
+      exit 2
+    end;
     let cong_avoid =
       match cc with
       | "reno" -> Core.Run.Reno
@@ -279,8 +317,9 @@ let run_cmd =
   let term =
     Term.(
       const action $ slow_start $ local_congestion $ bytes $ csv_prefix
-      $ pacing $ cc $ chart $ spec_file $ jobs $ out_dir $ rate_mbps
-      $ rtt_ms $ ifq $ duration_s $ seed $ loss)
+      $ pacing $ cc $ chart $ spec_file $ jobs $ out_dir $ checkpoint
+      $ checkpoint_every $ resume $ rate_mbps $ rtt_ms $ ifq $ duration_s
+      $ seed $ loss)
   in
   Cmd.v
     (Cmd.info "run"
@@ -342,18 +381,19 @@ let compare_cmd =
   in
   let run_matrix ~jobs ~policies ~scenarios ~out_dir ~duration_s ~seed =
     let duration = Sim.Time.of_sec duration_s in
-    let table =
+    let table, failures =
       try
         if jobs > 1 then
           Engine.Pool.with_pool ~jobs (fun pool ->
-              Core.Arena.run ~pool ?policies ?scenarios ~duration ~seed ())
-        else Core.Arena.run ?policies ?scenarios ~duration ~seed ()
+              Core.Arena.run_collect ~pool ?policies ?scenarios ~duration
+                ~seed ())
+        else Core.Arena.run_collect ?policies ?scenarios ~duration ~seed ()
       with Invalid_argument e ->
         prerr_endline e;
         exit 2
     in
     print_string (Core.Arena.render table);
-    match out_dir with
+    (match out_dir with
     | None -> ()
     | Some dir ->
         ensure_dir dir;
@@ -363,7 +403,11 @@ let compare_cmd =
         let json_path = Filename.concat dir "policy_matrix.json" in
         Report.Csv.write_string ~path:json_path
           (Report.Json.to_string (Core.Arena.to_json table));
-        Printf.printf "wrote %s\n" json_path
+        Printf.printf "wrote %s\n" json_path);
+    if failures <> [] then begin
+      print_failure_table failures;
+      exit 1
+    end
   in
   let action jobs matrix policies scenarios out_dir rate_mbps rtt_ms ifq
       duration_s seed loss =
@@ -376,13 +420,22 @@ let compare_cmd =
           (fun name -> (Some name, { spec with Core.Run.slow_start = name }))
           [ "standard"; "limited"; "hystart"; "restricted" ]
       in
-      let results =
+      let verdicts =
         if jobs > 1 then
           Engine.Pool.with_pool ~jobs (fun pool ->
-              Core.Run.bulk_batch ~pool cells)
-        else Core.Run.bulk_batch cells
+              Core.Run.bulk_batch_collect ~pool cells)
+        else Core.Run.bulk_batch_collect cells
       in
-      List.iter print_result results
+      List.iter (function Ok r -> print_result r | Error _ -> ()) verdicts;
+      let failures =
+        List.filter_map
+          (function Ok _ -> None | Error f -> Some f)
+          verdicts
+      in
+      if failures <> [] then begin
+        print_failure_table failures;
+        exit 1
+      end
     end
   in
   let term =
@@ -486,6 +539,185 @@ let chaos_cmd =
          "Sweep random fault schedules (burst loss, reordering, \
           duplication, outages) through the simulator and check \
           invariants; failures are written as replayable JSON artifacts.")
+    term
+
+(* --- serve --------------------------------------------------------------- *)
+
+let serve_cmd =
+  let spool =
+    let doc = "Directory scanned for Spec-JSON job files (NAME.json)." in
+    Arg.(
+      value
+      & opt string "results/serve/spool"
+      & info [ "spool" ] ~docv:"DIR" ~doc)
+  in
+  let state =
+    let doc =
+      "State directory: the job journal, per-job snapshots, outcome \
+       artifacts and quarantined failures live here. Restarting with \
+       the same --state recovers the queue."
+    in
+    Arg.(
+      value
+      & opt string "results/serve/state"
+      & info [ "state" ] ~docv:"DIR" ~doc)
+  in
+  let jobs =
+    let doc = "Worker domains (1 disables parallelism)." in
+    Arg.(value & opt positive_int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+  in
+  let checkpoint_every =
+    let doc = "Simulated seconds between job checkpoints." in
+    Arg.(
+      value & opt float 1.
+      & info [ "checkpoint-every" ] ~docv:"SECONDS" ~doc)
+  in
+  let max_attempts =
+    let doc =
+      "Attempts before a repeatedly failing job is quarantined."
+    in
+    Arg.(value & opt positive_int 3 & info [ "max-attempts" ] ~docv:"N" ~doc)
+  in
+  let backoff_base =
+    let doc = "Retry backoff base in seconds (attempt n waits base*2^(n-1))." in
+    Arg.(value & opt float 0.05 & info [ "backoff-base" ] ~docv:"SECONDS" ~doc)
+  in
+  let backoff_max =
+    let doc = "Retry backoff ceiling in seconds." in
+    Arg.(value & opt float 2. & info [ "backoff-max" ] ~docv:"SECONDS" ~doc)
+  in
+  let deadline =
+    let doc =
+      "Watchdog: wall seconds a job may run before it is drained to its \
+       snapshot and requeued (snapshot-supported jobs only)."
+    in
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "deadline" ] ~docv:"SECONDS" ~doc)
+  in
+  let poll =
+    let doc = "Spool scan period in seconds." in
+    Arg.(value & opt float 0.2 & info [ "poll" ] ~docv:"SECONDS" ~doc)
+  in
+  let once =
+    let doc =
+      "Drain the current queue (spool + recovered jobs + stdin) and \
+       exit instead of watching the spool forever."
+    in
+    Arg.(value & flag & info [ "once" ] ~doc)
+  in
+  let from_stdin =
+    let doc =
+      "Read one Spec JSON (or a JSON array of specs) from stdin and \
+       submit before the first spool scan."
+    in
+    Arg.(value & flag & info [ "stdin" ] ~doc)
+  in
+  let quiet =
+    let doc = "Suppress per-job progress lines." in
+    Arg.(value & flag & info [ "quiet"; "q" ] ~doc)
+  in
+  let replay_quarantine =
+    let doc =
+      "Re-run the spec embedded in a quarantine artifact once, in \
+       process, and exit (non-zero if it still fails)."
+    in
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay-quarantine" ] ~docv:"FILE" ~doc)
+  in
+  let action spool state jobs checkpoint_every max_attempts backoff_base
+      backoff_max deadline poll once from_stdin quiet replay_quarantine =
+    match replay_quarantine with
+    | Some path -> (
+        match Serve.Supervisor.quarantine_spec ~path with
+        | Error e ->
+            Printf.eprintf "replay failed: %s\n" e;
+            exit 2
+        | Ok spec -> (
+            try
+              let outcome = Core.Spec.run spec in
+              List.iter print_result outcome.Core.Spec.results;
+              print_path_stats outcome.Core.Spec.path;
+              Printf.printf "quarantined job replayed clean\n"
+            with e ->
+              Printf.eprintf "quarantined job still fails: %s\n"
+                (Printexc.to_string e);
+              exit 1))
+    | None ->
+        let specs =
+          if not from_stdin then []
+          else
+            let contents = In_channel.input_all Stdlib.stdin in
+            if String.trim contents = "" then []
+            else
+              match Report.Json.of_string contents with
+              | Error e ->
+                  Printf.eprintf "stdin: %s\n" e;
+                  exit 2
+              | Ok json -> (
+                  let parse j =
+                    match Core.Spec.of_json j with
+                    | Ok spec -> spec
+                    | Error e ->
+                        Printf.eprintf "stdin spec: %s\n" e;
+                        exit 2
+                  in
+                  match json with
+                  | Report.Json.List items -> List.map parse items
+                  | j -> [ parse j ])
+        in
+        let stop = Atomic.make false in
+        let drain _ = Atomic.set stop true in
+        Sys.set_signal Sys.sigterm (Sys.Signal_handle drain);
+        Sys.set_signal Sys.sigint (Sys.Signal_handle drain);
+        let log =
+          if quiet then ignore
+          else fun line ->
+            print_endline line;
+            flush Stdlib.stdout
+        in
+        let config =
+          {
+            Serve.Supervisor.spool;
+            state_dir = state;
+            jobs;
+            checkpoint_every = Sim.Time.of_sec checkpoint_every;
+            max_attempts;
+            backoff_base;
+            backoff_max;
+            deadline;
+            poll_interval = poll;
+            once;
+            log;
+          }
+        in
+        let stats = Serve.Supervisor.run ~stop ~specs config in
+        Printf.printf
+          "serve: %d completed (%d resumed), %d quarantined, %d \
+           retries, %d drains\n"
+          stats.Serve.Supervisor.completed stats.Serve.Supervisor.resumed
+          stats.Serve.Supervisor.quarantined stats.Serve.Supervisor.retries
+          stats.Serve.Supervisor.drains;
+        if stats.Serve.Supervisor.quarantined > 0 then exit 3
+  in
+  let term =
+    Term.(
+      const action $ spool $ state $ jobs $ checkpoint_every
+      $ max_attempts $ backoff_base $ backoff_max $ deadline $ poll
+      $ once $ from_stdin $ quiet $ replay_quarantine)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Supervised job service: run Spec-JSON jobs from a spool \
+          directory (or stdin) with a write-ahead journal, periodic \
+          snapshots, crash recovery, retry with exponential backoff, \
+          and quarantine for poisoned jobs. Kill it at any moment — \
+          SIGKILL included — and a restart with the same --state \
+          resumes where it stopped, byte-identically.")
     term
 
 (* --- trace --------------------------------------------------------------- *)
@@ -787,5 +1019,5 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; compare_cmd; chaos_cmd; trace_cmd; calibrate_cmd;
-            meanfield_cmd; list_cmd; spec_cmd ]))
+          [ run_cmd; compare_cmd; chaos_cmd; serve_cmd; trace_cmd;
+            calibrate_cmd; meanfield_cmd; list_cmd; spec_cmd ]))

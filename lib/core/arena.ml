@@ -223,7 +223,7 @@ let cell_of_outcome ~policy ~scenario (o : Spec.outcome) =
     timeouts = sum (fun r -> r.Spec.timeouts);
   }
 
-let run ?pool ?policies ?scenarios:scenario_filter
+let run_collect ?pool ?policies ?scenarios:scenario_filter
     ?(duration = Sim.Time.sec 15) ?(seed = 1) () =
   let policies =
     match policies with Some ps -> ps | None -> Tcp.Policy.names ()
@@ -237,13 +237,31 @@ let run ?pool ?policies ?scenarios:scenario_filter
           chosen)
       policies
   in
-  let outcomes = Spec.run_batch ?pool (List.map (fun (_, _, s) -> s) cells_in) in
-  let cells =
-    List.map2
-      (fun (policy, scenario, _) o -> cell_of_outcome ~policy ~scenario o)
-      cells_in outcomes
+  let verdicts =
+    Spec.run_batch_collect ?pool (List.map (fun (_, _, s) -> s) cells_in)
   in
-  { policies; scenarios_run = List.map (fun s -> s.sname) chosen; cells }
+  let cells, failures =
+    List.fold_left2
+      (fun (cells, failures) (policy, scenario, _) verdict ->
+        match verdict with
+        | Ok o -> (cell_of_outcome ~policy ~scenario o :: cells, failures)
+        | Error f -> (cells, f :: failures))
+      ([], []) cells_in verdicts
+  in
+  ( {
+      policies;
+      scenarios_run = List.map (fun s -> s.sname) chosen;
+      cells = List.rev cells;
+    },
+    List.rev failures )
+
+let run ?pool ?policies ?scenarios ?duration ?seed () =
+  match run_collect ?pool ?policies ?scenarios ?duration ?seed () with
+  | table, [] -> table
+  | _, { Engine.Pool.flabel; fexn; fbacktrace } :: _ ->
+      raise
+        (Engine.Pool.Task_failed
+           { label = flabel; exn = fexn; backtrace = fbacktrace })
 
 let league t =
   let standings =

@@ -63,7 +63,22 @@ val run :
 (** Run the matrix: defaults are every registered policy, every built-in
     scenario, 15 s, seed 1. Cells run as one [Spec.run_batch] over
     [pool] (sequential when [None]) in policy-major order. Raises
-    [Invalid_argument] on an unknown policy or scenario name. *)
+    [Invalid_argument] on an unknown policy or scenario name and
+    {!Engine.Pool.Task_failed} on the first poisoned cell
+    ({!run_collect} with the first failure re-raised). *)
+
+val run_collect :
+  ?pool:Engine.Pool.t ->
+  ?policies:string list ->
+  ?scenarios:string list ->
+  ?duration:Sim.Time.t ->
+  ?seed:int ->
+  unit ->
+  table * Engine.Pool.failure list
+(** Like {!run} but a poisoned cell costs one entry in the returned
+    failure list (and its hole in [cells]), never the matrix: every
+    healthy cell still reports, and the league is scored over the cells
+    that completed. *)
 
 val league : table -> standing list
 (** Standings sorted by descending score (ties by name). *)

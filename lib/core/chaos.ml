@@ -323,7 +323,29 @@ let run_sweep ?pool cases =
   match pool with
   | None -> List.map run_case_captured cases
   | Some pool ->
-      Engine.Pool.map pool ~label:case_name ~f:run_case_captured cases
+      (* run_case_captured never raises, but collect anyway so an
+         escape (OOM mid-capture, stack overflow) costs one cell and
+         not the sweep. *)
+      Engine.Pool.map_collect pool ~label:case_name ~f:run_case_captured
+        cases
+      |> List.map2
+           (fun case -> function
+             | Ok outcome -> outcome
+             | Error { Engine.Pool.fexn; _ } ->
+                 {
+                   case;
+                   completed = false;
+                   bytes_acked = 0;
+                   timeouts = 0;
+                   retransmits = 0;
+                   violations =
+                     [
+                       Printf.sprintf "exception: %s"
+                         (Printexc.to_string fexn);
+                     ];
+                   trace = "";
+                 })
+           cases
 
 (* --- random schedule generation --------------------------------------- *)
 

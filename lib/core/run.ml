@@ -122,3 +122,21 @@ let bulk_batch ?pool specs =
       Engine.Pool.map pool
         ~label:(fun (label, spec) -> spec_label ?label spec)
         ~f specs
+
+let bulk_batch_collect ?pool specs =
+  let f (label, spec) = bulk ?label spec in
+  let label (label, spec) = spec_label ?label spec in
+  match pool with
+  | None ->
+      List.map
+        (fun cell ->
+          try Ok (f cell)
+          with e ->
+            Error
+              {
+                Engine.Pool.flabel = label cell;
+                fexn = e;
+                fbacktrace = Printexc.get_backtrace ();
+              })
+        specs
+  | Some pool -> Engine.Pool.map_collect pool ~label ~f specs

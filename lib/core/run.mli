@@ -74,3 +74,12 @@ val bulk_batch :
     input order. Every cell builds its own scheduler and RNG, so the
     output is identical for any worker count. A raising cell surfaces
     as {!Engine.Pool.Task_failed} carrying {!spec_label}. *)
+
+val bulk_batch_collect :
+  ?pool:Engine.Pool.t ->
+  (string option * spec) list ->
+  (result, Engine.Pool.failure) Stdlib.result list
+(** Like {!bulk_batch} but collects per-cell verdicts instead of
+    raising: a poisoned cell costs one [Error] row (labeled with
+    {!spec_label}), never the batch. Verdict order and content are
+    identical for any worker count. *)

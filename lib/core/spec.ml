@@ -184,6 +184,9 @@ type outcome = {
   path : path_stats;
   trace : Trace.t option;
   metrics : metrics option;
+  resume_from : string option;
+      (* snapshot this run resumed from; never serialized, so resumed
+         and unbroken runs emit byte-identical artifacts *)
 }
 
 (* --- validation -------------------------------------------------------- *)
@@ -947,15 +950,160 @@ let jain = function
       let s2 = List.fold_left (fun acc x -> acc +. (x *. x)) 0. xs in
       if s2 <= 0. then 1. else s *. s /. (n *. s2)
 
-let execute b =
+(* --- checkpoint / resume ------------------------------------------------ *)
+
+type checkpoint = {
+  snapshot_path : string;
+  interval : Sim.Time.t; (* simulated time between snapshots *)
+  should_stop : unit -> bool; (* polled after each snapshot *)
+}
+
+exception Drained of { at : Sim.Time.t; snapshot : string }
+
+(* Snapshotability is a property of what lives in the event heap: heap
+   events are closures and cannot serialize, so a checkpointable run
+   must keep the heap empty of model state — everything dynamic lives
+   in the many-flows engine (SoA flow table + timer wheel + fluid
+   scalars), and the only heap entries are the re-registerable series
+   samplers. That rules out per-packet senders, delayed flow starts,
+   fault schedules and the trace ring. *)
+let snapshot_support_error t =
+  if t.record_trace then
+    Some "record_trace is on (the event ring is not serializable)"
+  else if
+    t.faults.forward <> Fm.passthrough || t.faults.reverse <> Fm.passthrough
+  then Some "fault profiles schedule unserializable heap events"
+  else
+    match t.flows with
+    | [ { workload = Many_flows _; start_at; _ } ]
+      when Sim.Time.compare start_at Sim.Time.zero = 0 ->
+        None
+    | _ ->
+        Some
+          "only specs whose single flow is a many_flows workload starting \
+           at t=0 keep all run state out of the event heap"
+
+let snapshot_supported t = snapshot_support_error t = None
+
+let check_snapshot_supported t =
+  match snapshot_support_error t with
+  | None -> ()
+  | Some why -> err "Spec: %S cannot checkpoint/resume: %s" t.name why
+
+let the_engine b =
+  match many_flows_engines b with
+  | [ eng ] -> eng
+  | _ -> err "Spec: checkpoint requires exactly one started many_flows engine"
+
+let save_series w name s =
+  Sim.Snapshot.put_int_array w (name ^ ".t")
+    (Array.map Sim.Time.to_ns_int (Sim.Stats.Series.times s));
+  Sim.Snapshot.put_float_array w (name ^ ".v") (Sim.Stats.Series.values s)
+
+let restore_series r name s =
+  let ts = Sim.Snapshot.get_int_array r (name ^ ".t") in
+  let vs = Sim.Snapshot.get_float_array r (name ^ ".v") in
+  if Array.length ts <> Array.length vs then
+    raise (Sim.Snapshot.Corrupt ("Spec: ragged series " ^ name));
+  Array.iteri
+    (fun i t -> Sim.Stats.Series.add s (Sim.Time.of_ns_int t) vs.(i))
+    ts
+
+let instrument_sections i inst =
+  let p name = Printf.sprintf "inst.%d.%s" i name in
+  [
+    (p "stalls", inst.stalls_s);
+    (p "cwnd", inst.cwnd_s);
+    (p "ifq", inst.ifq_s);
+    (p "throughput", inst.throughput_s);
+    (p "srtt", inst.srtt_s);
+  ]
+
+(* The snapshot embeds the canonical spec JSON so a resume against the
+   wrong spec fails loudly instead of continuing a different scenario,
+   and copies raw engine state without integrating the fluid queue to
+   the snapshot time — polling here would split one integration
+   interval in two and diverge from an unbroken run. *)
+let save_checkpoint ~identity b instruments ~path =
+  let w = Sim.Snapshot.writer () in
+  Sim.Snapshot.put_bytes w "spec.identity" identity;
+  Sim.Snapshot.put_int w "spec.clock_ns"
+    (Sim.Time.to_ns_int (Sim.Scheduler.now b.bsched));
+  Sim.Snapshot.put_i64 w "spec.sched_rng"
+    (Sim.Rng.state (Sim.Scheduler.rng b.bsched));
+  Workload.Many_flows.save (the_engine b) w;
+  List.iteri
+    (fun i inst ->
+      Sim.Snapshot.put_int w
+        (Printf.sprintf "inst.%d.last_bytes" i)
+        inst.last_bytes;
+      List.iter
+        (fun (name, s) -> save_series w name s)
+        (instrument_sections i inst))
+    instruments;
+  Sim.Snapshot.save w ~path
+
+(* Restore into a freshly-built spec, before samplers are registered.
+   Build-time state (initial wheel arms, RNG draws, free-list order) is
+   fully overwritten, so the restored image — not construction history —
+   determines every subsequent transition. *)
+let restore_checkpoint ~identity b instruments ~path =
+  check_snapshot_supported b.bspec;
+  let r = Sim.Snapshot.load ~path in
+  let stored = Sim.Snapshot.get_bytes r "spec.identity" in
+  if stored <> identity then
+    err "Spec: snapshot %s was taken from a different spec" path;
+  Sim.Scheduler.restore_clock b.bsched
+    (Sim.Time.of_ns_int (Sim.Snapshot.get_int r "spec.clock_ns"));
+  Sim.Rng.set_state
+    (Sim.Scheduler.rng b.bsched)
+    (Sim.Snapshot.get_i64 r "spec.sched_rng");
+  Workload.Many_flows.restore (the_engine b) r;
+  List.iteri
+    (fun i inst ->
+      inst.last_bytes <-
+        Sim.Snapshot.get_int r (Printf.sprintf "inst.%d.last_bytes" i);
+      List.iter
+        (fun (name, s) -> restore_series r name s)
+        (instrument_sections i inst))
+    instruments
+
+let execute_core ?checkpoint ~resume ~identity b =
+  (match checkpoint with
+  | Some ck when Sim.Time.(ck.interval <= Sim.Time.zero) ->
+      err "Spec: checkpoint interval must be positive"
+  | Some _ -> check_snapshot_supported b.bspec
+  | None -> ());
   let instruments = List.map empty_instrument b.bflows in
+  let resumed =
+    match resume with
+    | None -> None
+    | Some path ->
+        restore_checkpoint ~identity b instruments ~path;
+        Some path
+  in
   if b.bspec.record_series then
     List.iter
       (fun inst ->
-        if tcp_series_workload inst.ibf.fspec.workload then
+        if tcp_series_workload inst.ibf.fspec.workload then begin
+          (* On resume the sampler restarts at the first multiple of
+             the period strictly after the restored clock: occurrences
+             at or before the checkpoint already fired (and sit in the
+             restored series), and [run ~until] is boundary-inclusive. *)
+          let start =
+            match resumed with
+            | None -> None
+            | Some _ ->
+                let now_ns =
+                  Sim.Time.to_ns_int (Sim.Scheduler.now b.bsched)
+                in
+                let per = Sim.Time.to_ns_int b.bspec.sample_period in
+                Some (Sim.Time.of_ns_int (((now_ns / per) + 1) * per))
+          in
           ignore
-            (Sim.Scheduler.every b.bsched b.bspec.sample_period (fun () ->
-                 sample_instrument b inst)))
+            (Sim.Scheduler.every b.bsched ?start b.bspec.sample_period
+               (fun () -> sample_instrument b inst))
+        end)
       instruments;
   (* The metrics sampler is registered after the legacy per-flow
      instruments so that runs without [record_trace] perform the exact
@@ -970,7 +1118,26 @@ let execute b =
         (Sim.Scheduler.every b.bsched b.bspec.sample_period (fun () ->
              let now = Sim.Time.to_sec (Sim.Scheduler.now b.bsched) in
              metrics_acc := (now, Trace.Registry.sample reg) :: !metrics_acc)));
-  Sim.Scheduler.run ~until:b.bspec.duration b.bsched;
+  (match checkpoint with
+  | None -> Sim.Scheduler.run ~until:b.bspec.duration b.bsched
+  | Some ck ->
+      (* Run in interval-sized slices. [run ~until:t1; run ~until:t2]
+         is equivalent to [run ~until:t2], so slicing (and therefore
+         where checkpoints land) never changes the simulation — only
+         what survives a kill. No snapshot at the final boundary: the
+         run is complete, its outputs are the artifact. *)
+      let duration = b.bspec.duration in
+      let rec slice t0 =
+        let next = Sim.Time.min duration (Sim.Time.add t0 ck.interval) in
+        Sim.Scheduler.run ~until:next b.bsched;
+        if Sim.Time.(next < duration) then begin
+          save_checkpoint ~identity b instruments ~path:ck.snapshot_path;
+          if ck.should_stop () then
+            raise (Drained { at = next; snapshot = ck.snapshot_path })
+          else slice next
+        end
+      in
+      slice (Sim.Scheduler.now b.bsched));
   let results = List.map (collect_flow b) instruments in
   let tcp_goodputs =
     List.filter_map
@@ -1010,14 +1177,8 @@ let execute b =
             samples = List.rev !metrics_acc;
           })
         registry;
+    resume_from = resumed;
   }
-
-let run spec = execute (build spec)
-
-let run_batch ?pool specs =
-  match pool with
-  | None -> List.map run specs
-  | Some pool -> Engine.Pool.map pool ~label:(fun s -> s.name) ~f:run specs
 
 (* --- JSON --------------------------------------------------------------- *)
 
@@ -1213,6 +1374,48 @@ let to_json t =
             ("reverse", profile_to_json t.faults.reverse);
           ] );
     ]
+
+(* The spec identity a snapshot embeds: the canonical JSON rendering,
+   so a resume against a different scenario — or the same scenario with
+   one knob changed — fails loudly. Defined here (after [to_json]); the
+   checkpoint machinery above takes it as a parameter. *)
+let spec_identity t = Json.to_string (to_json t)
+
+let execute ?checkpoint ?resume_from b =
+  execute_core ?checkpoint ~resume:resume_from
+    ~identity:(spec_identity b.bspec) b
+
+let run ?checkpoint ?resume_from spec =
+  execute ?checkpoint ?resume_from (build spec)
+
+let run_batch ?pool specs =
+  match pool with
+  | None -> List.map (fun s -> run s) specs
+  | Some pool ->
+      Engine.Pool.map pool ~label:(fun s -> s.name) ~f:(fun s -> run s) specs
+
+(* Per-cell verdicts: a poisoned cell costs one [Error] row, never the
+   batch. Sequential runs capture the same way so the CLI's failure
+   table is identical at any --jobs. *)
+let run_batch_collect ?pool specs =
+  match pool with
+  | None ->
+      List.map
+        (fun s ->
+          try Ok (run s)
+          with e ->
+            Error
+              {
+                Engine.Pool.flabel = s.name;
+                fexn = e;
+                fbacktrace = Printexc.get_backtrace ();
+              })
+        specs
+  | Some pool ->
+      Engine.Pool.map_collect pool
+        ~label:(fun s -> s.name)
+        ~f:(fun s -> run s)
+        specs
 
 (* Parsing. Present fields must be well-typed (errors name the field);
    missing fields fall back to the defaults; unknown keys are ignored. *)

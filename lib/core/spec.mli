@@ -217,6 +217,10 @@ type outcome = {
   metrics : metrics option;
       (** registry samples, when [record_trace]; raises at build time
           if two flows share a label (duplicate metric names) *)
+  resume_from : string option;
+      (** the snapshot path this run resumed from, for provenance;
+          excluded from {!outcome_to_json} so a resumed run's artifacts
+          stay byte-identical to an unbroken run's *)
 }
 
 (* --- compile and execute ---------------------------------------------- *)
@@ -233,16 +237,58 @@ val build : t -> built
     malformed spec ([duration > 0], [ifq_capacity >= 1], [loss_rate]
     in [0,1], non-negative start times, known policy names, ...). *)
 
-val execute : built -> outcome
-(** Attach instrumentation (when [record_series]), run the scheduler to
-    [duration] and collect results, in flow order. Call once. *)
+(* --- checkpoint / resume ---------------------------------------------- *)
 
-val run : t -> outcome
+type checkpoint = {
+  snapshot_path : string;
+      (** written atomically with a [".prev"] fallback
+          ({!Sim.Snapshot.save}) *)
+  interval : Sim.Time.t;  (** simulated time between snapshots; > 0 *)
+  should_stop : unit -> bool;
+      (** polled after each snapshot; [true] raises {!Drained} — the
+          graceful-drain and watchdog hook *)
+}
+
+exception Drained of { at : Sim.Time.t; snapshot : string }
+(** Raised by a checkpointing {!execute} when [should_stop] answered
+    [true]: the run stopped cleanly at simulated time [at] with a fresh
+    snapshot on disk. Not an error — resume with [?resume_from]. *)
+
+val snapshot_supported : t -> bool
+(** Whether this spec can checkpoint/resume. Heap events are closures
+    and cannot serialize, so support requires every piece of run state
+    to live in serializable structures: the spec's single flow must be
+    a [Many_flows] workload starting at t=0 (SoA flow table + timer
+    wheel + fluid scalars), with no fault profiles and no
+    [record_trace]. [record_series] is fine — series content is part of
+    the snapshot and samplers re-register on resume. *)
+
+val execute : ?checkpoint:checkpoint -> ?resume_from:string -> built -> outcome
+(** Attach instrumentation (when [record_series]), run the scheduler to
+    [duration] and collect results, in flow order. Call once.
+
+    With [checkpoint], the run saves a snapshot every [interval] of
+    simulated time; slicing never changes the simulation (run-until is
+    associative), only what survives a kill. With [resume_from], state
+    is restored from the snapshot before running — the continuation is
+    byte-identical to a run that was never interrupted. Both raise
+    [Invalid_argument] when {!snapshot_supported} is false, and
+    {!Sim.Snapshot.Corrupt} on an unreadable snapshot; a snapshot taken
+    from a different spec is rejected. *)
+
+val run : ?checkpoint:checkpoint -> ?resume_from:string -> t -> outcome
 (** [execute (build t)]. *)
 
 val run_batch : ?pool:Engine.Pool.t -> t list -> outcome list
 (** One independent task per spec on [pool] (sequential when [None]);
-    results in input order, identical for any worker count. *)
+    results in input order, identical for any worker count. Raises
+    {!Engine.Pool.Task_failed} on the first failing cell. *)
+
+val run_batch_collect :
+  ?pool:Engine.Pool.t -> t list -> (outcome, Engine.Pool.failure) result list
+(** Like {!run_batch} but every cell reports: a raising spec costs one
+    [Error] row (labeled with the spec name) instead of the batch.
+    Verdicts in input order, identical for any worker count. *)
 
 (* --- introspection of a built spec (chaos harness hooks) ------------- *)
 

@@ -15,9 +15,11 @@
    hosts or an explicit [--jobs 1].
 
    A raising task does not kill its worker or poison the queue: the
-   exception is captured per task, the rest of the batch completes,
-   and [map] then re-raises the first failure (in canonical order) as
-   [Task_failed] carrying the offending scenario's label. *)
+   exception is captured per task and the rest of the batch completes.
+   [map_collect] hands back every per-task verdict as Ok/Error in
+   canonical order; [map] is the all-or-nothing view on top of it,
+   re-raising the first failure (in canonical order) as [Task_failed]
+   carrying the offending scenario's label. *)
 
 exception
   Task_failed of { label : string; exn : exn; backtrace : string }
@@ -98,7 +100,9 @@ let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-let map t ~label ~f xs =
+type failure = { flabel : string; fexn : exn; fbacktrace : string }
+
+let map_collect t ~label ~f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let wrap x =
@@ -143,8 +147,19 @@ let map t ~label ~f xs =
   Array.mapi
     (fun i r ->
       match r with
-      | Ok y -> y
+      | Ok y -> Ok y
       | Error (exn, backtrace) ->
-          raise (Task_failed { label = label items.(i); exn; backtrace }))
+          Error
+            { flabel = label items.(i); fexn = exn; fbacktrace = backtrace })
     results
   |> Array.to_list
+
+let map t ~label ~f xs =
+  List.map
+    (function
+      | Ok y -> y
+      | Error { flabel; fexn; fbacktrace } ->
+          raise
+            (Task_failed
+               { label = flabel; exn = fexn; backtrace = fbacktrace }))
+    (map_collect t ~label ~f xs)

@@ -27,12 +27,27 @@ val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
 
+type failure = { flabel : string; fexn : exn; fbacktrace : string }
+(** One task's captured failure, labeled by its scenario. *)
+
+val map_collect :
+  t ->
+  label:('a -> string) ->
+  f:('a -> 'b) ->
+  'a list ->
+  ('b, failure) result list
+(** [map_collect t ~label ~f xs] runs [f] on every element as pool
+    tasks and returns every per-task verdict in the order of [xs] —
+    one poisoned cell costs one [Error], never the batch. Not
+    reentrant: do not call from inside a task. *)
+
 val map : t -> label:('a -> string) -> f:('a -> 'b) -> 'a list -> 'b list
 (** [map t ~label ~f xs] runs [f] on every element as pool tasks and
     returns the results in the order of [xs]. Not reentrant: do not
     call [map] from inside a task. If any task raised, re-raises the
     first failure (in canonical order) as {!Task_failed} after the
-    whole batch has finished. *)
+    whole batch has finished ([map_collect] with the first [Error]
+    re-raised). *)
 
 val shutdown : t -> unit
 (** Signal the workers to exit and join them. Idempotent. *)

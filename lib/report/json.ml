@@ -74,6 +74,41 @@ let to_string t =
   Buffer.add_char buf '\n';
   Buffer.contents buf
 
+(* One value per line is the journal's framing: no newlines anywhere
+   inside the rendering (escape already encodes them in strings). *)
+let to_string_compact t =
+  let buf = Buffer.create 256 in
+  let rec emit = function
+    | Null -> Buffer.add_string buf "null"
+    | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+    | Number f -> Buffer.add_string buf (number_to_string f)
+    | String s ->
+        Buffer.add_char buf '"';
+        escape buf s;
+        Buffer.add_char buf '"'
+    | List items ->
+        Buffer.add_char buf '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char buf ',';
+            emit item)
+          items;
+        Buffer.add_char buf ']'
+    | Obj fields ->
+        Buffer.add_char buf '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char buf ',';
+            Buffer.add_char buf '"';
+            escape buf k;
+            Buffer.add_string buf "\":";
+            emit v)
+          fields;
+        Buffer.add_char buf '}'
+  in
+  emit t;
+  Buffer.contents buf
+
 (* ------------------------------------------------------------------ *)
 (* Parser: plain recursive descent over the string. *)
 

@@ -17,6 +17,10 @@ val to_string : t -> string
     Non-finite [Number]s (nan, ±infinity) render as [null] — JSON has
     no literals for them. *)
 
+val to_string_compact : t -> string
+(** Render on one line with no spaces and no trailing newline — the
+    framing for JSONL journals, where one record is one line. *)
+
 val of_string : string -> (t, string) result
 (** Parse a complete JSON document; the error carries an offset. *)
 

@@ -1,0 +1,16 @@
+(** Outcome artifacts, shared by [rss_sim run --spec --out] and the job
+    service so both emit byte-identical files for the same spec. *)
+
+val ensure_dir : string -> unit
+(** [mkdir -p]. *)
+
+val sanitize : string -> string
+(** Replace everything but [[A-Za-z0-9._-]] with ['-'] — file-name-safe
+    labels. *)
+
+val write_outcome :
+  dir:string -> Core.Spec.t -> Core.Spec.outcome -> string list
+(** Write [<name>_outcome.json] plus, when the spec records series, the
+    per-flow [<name>_<flow>_<tag>.csv] files
+    (tags cwnd, stalls, ifq, throughput, srtt). Creates [dir] as
+    needed; returns the paths written, JSON first. *)

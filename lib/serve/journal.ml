@@ -1,0 +1,129 @@
+(* Write-ahead job journal: one compact JSON record per line, appended
+   and flushed before the action it describes takes effect (submission
+   before enqueue, start before run, finish after artifacts are on
+   disk).  A daemon killed at any instant — SIGKILL included — replays
+   the journal on restart and reconstructs its queue: submitted minus
+   finished minus quarantined is still pending, and finished jobs are
+   never re-run.
+
+   Torn tails are expected, not exceptional: a crash mid-append leaves
+   a final line with no newline or half a record.  [replay] stops at
+   the first unparsable line and returns everything before it; the
+   next [append] writes after the torn bytes, and since every parser
+   pass stops at the same place, a record damaged once is ignored
+   forever rather than corrupting later reads. *)
+
+module Json = Report.Json
+
+type event =
+  | Submitted of { job : string; spec : Json.t }
+  | Started of { job : string; attempt : int }
+  | Checkpointed of { job : string; snapshot : string; at_ns : int }
+  | Finished of { job : string; outcome : string }
+  | Failed of {
+      job : string;
+      attempt : int;
+      error : string;
+      retry_in_s : float;
+    }
+  | Quarantined of { job : string; artifact : string; error : string }
+
+let event_to_json = function
+  | Submitted { job; spec } ->
+      Json.Obj [ ("ev", Json.String "submitted"); ("job", Json.String job);
+                 ("spec", spec) ]
+  | Started { job; attempt } ->
+      Json.Obj [ ("ev", Json.String "started"); ("job", Json.String job);
+                 ("attempt", Json.Number (float_of_int attempt)) ]
+  | Checkpointed { job; snapshot; at_ns } ->
+      Json.Obj [ ("ev", Json.String "checkpointed"); ("job", Json.String job);
+                 ("snapshot", Json.String snapshot);
+                 ("at_ns", Json.Number (float_of_int at_ns)) ]
+  | Finished { job; outcome } ->
+      Json.Obj [ ("ev", Json.String "finished"); ("job", Json.String job);
+                 ("outcome", Json.String outcome) ]
+  | Failed { job; attempt; error; retry_in_s } ->
+      Json.Obj [ ("ev", Json.String "failed"); ("job", Json.String job);
+                 ("attempt", Json.Number (float_of_int attempt));
+                 ("error", Json.String error);
+                 ("retry_in_s", Json.Number retry_in_s) ]
+  | Quarantined { job; artifact; error } ->
+      Json.Obj [ ("ev", Json.String "quarantined"); ("job", Json.String job);
+                 ("artifact", Json.String artifact);
+                 ("error", Json.String error) ]
+
+let event_of_json json =
+  let str key =
+    match Json.member key json with
+    | Some (Json.String s) -> Ok s
+    | _ -> Error (Printf.sprintf "journal record: missing string %S" key)
+  in
+  let num key =
+    match Json.member key json with
+    | Some (Json.Number f) -> Ok f
+    | _ -> Error (Printf.sprintf "journal record: missing number %S" key)
+  in
+  let ( let* ) = Result.bind in
+  let* ev = str "ev" in
+  let* job = str "job" in
+  match ev with
+  | "submitted" -> (
+      match Json.member "spec" json with
+      | Some spec -> Ok (Submitted { job; spec })
+      | None -> Error "journal record: submitted without spec")
+  | "started" ->
+      let* attempt = num "attempt" in
+      Ok (Started { job; attempt = int_of_float attempt })
+  | "checkpointed" ->
+      let* snapshot = str "snapshot" in
+      let* at_ns = num "at_ns" in
+      Ok (Checkpointed { job; snapshot; at_ns = int_of_float at_ns })
+  | "finished" ->
+      let* outcome = str "outcome" in
+      Ok (Finished { job; outcome })
+  | "failed" ->
+      let* attempt = num "attempt" in
+      let* error = str "error" in
+      let* retry_in_s = num "retry_in_s" in
+      Ok (Failed { job; attempt = int_of_float attempt; error; retry_in_s })
+  | "quarantined" ->
+      let* artifact = str "artifact" in
+      let* error = str "error" in
+      Ok (Quarantined { job; artifact; error })
+  | other -> Error (Printf.sprintf "journal record: unknown event %S" other)
+
+type t = { oc : out_channel }
+
+let open_append ~path =
+  let oc =
+    open_out_gen [ Open_append; Open_creat; Open_binary ] 0o644 path
+  in
+  { oc }
+
+let append t event =
+  output_string t.oc (Json.to_string_compact (event_to_json event));
+  output_char t.oc '\n';
+  flush t.oc
+
+let close t = close_out_noerr t.oc
+
+let replay ~path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () ->
+        let rec loop acc =
+          match In_channel.input_line ic with
+          | None -> List.rev acc
+          | Some line -> (
+              match Json.of_string line with
+              | Error _ -> List.rev acc (* torn tail: stop here *)
+              | Ok json -> (
+                  match event_of_json json with
+                  | Error _ -> List.rev acc
+                  | Ok ev -> loop (ev :: acc)))
+        in
+        loop [])
+  end

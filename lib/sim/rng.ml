@@ -11,6 +11,8 @@ let mix64 z =
   Int64.logxor z (Int64.shift_right_logical z 31)
 
 let of_seed seed = { state = mix64 (Int64.of_int seed) }
+let state t = t.state
+let set_state t s = t.state <- s
 
 let bits64 t =
   t.state <- Int64.add t.state golden_gamma;

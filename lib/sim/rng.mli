@@ -12,6 +12,13 @@ val split : t -> t
 (** [split t] derives a stream statistically independent of [t]'s
     subsequent output. *)
 
+val state : t -> int64
+(** Raw generator position, for checkpointing. *)
+
+val set_state : t -> int64 -> unit
+(** Restore a position captured with {!state}: the stream continues
+    exactly where the captured generator would have. *)
+
 val derive_seed : root:int -> stream:int -> int
 (** Seed of the [stream]-th independent task stream under [root]: the
     SplitMix64 stream-jump construction, so experiment cells that share

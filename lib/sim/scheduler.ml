@@ -44,6 +44,11 @@ let derive_rng t =
   t.derived_streams <- stream + 1;
   Rng.of_seed (Rng.derive_seed ~root:t.seed ~stream)
 
+(* Snapshot-restore hook: the clock is normally advanced only by firing
+   events, but a restored run must resume from the checkpoint time
+   before any event is scheduled. *)
+let restore_clock t time = t.clock <- time
+
 let at t time action =
   if Time.(time < t.clock) then
     invalid_arg

@@ -31,6 +31,11 @@ val derive_rng : t -> Rng.t
     decisions of unrelated components. Deterministic for a fixed seed
     and construction order. *)
 
+val restore_clock : t -> Time.t -> unit
+(** Set the clock directly — the snapshot-restore hook. Use only on a
+    scheduler with no event scheduled before the new time; normal runs
+    advance the clock exclusively by firing events. *)
+
 val at : t -> Time.t -> (unit -> unit) -> handle
 (** [at t time f] schedules [f] for absolute [time]. Raises
     [Invalid_argument] if [time] is in the past. *)

@@ -277,6 +277,37 @@ let fire_slot t ~slot =
     t.on_fire ~kind ~flow
   done
 
+(* Level-major slot order, FIFO within a slot. Re-arming the visited
+   timers in visit order into a wheel at the same [cur] reproduces every
+   slot list exactly: a due tick maps to one (level,slot) for a fixed
+   [cur], and within a slot FIFO arm order is preserved — so iteration
+   order is a faithful serialization order for snapshots. *)
+let iter_pending t ~f =
+  for idx = 0 to (levels * slots_per_level) - 1 do
+    let n = ref (Array.unsafe_get t.head idx) in
+    while !n >= 0 do
+      let node = !n in
+      n := t.next.(node);
+      f
+        ~due_ns:(t.due.(node) lsl t.tick_bits)
+        ~kind:t.nkind.(node) ~flow:t.nflow.(node)
+    done
+  done
+
+let drain t =
+  for idx = 0 to (levels * slots_per_level) - 1 do
+    let n = ref t.head.(idx) in
+    t.head.(idx) <- -1;
+    t.tail.(idx) <- -1;
+    while !n >= 0 do
+      let node = !n in
+      n := t.next.(node);
+      release t node
+    done
+  done;
+  t.count <- 0;
+  t.cache_ok <- false
+
 let advance t ~now_ns =
   if now_ns < 0 then invalid_arg "Timer_wheel.advance: negative time";
   let target = now_ns asr t.tick_bits in

@@ -65,6 +65,21 @@ val advance : t -> now_ns:int -> unit
 val pending : t -> int
 (** Armed, not-yet-fired timers. O(1). *)
 
+val iter_pending :
+  t -> f:(due_ns:int -> kind:int -> flow:int -> unit) -> unit
+(** Visit every armed timer without disturbing it: level-major slot
+    order, FIFO (arm order) within a slot. [due_ns] is the quantized due
+    time ([due_tick × tick_ns]). Because a due tick maps to exactly one
+    slot for a fixed wheel position, re-{!arm}ing the visited timers in
+    visit order into a wheel advanced to the same position rebuilds
+    every slot list — and therefore every future firing order —
+    exactly; this is the snapshot serialization order. Do not arm or
+    cancel from [f]. *)
+
+val drain : t -> unit
+(** Remove every armed timer without firing it. All outstanding handles
+    become stale. Used by snapshot restore before re-arming. *)
+
 val tick_ns : t -> int
 val horizon_ns : t -> int
 (** Last representable due time from the current position. *)

@@ -220,6 +220,73 @@ let rng_next t i =
 let rng_float t i =
   float_of_int (rng_next t i land ((1 lsl 53) - 1)) *. 0x1p-53
 
+(* --- snapshot ----------------------------------------------------------- *)
+
+(* Full-table serialization: every column at full capacity plus the
+   three scalars. Free rows travel too — the free list is threaded
+   through [una] and marked by [flags = -1] — so a restored table hands
+   out the same rows in the same order as the original, which is what
+   keeps post-resume allocations (and the per-row RNG streams seeded
+   into them) byte-identical to an unbroken run. *)
+
+let save t ~prefix w =
+  let p name = prefix ^ name in
+  Sim.Snapshot.put_int w (p "cap") t.cap;
+  Sim.Snapshot.put_int w (p "in_use") t.in_use;
+  Sim.Snapshot.put_int w (p "free_head") t.free_head;
+  Sim.Snapshot.put_float_array w (p "cwnd") t.cwnd;
+  Sim.Snapshot.put_float_array w (p "ssthresh") t.ssthresh;
+  Sim.Snapshot.put_int_array w (p "una") t.una;
+  Sim.Snapshot.put_int_array w (p "nxt") t.nxt;
+  Sim.Snapshot.put_int_array w (p "rwnd") t.rwnd;
+  Sim.Snapshot.put_int_array w (p "dupacks") t.dupacks;
+  Sim.Snapshot.put_int_array w (p "recover") t.recover;
+  Sim.Snapshot.put_int_array w (p "reaction_mark") t.reaction_mark;
+  Sim.Snapshot.put_int_array w (p "bytes_sent") t.bytes_sent;
+  Sim.Snapshot.put_int_array w (p "budget") t.budget;
+  Sim.Snapshot.put_int_array w (p "acct") t.acct;
+  Sim.Snapshot.put_int_array w (p "next_pace_ns") t.next_pace_ns;
+  Sim.Snapshot.put_int_array w (p "last_send_ns") t.last_send_ns;
+  Sim.Snapshot.put_int_array w (p "rng") t.rng;
+  Sim.Snapshot.put_int_array w (p "timer") t.timer;
+  Sim.Snapshot.put_int_array w (p "flags") t.flags
+
+let restore t ~prefix r =
+  let p name = prefix ^ name in
+  let cap = Sim.Snapshot.get_int r (p "cap") in
+  if cap <= 0 then raise (Sim.Snapshot.Corrupt "Flow_table: bad capacity");
+  let ints name =
+    let a = Sim.Snapshot.get_int_array r (p name) in
+    if Array.length a <> cap then
+      raise (Sim.Snapshot.Corrupt ("Flow_table: short column " ^ name));
+    a
+  in
+  let floats name =
+    let a = Sim.Snapshot.get_float_array r (p name) in
+    if Array.length a <> cap then
+      raise (Sim.Snapshot.Corrupt ("Flow_table: short column " ^ name));
+    a
+  in
+  t.cap <- cap;
+  t.in_use <- Sim.Snapshot.get_int r (p "in_use");
+  t.free_head <- Sim.Snapshot.get_int r (p "free_head");
+  t.cwnd <- floats "cwnd";
+  t.ssthresh <- floats "ssthresh";
+  t.una <- ints "una";
+  t.nxt <- ints "nxt";
+  t.rwnd <- ints "rwnd";
+  t.dupacks <- ints "dupacks";
+  t.recover <- ints "recover";
+  t.reaction_mark <- ints "reaction_mark";
+  t.bytes_sent <- ints "bytes_sent";
+  t.budget <- ints "budget";
+  t.acct <- ints "acct";
+  t.next_pace_ns <- ints "next_pace_ns";
+  t.last_send_ns <- ints "last_send_ns";
+  t.rng <- ints "rng";
+  t.timer <- ints "timer";
+  t.flags <- ints "flags"
+
 (* --- congestion-control hooks by row ----------------------------------- *)
 
 let ca_on_ack t i (cc : Cong_avoid.t) ~newly_acked ~mss ~srtt ~min_rtt ~now =

@@ -103,6 +103,17 @@ val rng_next : t -> int -> int
 val rng_float : t -> int -> float
 (** Uniform draw in [0,1) (53 mantissa bits). *)
 
+(** {1 Snapshot} — full-table serialization into a {!Sim.Snapshot}
+    image. Free rows and the free-list order travel too, so a restored
+    table allocates the same rows in the same order as the original. *)
+
+val save : t -> prefix:string -> Sim.Snapshot.writer -> unit
+(** Write every column and scalar as sections named [prefix ^ column]. *)
+
+val restore : t -> prefix:string -> Sim.Snapshot.reader -> unit
+(** Overwrite [t] in place with the saved table. Raises
+    {!Sim.Snapshot.Corrupt} on missing or inconsistent sections. *)
+
 (** {1 Congestion-control hooks by row} — apply a {!Cong_avoid} bundle
     to a row's (cwnd, ssthresh) in place. *)
 

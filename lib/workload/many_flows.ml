@@ -306,6 +306,82 @@ let start ~sched ~rng ~seed ?(cong_avoid = Tcp.Cong_avoid.reno ()) params =
 
 let stop t = t.stopped <- true
 
+(* --- snapshot ----------------------------------------------------------- *)
+
+(* The engine's whole dynamic state: fluid-queue scalars, counters, the
+   arrivals stream position, every flow-table column and every pending
+   wheel timer. Deliberately *not* integrated to the snapshot time —
+   [update_queue] advances the fluid backlog from [last_update_ns] using
+   the RTT at that instant, so integrating here (as [poll] would) splits
+   one integration interval in two and diverges from an unbroken run.
+   Raw state + the saved [last_update_ns] replays identically. *)
+
+let save t w =
+  let p name = "mf." ^ name in
+  Sim.Snapshot.put_float w (p "q_bytes") t.q_bytes;
+  Sim.Snapshot.put_float w (p "avg_pkts") t.avg_pkts;
+  Sim.Snapshot.put_float w (p "sum_cwnd") t.sum_cwnd;
+  Sim.Snapshot.put_float w (p "delivered") t.delivered;
+  Sim.Snapshot.put_int w (p "last_update_ns") t.last_update_ns;
+  Sim.Snapshot.put_int w (p "active") t.active;
+  Sim.Snapshot.put_int w (p "created") t.created;
+  Sim.Snapshot.put_int w (p "completed") t.completed;
+  Sim.Snapshot.put_int w (p "loss_events") t.loss_events;
+  Sim.Snapshot.put_int w (p "stopped") (if t.stopped then 1 else 0);
+  Sim.Snapshot.put_i64 w (p "rng_state") (Sim.Rng.state t.rng);
+  let n = Wheel.pending t.wheel in
+  let due = Array.make n 0
+  and kinds = Array.make n 0
+  and flows = Array.make n 0 in
+  let i = ref 0 in
+  Wheel.iter_pending t.wheel ~f:(fun ~due_ns ~kind ~flow ->
+      due.(!i) <- due_ns;
+      kinds.(!i) <- kind;
+      flows.(!i) <- flow;
+      incr i);
+  Sim.Snapshot.put_int w (p "wheel_tick") (Wheel.now_tick t.wheel);
+  Sim.Snapshot.put_int_array w (p "wheel_due_ns") due;
+  Sim.Snapshot.put_int_array w (p "wheel_kind") kinds;
+  Sim.Snapshot.put_int_array w (p "wheel_flow") flows;
+  Ft.save t.table ~prefix:(p "ft.") w
+
+(* Restore into a freshly-[start]ed engine built from the same params
+   and seed. The wheel is drained, advanced (empty, so nothing fires)
+   to the saved tick, and re-armed in serialization order — which
+   rebuilds every slot's FIFO list, and therefore the firing order,
+   exactly. Round timers write their fresh handle back into the row;
+   handle values never influence simulation output (the engine stores
+   but never cancels them). *)
+let restore t r =
+  let p name = "mf." ^ name in
+  t.q_bytes <- Sim.Snapshot.get_float r (p "q_bytes");
+  t.avg_pkts <- Sim.Snapshot.get_float r (p "avg_pkts");
+  t.sum_cwnd <- Sim.Snapshot.get_float r (p "sum_cwnd");
+  t.delivered <- Sim.Snapshot.get_float r (p "delivered");
+  t.last_update_ns <- Sim.Snapshot.get_int r (p "last_update_ns");
+  t.active <- Sim.Snapshot.get_int r (p "active");
+  t.created <- Sim.Snapshot.get_int r (p "created");
+  t.completed <- Sim.Snapshot.get_int r (p "completed");
+  t.loss_events <- Sim.Snapshot.get_int r (p "loss_events");
+  t.stopped <- Sim.Snapshot.get_int r (p "stopped") <> 0;
+  Sim.Rng.set_state t.rng (Sim.Snapshot.get_i64 r (p "rng_state"));
+  Ft.restore t.table ~prefix:(p "ft.") r;
+  Wheel.drain t.wheel;
+  let tick = Sim.Snapshot.get_int r (p "wheel_tick") in
+  Wheel.advance t.wheel ~now_ns:(tick * Wheel.tick_ns t.wheel);
+  let due = Sim.Snapshot.get_int_array r (p "wheel_due_ns") in
+  let kinds = Sim.Snapshot.get_int_array r (p "wheel_kind") in
+  let flows = Sim.Snapshot.get_int_array r (p "wheel_flow") in
+  if Array.length kinds <> Array.length due || Array.length flows <> Array.length due
+  then raise (Sim.Snapshot.Corrupt "Many_flows: ragged wheel sections");
+  Array.iteri
+    (fun i due_ns ->
+      let h =
+        (Wheel.arm t.wheel ~due_ns ~kind:kinds.(i) ~flow:flows.(i) :> int)
+      in
+      if kinds.(i) = kind_round then Ft.set_timer t.table flows.(i) h)
+    due
+
 (* --- observation -------------------------------------------------------- *)
 
 let poll t =

@@ -58,6 +58,24 @@ val start :
 val stop : t -> unit
 (** Stop creating flows; running flows keep cycling. *)
 
+(** {2 Snapshot} — the engine's full dynamic state (fluid queue,
+    counters, arrivals-stream position, flow-table columns, pending
+    wheel timers) in a {!Sim.Snapshot} image, without perturbing the
+    fluid integration. Restoring into a freshly-{!start}ed engine built
+    from the same params and seed continues the run byte-identically to
+    one that was never snapshotted. *)
+
+val save : t -> Sim.Snapshot.writer -> unit
+(** Serialize under the ["mf."] section prefix. Does {e not} integrate
+    the fluid queue to the current time (that would split an
+    integration interval and diverge from an unbroken run). *)
+
+val restore : t -> Sim.Snapshot.reader -> unit
+(** Overwrite a freshly-started engine's state in place: drains and
+    re-arms the wheel (all prior handles become stale; round timers get
+    their fresh handle written back into the row) and rewinds the
+    arrivals stream. Raises {!Sim.Snapshot.Corrupt} on bad images. *)
+
 (** {2 Observation} — queue readings integrate the fluid model up to
     the current scheduler time first. *)
 

@@ -122,6 +122,44 @@ let test_create_rejects_zero_jobs () =
        false
      with Invalid_argument _ -> true)
 
+let test_map_collect_verdicts () =
+  (* Every cell reports: Ok rows in order, each failing cell its own
+     labeled Error, identical shape at any worker count. *)
+  let shape jobs =
+    Engine.Pool.with_pool ~jobs (fun pool ->
+        Engine.Pool.map_collect pool
+          ~label:(fun i -> Printf.sprintf "cell-%d" i)
+          ~f:(fun i -> if i mod 4 = 1 then failwith "bad" else i * 10)
+          (List.init 10 Fun.id))
+    |> List.map (function
+         | Ok v -> Printf.sprintf "ok:%d" v
+         | Error { Engine.Pool.flabel; fexn; _ } ->
+             Printf.sprintf "err:%s:%s" flabel
+               (match fexn with Failure m -> m | _ -> "?"))
+  in
+  let expected =
+    List.init 10 (fun i ->
+        if i mod 4 = 1 then Printf.sprintf "err:cell-%d:bad" i
+        else Printf.sprintf "ok:%d" (i * 10))
+  in
+  Alcotest.(check (list string)) "jobs=1 verdicts" expected (shape 1);
+  Alcotest.(check (list string)) "jobs=4 verdicts" expected (shape 4)
+
+let test_map_collect_all_ok_and_all_fail () =
+  Engine.Pool.with_pool ~jobs:2 (fun pool ->
+      Alcotest.(check int) "all-ok has no errors" 0
+        (Engine.Pool.map_collect pool ~label:string_of_int ~f:Fun.id
+           (List.init 6 Fun.id)
+        |> List.filter Result.is_error |> List.length);
+      Alcotest.(check int) "all-fail drains the batch" 6
+        (Engine.Pool.map_collect pool ~label:string_of_int
+           ~f:(fun _ -> failwith "all")
+           (List.init 6 Fun.id)
+        |> List.filter Result.is_error |> List.length);
+      (* and the pool is still healthy afterwards *)
+      Alcotest.(check (list int)) "pool survives" [ 0; 1; 2 ]
+        (Engine.Pool.map pool ~label:string_of_int ~f:Fun.id [ 0; 1; 2 ]))
+
 let suite =
   [
     Alcotest.test_case "identical output on 1/2/4 domains" `Quick
@@ -136,4 +174,8 @@ let suite =
     Alcotest.test_case "poisoned cell leaves survivors identical" `Quick
       test_poisoned_cell_leaves_survivors_identical;
     Alcotest.test_case "jobs=0 rejected" `Quick test_create_rejects_zero_jobs;
+    Alcotest.test_case "map_collect per-cell verdicts" `Quick
+      test_map_collect_verdicts;
+    Alcotest.test_case "map_collect all-ok / all-fail" `Quick
+      test_map_collect_all_ok_and_all_fail;
   ]

@@ -255,10 +255,105 @@ let test_alloc_free_churn () =
     (Printf.sprintf "0 minor words across 10k arm/cancel (got %.0f)" words)
     true (words = 0.)
 
+(* --- iteration / drain (the snapshot path) ---------------------------- *)
+
+let test_iter_pending_and_drain () =
+  let w =
+    Sim.Timer_wheel.create ~initial_capacity:4
+      ~on_fire:(fun ~kind:_ ~flow:_ -> ())
+      ()
+  in
+  let tick = Sim.Timer_wheel.tick_ns w in
+  let armed =
+    List.init 50 (fun i ->
+        let due_ns = ((i * 37 mod 600) + 1) * tick in
+        let h = Sim.Timer_wheel.arm w ~due_ns ~kind:(i mod 3) ~flow:i in
+        (h, i))
+  in
+  let seen = ref 0 in
+  Sim.Timer_wheel.iter_pending w ~f:(fun ~due_ns:_ ~kind:_ ~flow:_ ->
+      incr seen);
+  Alcotest.(check int) "iter visits every armed timer" 50 !seen;
+  Sim.Timer_wheel.drain w;
+  Alcotest.(check int) "drain empties the wheel" 0
+    (Sim.Timer_wheel.pending w);
+  List.iter
+    (fun (h, i) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "handle %d stale after drain" i)
+        false
+        (Sim.Timer_wheel.is_pending w h))
+    armed;
+  seen := 0;
+  Sim.Timer_wheel.iter_pending w ~f:(fun ~due_ns:_ ~kind:_ ~flow:_ ->
+      incr seen);
+  Alcotest.(check int) "nothing to visit after drain" 0 !seen
+
+(* Rebuilding a wheel by re-arming iter_pending's visit order must
+   reproduce the original's entire future firing sequence — the
+   correctness contract of snapshot save/restore. *)
+let rebuild_prop =
+  QCheck.Test.make ~count:100
+    ~name:"iter_pending order rebuilds the exact firing sequence"
+    QCheck.(
+      make
+        ~print:(fun l -> String.concat ";" (List.map string_of_int l))
+        Gen.(list_size (int_range 1 120) (int_range 0 800)))
+    (fun due_ticks ->
+      let fires w =
+        let log = ref [] in
+        let w =
+          match w with
+          | `Fresh advance_to ->
+              let w =
+                Sim.Timer_wheel.create ~initial_capacity:4
+                  ~on_fire:(fun ~kind ~flow -> log := (kind, flow) :: !log)
+                  ()
+              in
+              Sim.Timer_wheel.advance w
+                ~now_ns:(advance_to * Sim.Timer_wheel.tick_ns w);
+              w
+        in
+        (w, log)
+      in
+      (* original: arm everything at position 3, advance partway *)
+      let w1, log1 = fires (`Fresh 3) in
+      let tick = Sim.Timer_wheel.tick_ns w1 in
+      List.iteri
+        (fun i d ->
+          ignore
+            (Sim.Timer_wheel.arm w1 ~due_ns:((3 + 1 + d) * tick) ~kind:(i mod 5)
+               ~flow:i))
+        due_ticks;
+      let mid = (3 + 200) * tick in
+      Sim.Timer_wheel.advance w1 ~now_ns:mid;
+      let prefix = List.rev !log1 in
+      (* snapshot the survivors in visit order *)
+      let saved = ref [] in
+      Sim.Timer_wheel.iter_pending w1 ~f:(fun ~due_ns ~kind ~flow ->
+          saved := (due_ns, kind, flow) :: !saved);
+      let saved = List.rev !saved in
+      (* rebuild: fresh wheel advanced to the same position, re-arm *)
+      let w2, log2 = fires (`Fresh (mid / tick)) in
+      List.iter
+        (fun (due_ns, kind, flow) ->
+          ignore (Sim.Timer_wheel.arm w2 ~due_ns ~kind ~flow))
+        saved;
+      (* both run to the horizon of interest *)
+      let horizon = (3 + 1100) * tick in
+      log1 := [];
+      Sim.Timer_wheel.advance w1 ~now_ns:horizon;
+      Sim.Timer_wheel.advance w2 ~now_ns:horizon;
+      ignore prefix;
+      List.rev !log1 = List.rev !log2)
+
 let suite =
   [
     QCheck_alcotest.to_alcotest qcheck_oracle;
     QCheck_alcotest.to_alcotest qcheck_oracle_dense;
+    Alcotest.test_case "iter_pending visits all; drain stales handles"
+      `Quick test_iter_pending_and_drain;
+    QCheck_alcotest.to_alcotest rebuild_prop;
     Alcotest.test_case "attention walk fires at exact due ticks" `Quick
       test_exact_due_firing;
     Alcotest.test_case "cancel is O(1), idempotent, generation-safe" `Quick
