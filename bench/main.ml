@@ -779,6 +779,58 @@ let core_metric_snapshot_roundtrip () =
       assert (Tcp.Flow_table.in_use fresh_table = n);
       n)
 
+(* The partitioned-DES showcase: four loaded dumbbell segments chained
+   through core duplex links, the topology [examples/
+   dumbbell_of_dumbbells.json] ships. Series recording stays off so the
+   wall clock measures the engines, not the samplers. *)
+let pdes_spec ~domains =
+  let bulk = Core.Spec.Bulk { bytes = None } in
+  let flow ?(start_at = Sim.Time.zero) pair =
+    {
+      Core.Spec.default_flow with
+      Core.Spec.label = Some (Printf.sprintf "p%d" pair);
+      pair;
+      start_at;
+      workload = bulk;
+    }
+  in
+  {
+    Core.Spec.default with
+    Core.Spec.name = "bench-pdes";
+    seed = 42;
+    duration = Sim.Time.sec 2;
+    record_series = false;
+    domains;
+    topology =
+      Core.Spec.Multi_dumbbell
+        {
+          Core.Spec.segments = 4;
+          m_pairs = 2;
+          m_access_rate = Sim.Units.mbps 1000.;
+          m_access_delay = Sim.Time.ms 1;
+          m_bottleneck_rate = Sim.Units.mbps 100.;
+          m_bottleneck_delay = Sim.Time.ms 10;
+          core_rate = Sim.Units.mbps 400.;
+          core_delay = Sim.Time.ms 5;
+          m_buffer_packets = 250;
+          m_host_ifq_capacity = 100;
+          m_red = None;
+          cross_pairs = 3;
+        };
+    flows =
+      List.concat_map
+        (fun s ->
+          [
+            flow (2 * s);
+            flow ~start_at:(Sim.Time.ms (500 * (s + 1))) ((2 * s) + 1);
+          ])
+        [ 0; 1; 2; 3 ]
+      @ [ flow 8; flow 9; flow 10 ];
+  }
+
+let core_metric_pdes ~domains =
+  core_metric_e2e (fun () -> ignore (Core.Spec.run (pdes_spec ~domains)))
+
 let write_core_json path =
   let metric name (ns, words, ops) =
     Report.Json.Obj
@@ -797,6 +849,19 @@ let write_core_json path =
       ]
   in
   let duration = Sim.Time.sec 2 in
+  let pdes_wall_1 = core_metric_pdes ~domains:1 in
+  let pdes_wall_4 = core_metric_pdes ~domains:4 in
+  (* Near-linear scaling on a multicore box; honestly ~1x (sync overhead
+     included) on a single-core runner. One-sided vs the committed
+     baseline, so a baseline recorded on this machine only catches the
+     ratio getting worse, never punishes a faster box. *)
+  let pdes_scaling =
+    Report.Json.Obj
+      [
+        ("name", Report.Json.String "pdes/dumbbell-scaling");
+        ("ops_per_sec", Report.Json.Number (pdes_wall_1 /. pdes_wall_4));
+      ]
+  in
   let ((_, _, wheel_ops) as wheel_churn) = core_metric_wheel_churn () in
   let ((_, _, heap_ops) as heap_churn) = core_metric_heap_arm_cancel () in
   (* The ratio the wheel exists for: gated so the structure never
@@ -834,6 +899,9 @@ let write_core_json path =
                 (core_metric_e2e (fun () ->
                      ignore (Core.Experiments.Variants.run ~duration ())));
               e2e "many_flows/churn" (core_metric_many_flows ());
+              e2e "pdes/domains1" pdes_wall_1;
+              e2e "pdes/domains4" pdes_wall_4;
+              pdes_scaling;
               metric "snapshot/save-restore-1M"
                 (core_metric_snapshot_roundtrip ());
             ] );

@@ -125,9 +125,14 @@ let run_spec ~jobs spec =
       exit 1
   | _ -> assert false
 
-let run_spec_file ~path ~jobs ~out_dir ~checkpoint ~checkpoint_every
+let run_spec_file ~path ~jobs ~domains ~out_dir ~checkpoint ~checkpoint_every
     ~resume =
   let spec = load_spec path in
+  let spec =
+    match domains with
+    | None -> spec
+    | Some d -> { spec with Core.Spec.domains = d }
+  in
   let outcome =
     match (checkpoint, resume) with
     | None, None -> run_spec ~jobs spec
@@ -212,6 +217,20 @@ let run_cmd =
     in
     Arg.(value & opt positive_int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
   in
+  let domains =
+    let doc =
+      "With --spec: override the spec's \"domains\" — worker domains \
+       $(i,inside) the scenario, partitioning the topology across its \
+       cut links (conservative-lookahead parallel DES). Needs a \
+       cut-capable topology (duplex or dumbbell_of_dumbbells). \
+       Artifacts are byte-identical for any value; composes with \
+       --jobs, which parallelises $(i,across) scenarios."
+    in
+    Arg.(
+      value
+      & opt (some positive_int) None
+      & info [ "domains" ] ~docv:"N" ~doc)
+  in
   let out_dir =
     let doc =
       "With --spec: write the outcome as JSON (and per-flow series CSVs \
@@ -244,15 +263,19 @@ let run_cmd =
     Arg.(value & opt (some string) None & info [ "resume" ] ~docv:"FILE" ~doc)
   in
   let action slow_start local_congestion bytes csv_prefix pacing cc
-      chart spec_file jobs out_dir checkpoint checkpoint_every resume
+      chart spec_file jobs domains out_dir checkpoint checkpoint_every resume
       rate_mbps rtt_ms ifq duration_s seed loss =
     match spec_file with
     | Some path ->
-        run_spec_file ~path ~jobs ~out_dir ~checkpoint ~checkpoint_every
-          ~resume
+        run_spec_file ~path ~jobs ~domains ~out_dir ~checkpoint
+          ~checkpoint_every ~resume
     | None ->
     if checkpoint <> None || resume <> None then begin
       prerr_endline "--checkpoint/--resume require --spec";
+      exit 2
+    end;
+    if domains <> None then begin
+      prerr_endline "--domains requires --spec";
       exit 2
     end;
     let cong_avoid =
@@ -317,9 +340,9 @@ let run_cmd =
   let term =
     Term.(
       const action $ slow_start $ local_congestion $ bytes $ csv_prefix
-      $ pacing $ cc $ chart $ spec_file $ jobs $ out_dir $ checkpoint
-      $ checkpoint_every $ resume $ rate_mbps $ rtt_ms $ ifq $ duration_s
-      $ seed $ loss)
+      $ pacing $ cc $ chart $ spec_file $ jobs $ domains $ out_dir
+      $ checkpoint $ checkpoint_every $ resume $ rate_mbps $ rtt_ms $ ifq
+      $ duration_s $ seed $ loss)
   in
   Cmd.v
     (Cmd.info "run"
@@ -880,17 +903,44 @@ let spec_cmd =
     in
     Arg.(value & flag & info [ "print-default" ] ~doc)
   in
-  let action print_default =
-    if print_default then print_string (Core.Spec.template ())
-    else
-      print_string (Report.Json.to_string (Core.Spec.to_json Core.Spec.default))
+  let validate =
+    let doc =
+      "Parse FILE and run full validation — topology and flow ranges, \
+       workload constraints, the \"domains\" partitioning gates — \
+       without running anything. Exit status 0 and a summary line when \
+       the spec is runnable; a readable error and exit status 2 \
+       otherwise."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "validate" ] ~docv:"FILE" ~doc)
+  in
+  let action print_default validate =
+    match validate with
+    | Some path -> (
+        let spec = load_spec path in
+        match Core.Spec.validate spec with
+        | exception Invalid_argument e ->
+            Printf.eprintf "%s: %s\n" path e;
+            exit 2
+        | () ->
+            Printf.printf "%s: ok — %s: %d flow(s), %d domain(s), %.1f s\n"
+              path spec.Core.Spec.name
+              (List.length spec.Core.Spec.flows)
+              spec.Core.Spec.domains
+              (Sim.Time.to_sec spec.Core.Spec.duration))
+    | None ->
+        if print_default then print_string (Core.Spec.template ())
+        else
+          print_string
+            (Report.Json.to_string (Core.Spec.to_json Core.Spec.default))
   in
   Cmd.v
     (Cmd.info "spec"
        ~doc:
          "Print the default scenario spec as JSON (with --print-default, a \
-          commented template) for use with $(b,rss_sim run --spec).")
-    Term.(const action $ print_default)
+          commented template), or check one with --validate, for use with \
+          $(b,rss_sim run --spec).")
+    Term.(const action $ print_default $ validate)
 
 (* --- meanfield ----------------------------------------------------------- *)
 

@@ -32,6 +32,7 @@ let make_case ?(name = "chaos") ?(seed = 1) ?(variant = "standard")
         record_series = false;
         record_trace = false;
         trace_capacity = 65536;
+        domains = 1;
         topology =
           Spec.Duplex
             {
@@ -248,7 +249,7 @@ let run_case case =
      Only meaningful on a duplex path, where the measured hosts sit
      directly on the measured links (a dumbbell has routers between). *)
   (match spec.Spec.topology with
-  | Spec.Dumbbell _ -> ()
+  | Spec.Dumbbell _ | Spec.Multi_dumbbell _ -> ()
   | Spec.Duplex _ ->
       let conservation label nic link =
         let tx = Netsim.Nic.tx_packets nic in

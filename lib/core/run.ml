@@ -78,6 +78,7 @@ let to_spec ?label s =
     record_series = true;
     record_trace = false;
     trace_capacity = 65536;
+    domains = 1;
     topology =
       Spec.Duplex
         {

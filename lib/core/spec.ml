@@ -31,7 +31,25 @@ type dumbbell = {
   red : Netsim.Queue_disc.red_params option;
 }
 
-type topology = Duplex of duplex | Dumbbell of dumbbell
+type multi_dumbbell = {
+  segments : int;
+  m_pairs : int;
+  m_access_rate : Sim.Units.rate;
+  m_access_delay : Sim.Time.t;
+  m_bottleneck_rate : Sim.Units.rate;
+  m_bottleneck_delay : Sim.Time.t;
+  core_rate : Sim.Units.rate;
+  core_delay : Sim.Time.t;
+  m_buffer_packets : int;
+  m_host_ifq_capacity : int;
+  m_red : Netsim.Queue_disc.red_params option;
+  cross_pairs : int;
+}
+
+type topology =
+  | Duplex of duplex
+  | Dumbbell of dumbbell
+  | Multi_dumbbell of multi_dumbbell
 
 type workload =
   | Bulk of { bytes : int option }
@@ -93,6 +111,7 @@ type t = {
   record_series : bool;
   record_trace : bool;
   trace_capacity : int;
+  domains : int;
   topology : topology;
   flows : flow list;
   faults : faults;
@@ -135,6 +154,7 @@ let default =
     record_series = true;
     record_trace = false;
     trace_capacity = 65536;
+    domains = 1;
     topology = Duplex default_duplex;
     flows = [ default_flow ];
     faults = { forward = Fm.passthrough; reverse = Fm.passthrough };
@@ -201,7 +221,10 @@ let check_delay what d =
   if Sim.Time.is_negative d then
     err "Spec.build: %s %gms must be non-negative" what (Sim.Time.to_ms d)
 
-let pairs_of = function Duplex _ -> 1 | Dumbbell d -> d.pairs
+let pairs_of = function
+  | Duplex _ -> 1
+  | Dumbbell d -> d.pairs
+  | Multi_dumbbell m -> (m.segments * m.m_pairs) + m.cross_pairs
 
 let validate_flow ~pairs i f =
   if f.pair < 0 || f.pair >= pairs then
@@ -303,7 +326,73 @@ let validate (t : t) =
       if d.buffer_packets < 1 then
         err "Spec.build: buffer_packets %d must be >= 1" d.buffer_packets;
       if d.host_ifq_capacity < 1 then
-        err "Spec.build: ifq_capacity %d must be >= 1" d.host_ifq_capacity);
+        err "Spec.build: ifq_capacity %d must be >= 1" d.host_ifq_capacity
+  | Multi_dumbbell m ->
+      if m.segments < 1 then
+        err "Spec.build: segments %d must be >= 1" m.segments;
+      if m.m_pairs < 1 || m.m_pairs > 100 then
+        err "Spec.build: pairs %d must be within 1..100" m.m_pairs;
+      if m.cross_pairs < 0 || m.cross_pairs > m.segments - 1 then
+        err "Spec.build: cross_pairs %d must be within 0..segments-1"
+          m.cross_pairs;
+      check_positive_rate "access rate" m.m_access_rate;
+      check_positive_rate "bottleneck rate" m.m_bottleneck_rate;
+      check_positive_rate "core rate" m.core_rate;
+      check_delay "access_delay" m.m_access_delay;
+      check_delay "bottleneck_delay" m.m_bottleneck_delay;
+      check_delay "core_delay" m.core_delay;
+      if m.m_buffer_packets < 1 then
+        err "Spec.build: buffer_packets %d must be >= 1" m.m_buffer_packets;
+      if m.m_host_ifq_capacity < 1 then
+        err "Spec.build: ifq_capacity %d must be >= 1" m.m_host_ifq_capacity);
+  if t.domains < 1 then err "Spec.build: domains %d must be >= 1" t.domains;
+  (* Partitioned runs keep every piece of shared mutable state off the
+     table: no global trace ring, no fault models straddling the cut,
+     and no wheel-owning or receiver-spawning workloads. Everything
+     else — and everything at [domains = 1] — is unrestricted. *)
+  if t.domains > 1 then begin
+    (match t.topology with
+    | Duplex d ->
+        if not (Sim.Time.is_positive d.one_way_delay) then
+          err
+            "Spec.build: domains > 1 needs one_way_delay > 0 (the \
+             cross-partition lookahead)"
+    | Dumbbell _ ->
+        err
+          "Spec.build: a dumbbell has no partition cut; use duplex or \
+           dumbbell_of_dumbbells for domains > 1"
+    | Multi_dumbbell m ->
+        if m.segments < 2 then
+          err
+            "Spec.build: domains > 1 needs >= 2 segments (one partition \
+             per segment)";
+        if not (Sim.Time.is_positive m.core_delay) then
+          err
+            "Spec.build: domains > 1 needs core_delay > 0 (the \
+             cross-partition lookahead)");
+    if t.record_trace then
+      err
+        "Spec.build: record_trace is not supported with domains > 1 (the \
+         event ring is one global order)";
+    if
+      t.faults.forward <> Fm.passthrough || t.faults.reverse <> Fm.passthrough
+    then err "Spec.build: fault profiles are not supported with domains > 1";
+    List.iteri
+      (fun i f ->
+        match f.workload with
+        | Many_flows _ ->
+            err
+              "Spec.build: flow %d: many_flows is not supported with \
+               domains > 1"
+              i
+        | Short_flows _ ->
+            err
+              "Spec.build: flow %d: short_flows is not supported with \
+               domains > 1"
+              i
+        | Bulk _ | Chunked _ | Cbr _ | On_off _ -> ())
+      t.flows
+  end;
   List.iteri (validate_flow ~pairs:(pairs_of t.topology)) t.flows;
   (* The scheduler carries at most one timer wheel, and the many-flows
      engine owns it for the run. *)
@@ -319,7 +408,10 @@ let validate (t : t) =
 
 type net =
   | Net_duplex of Scenario.t
+  | Net_duplex_split of Netsim.Topology.Duplex.t
+      (* the duplex path rebuilt across two partition schedulers *)
   | Net_dumbbell of Netsim.Topology.Dumbbell.t
+  | Net_multi of Netsim.Topology.Multi_dumbbell.t
 
 type driver =
   | Bulk_driver of Workload.Bulk.t
@@ -335,20 +427,38 @@ type built_flow = {
   flabel : string;
   src : Netsim.Host.t;
   dst : Netsim.Host.t;
+  fsrc_part : int;  (* partition owning src (0 on single-domain runs) *)
+  fdst_part : int;  (* partition owning dst *)
   mutable driver : driver option;
+}
+
+(* The partitioned engine state a [domains > 1] build carries: the
+   synchronizer, the worker count to run it with, and the delayed flow
+   starts — which become coordinator breaks rather than heap timers, so
+   a flow's first packet is injected with every partition clock sitting
+   exactly at its start time. *)
+type partitioned = {
+  psync : Sim.Partition.t;
+  pworkers : int;
+  mutable pstarts : (Sim.Time.t * built_flow) list; (* flow order *)
 }
 
 type built = {
   bspec : t;
   bsched : Sim.Scheduler.t;
   net : net;
-  ids : Netsim.Packet.Id_source.source;
+  pids : Netsim.Packet.Id_source.source array;
+      (* packet-id source per partition; [|ids|] on single-domain runs.
+         Ids only label packets (no behavioral consumer), so disjoint
+         per-partition counters keep allocation data-race-free without
+         perturbing anything observable. *)
   fwd_fault : Fm.t option;
   rev_fault : Fm.t option;
   bflows : built_flow list;
   shared : (int, Tcp.Shared_rss.t) Hashtbl.t;
   line_mbps : float;
   btrace : Trace.t option;
+  parts : partitioned option;
 }
 
 let sched b = b.bsched
@@ -357,9 +467,42 @@ let trace b = b.btrace
 let pair_hosts net pair =
   match net with
   | Net_duplex s -> (Scenario.sender_host s, Scenario.receiver_host s)
+  | Net_duplex_split d ->
+      (d.Netsim.Topology.Duplex.a, d.Netsim.Topology.Duplex.b)
   | Net_dumbbell d ->
       ( d.Netsim.Topology.Dumbbell.left.(pair),
         d.Netsim.Topology.Dumbbell.right.(pair) )
+  | Net_multi md ->
+      (* Pairs 0..segments*pairs-1 stay inside their segment (segment
+         s, local pair i at pair = s*pairs + i); the cross_pairs after
+         them run left host 0 of segment c to right host 0 of segment
+         c+1 across the core. *)
+      let segs = md.Netsim.Topology.Multi_dumbbell.segments in
+      let per = Array.length segs.(0).Netsim.Topology.Multi_dumbbell.left in
+      let base = Array.length segs * per in
+      if pair < base then
+        ( segs.(pair / per).Netsim.Topology.Multi_dumbbell.left.(pair mod per),
+          segs.(pair / per).Netsim.Topology.Multi_dumbbell.right.(pair mod per)
+        )
+      else
+        let c = pair - base in
+        ( segs.(c).Netsim.Topology.Multi_dumbbell.left.(0),
+          segs.(c + 1).Netsim.Topology.Multi_dumbbell.right.(0) )
+
+(* Partition indices of a pair's (src, dst) hosts under the fixed
+   topology-determined cut. (0, 0) on single-domain runs. *)
+let pair_parts spec pair =
+  if spec.domains <= 1 then (0, 0)
+  else
+    match spec.topology with
+    | Duplex _ -> (0, 1)
+    | Dumbbell _ -> (0, 0) (* unreachable: rejected by validate *)
+    | Multi_dumbbell m ->
+        let base = m.segments * m.m_pairs in
+        if pair < base then (pair / m.m_pairs, pair / m.m_pairs)
+        else
+          let c = pair - base in
+          (c, c + 1)
 
 let src_host b ~pair = fst (pair_hosts b.net pair)
 let dst_host b ~pair = snd (pair_hosts b.net pair)
@@ -367,12 +510,20 @@ let dst_host b ~pair = snd (pair_hosts b.net pair)
 let forward_link b =
   match b.net with
   | Net_duplex s -> Scenario.forward_link s
+  | Net_duplex_split d -> d.Netsim.Topology.Duplex.a_to_b
   | Net_dumbbell d -> d.Netsim.Topology.Dumbbell.bottleneck_lr
+  | Net_multi md ->
+      md.Netsim.Topology.Multi_dumbbell.segments.(0)
+        .Netsim.Topology.Multi_dumbbell.bottleneck_lr
 
 let reverse_link b =
   match b.net with
   | Net_duplex s -> Scenario.reverse_link s
+  | Net_duplex_split d -> d.Netsim.Topology.Duplex.b_to_a
   | Net_dumbbell d -> d.Netsim.Topology.Dumbbell.bottleneck_rl
+  | Net_multi md ->
+      md.Netsim.Topology.Multi_dumbbell.segments.(0)
+        .Netsim.Topology.Multi_dumbbell.bottleneck_rl
 
 let fault_models b = (b.fwd_fault, b.rev_fault)
 
@@ -432,8 +583,12 @@ let controller_for b bf =
   match Hashtbl.find_opt b.shared key with
   | Some c -> c
   | None ->
+      (* The controller samples the sending host's IFQ, so it lives on
+         that host's scheduler — the build scheduler on single-domain
+         runs, the owning partition's otherwise. *)
       let c =
-        Tcp.Shared_rss.create b.bsched
+        Tcp.Shared_rss.create
+          (Netsim.Host.scheduler bf.src)
           ~ifq:(Netsim.Host.ifq bf.src)
           ?config:bf.fspec.restricted ()
       in
@@ -470,30 +625,32 @@ let flow_rng b index =
 let start_flow b bf =
   let f = bf.fspec in
   let flow_id = bf.index + 1 in
+  let ids = b.pids.(bf.fsrc_part) in
+  let rx_ids = b.pids.(bf.fdst_part) in
   let driver =
     match f.workload with
     | Bulk { bytes } ->
         let ss, cc, pace_gains = bundle_for b bf in
         Bulk_driver
           (Workload.Bulk.start ~src:bf.src ~dst:bf.dst ~flow:flow_id
-             ~ids:b.ids ~config:(config_of_flow ?pace_gains f)
+             ~ids ~rx_ids ~config:(config_of_flow ?pace_gains f)
              ~slow_start:ss ~cong_avoid:cc ?bytes ~name:bf.flabel ())
     | Chunked { chunk_bytes; interval; chunks } ->
         let ss, cc, pace_gains = bundle_for b bf in
         Chunked_driver
           (Workload.Chunked.start ~src:bf.src ~dst:bf.dst ~flow:flow_id
-             ~ids:b.ids ~chunk_bytes ~interval ?chunks
+             ~ids ~rx_ids ~chunk_bytes ~interval ?chunks
              ~config:(config_of_flow ?pace_gains f)
              ~slow_start:ss ~cong_avoid:cc ~name:bf.flabel ())
     | Cbr { rate; packet_bytes; stop_at } ->
         Cbr_driver
           ( Workload.Cbr.start ~host:bf.src ~dst:(Netsim.Host.id bf.dst)
-              ~flow:flow_id ~ids:b.ids ~rate ~packet_bytes ?stop_at (),
+              ~flow:flow_id ~ids ~rate ~packet_bytes ?stop_at (),
             packet_bytes )
     | On_off { peak_rate; mean_on; mean_off; packet_bytes } ->
         On_off_driver
           ( Workload.On_off.start ~host:bf.src ~dst:(Netsim.Host.id bf.dst)
-              ~flow:flow_id ~ids:b.ids ~rng:(flow_rng b bf.index) ~peak_rate
+              ~flow:flow_id ~ids ~rng:(flow_rng b bf.index) ~peak_rate
               ~mean_on ~mean_off ~packet_bytes (),
             packet_bytes )
     | Short_flows { arrival_rate; mean_size; pareto_shape; stop_at } ->
@@ -502,7 +659,7 @@ let start_flow b bf =
            (mice rarely leave slow-start). *)
         let _, _, pace_gains = bundle_for b bf in
         Short_driver
-          (Workload.Short_flows.start ~src:bf.src ~dst:bf.dst ~ids:b.ids
+          (Workload.Short_flows.start ~src:bf.src ~dst:bf.dst ~ids
              ~rng:(flow_rng b bf.index) ~arrival_rate ~mean_size ~pareto_shape
              ~first_flow:(10_000 + (1_000 * bf.index))
              ~config:(config_of_flow ?pace_gains f)
@@ -535,6 +692,16 @@ let start_flow b bf =
                   2,
                 d.buffer_packets,
                 d.red )
+          | Multi_dumbbell m ->
+              (* The fluid engine abstracts one segment's bottleneck. *)
+              ( m.m_bottleneck_rate /. 8.,
+                Sim.Time.mul_int
+                  (Sim.Time.add
+                     (Sim.Time.mul_int m.m_access_delay 2)
+                     m.m_bottleneck_delay)
+                  2,
+                m.m_buffer_packets,
+                m.m_red )
         in
         Many_driver
           (Workload.Many_flows.start ~sched:b.bsched
@@ -577,30 +744,122 @@ let default_label spec i (f : flow) =
 
 let build spec =
   validate spec;
-  let net =
-    match spec.topology with
-    | Duplex d ->
-        Net_duplex
-          (Scenario.anl_lbnl ~seed:spec.seed ~rate:d.rate
-             ~one_way_delay:d.one_way_delay ~ifq_capacity:d.ifq_capacity
-             ~loss_rate:d.loss_rate ?ifq_red_ecn:d.ifq_red_ecn ())
-    | Dumbbell d ->
+  (* The partition structure is a function of the topology alone —
+     [domains] only caps how many worker domains execute it, so any
+     [domains > 1] run of the same spec replays the identical partition
+     build (and therefore the identical trajectory). *)
+  let nparts =
+    if spec.domains <= 1 then 1
+    else
+      match spec.topology with
+      | Duplex _ -> 2
+      | Dumbbell _ -> 1 (* unreachable: rejected by validate *)
+      | Multi_dumbbell m -> m.segments
+  in
+  (* Partition 0 always carries the spec seed, so every stream derived
+     from it (the duplex loss stream, derived workload streams) lands on
+     the values the single-scheduler build draws; sibling partitions get
+     independent derived seeds that nothing in the allowed spec shapes
+     consumes. *)
+  let psync =
+    if nparts = 1 then None
+    else
+      Some
+        (Sim.Partition.create ~parts:nparts ~seed_of:(fun i ->
+             if i = 0 then spec.seed
+             else Sim.Rng.derive_seed ~root:spec.seed ~stream:(0x9A40 + i)))
+  in
+  let net, cut =
+    match (spec.topology, psync) with
+    | Duplex d, None ->
+        ( Net_duplex
+            (Scenario.anl_lbnl ~seed:spec.seed ~rate:d.rate
+               ~one_way_delay:d.one_way_delay ~ifq_capacity:d.ifq_capacity
+               ~loss_rate:d.loss_rate ?ifq_red_ecn:d.ifq_red_ecn ()),
+          Netsim.Topology.Cut.single )
+    | Duplex d, Some p ->
+        let path, cut =
+          Netsim.Topology.Duplex.create_split
+            (Sim.Partition.scheduler p 0)
+            (Sim.Partition.scheduler p 1)
+            ~rate:d.rate ~one_way_delay:d.one_way_delay
+            ~ifq_capacity:d.ifq_capacity ~loss_rate:d.loss_rate
+            ?ifq_red_ecn:d.ifq_red_ecn ()
+        in
+        (Net_duplex_split path, cut)
+    | Dumbbell d, _ ->
         let sched = Sim.Scheduler.create ~seed:spec.seed () in
-        Net_dumbbell
-          (Netsim.Topology.Dumbbell.create sched ~pairs:d.pairs
-             ~access_rate:d.access_rate ~access_delay:d.access_delay
-             ~bottleneck_rate:d.bottleneck_rate
-             ~bottleneck_delay:d.bottleneck_delay
-             ~buffer_packets:d.buffer_packets
-             ~ifq_capacity:d.host_ifq_capacity ?red:d.red ())
+        ( Net_dumbbell
+            (Netsim.Topology.Dumbbell.create sched ~pairs:d.pairs
+               ~access_rate:d.access_rate ~access_delay:d.access_delay
+               ~bottleneck_rate:d.bottleneck_rate
+               ~bottleneck_delay:d.bottleneck_delay
+               ~buffer_packets:d.buffer_packets
+               ~ifq_capacity:d.host_ifq_capacity ?red:d.red ()),
+          Netsim.Topology.Cut.single )
+    | Multi_dumbbell m, _ ->
+        let sched_of =
+          match psync with
+          | Some p -> Sim.Partition.scheduler p
+          | None ->
+              let sched = Sim.Scheduler.create ~seed:spec.seed () in
+              fun _ -> sched
+        in
+        let md =
+          Netsim.Topology.Multi_dumbbell.create ~sched_of
+            ~segments:m.segments ~pairs:m.m_pairs
+            ~access_rate:m.m_access_rate ~access_delay:m.m_access_delay
+            ~bottleneck_rate:m.m_bottleneck_rate
+            ~bottleneck_delay:m.m_bottleneck_delay ~core_rate:m.core_rate
+            ~core_delay:m.core_delay ~buffer_packets:m.m_buffer_packets
+            ~ifq_capacity:m.m_host_ifq_capacity ?red:m.m_red
+            ~cross_pairs:m.cross_pairs ()
+        in
+        ( Net_multi md,
+          match psync with
+          | Some _ -> md.Netsim.Topology.Multi_dumbbell.cut
+          | None -> Netsim.Topology.Cut.single )
   in
-  let bsched, ids =
+  let bsched =
+    match psync with
+    | Some p -> Sim.Partition.scheduler p 0
+    | None -> (
+        match net with
+        | Net_duplex s -> s.Scenario.sched
+        | Net_duplex_split _ -> assert false
+        | Net_dumbbell d ->
+            Netsim.Host.scheduler d.Netsim.Topology.Dumbbell.left.(0)
+        | Net_multi md ->
+            Netsim.Host.scheduler
+              md.Netsim.Topology.Multi_dumbbell.segments.(0)
+                .Netsim.Topology.Multi_dumbbell.left.(0))
+  in
+  let pids =
     match net with
-    | Net_duplex s -> (s.Scenario.sched, s.Scenario.ids)
-    | Net_dumbbell d ->
-        ( Netsim.Host.scheduler d.Netsim.Topology.Dumbbell.left.(0),
-          Netsim.Packet.Id_source.create () )
+    | Net_duplex s -> [| s.Scenario.ids |]
+    | Net_duplex_split _ | Net_dumbbell _ | Net_multi _ ->
+        Array.init nparts (fun _ -> Netsim.Packet.Id_source.create ())
   in
+  (* Rewire each boundary link of the cut as a channel endpoint: the
+     transmit side hands finished packets to the channel (due = now +
+     propagation delay, the channel's lookahead), and the destination
+     partition replays delivery — sink dispatch, delivered counter — at
+     [due] on its own scheduler. *)
+  (match psync with
+  | None -> ()
+  | Some p ->
+      List.iter
+        (fun (bd : Netsim.Topology.Cut.boundary) ->
+          let link = bd.Netsim.Topology.Cut.link in
+          let ch =
+            Sim.Partition.channel p ~src:bd.Netsim.Topology.Cut.src
+              ~dst:bd.Netsim.Topology.Cut.dst
+              ~lookahead:(Netsim.Topology.Cut.lookahead bd)
+              ~handler:(fun _due pkt -> Netsim.Link.remote_deliver link pkt)
+          in
+          Netsim.Link.set_remote link (fun ~due pkt ->
+              Sim.Partition.Channel.send ch ~due pkt))
+        cut.Netsim.Topology.Cut.boundaries);
   (* A passthrough profile gets no model: an installed passthrough hook
      is behaviourally identical to none (no RNG draws, zero extra
      delay), so skipping keeps unfaulted specs byte-identical to the
@@ -623,24 +882,31 @@ let build spec =
     match spec.topology with
     | Duplex d -> Sim.Units.rate_to_mbps d.rate
     | Dumbbell d -> Sim.Units.rate_to_mbps d.bottleneck_rate
+    | Multi_dumbbell m -> Sim.Units.rate_to_mbps m.m_bottleneck_rate
   in
   let btrace =
     if spec.record_trace then
       Some (Trace.create ~capacity:spec.trace_capacity ())
     else None
   in
+  let parts =
+    Option.map
+      (fun p -> { psync = p; pworkers = spec.domains; pstarts = [] })
+      psync
+  in
   let b0 =
     {
       bspec = spec;
       bsched;
       net;
-      ids;
+      pids;
       fwd_fault = None;
       rev_fault = None;
       bflows = [];
       shared = Hashtbl.create 4;
       line_mbps;
       btrace;
+      parts;
     }
   in
   (* Streams 0xFA1/0xFA2: the chaos harness's historical fault streams,
@@ -651,12 +917,15 @@ let build spec =
     List.mapi
       (fun i f ->
         let src, dst = pair_hosts net f.pair in
+        let fsrc_part, fdst_part = pair_parts spec f.pair in
         {
           fspec = f;
           index = i;
           flabel = default_label spec i f;
           src;
           dst;
+          fsrc_part;
+          fdst_part;
           driver = None;
         })
       spec.flows
@@ -686,9 +955,16 @@ let build spec =
       if Sim.Time.compare bf.fspec.start_at Sim.Time.zero = 0 then
         start_flow b bf
       else
-        ignore
-          (Sim.Scheduler.at b.bsched bf.fspec.start_at (fun () ->
-               start_flow b bf)))
+        match b.parts with
+        | None ->
+            ignore
+              (Sim.Scheduler.at b.bsched bf.fspec.start_at (fun () ->
+                   start_flow b bf))
+        | Some p ->
+            (* Delayed starts become coordinator breaks: the flow is
+               injected with every partition quiesced at its start time
+               rather than from one partition's heap. *)
+            p.pstarts <- p.pstarts @ [ (bf.fspec.start_at, bf) ])
     bflows;
   b
 
@@ -725,12 +1001,15 @@ let sender_receiver bf =
       Some (Workload.Chunked.sender t, Workload.Chunked.receiver t)
   | _ -> None
 
-let sample_instrument b inst =
+(* [now] is the sampling instant: the build scheduler's clock on
+   single-domain runs, the (identical) barrier time on partitioned ones
+   — where reading one partition's clock for a flow living on another
+   would be ill-defined mid-epoch. *)
+let sample_instrument b ~now inst =
   match inst.ibf.driver with
   | Some (Many_driver t) ->
       (* Aggregate gauges of the fluid engine: mean window, fluid
          backlog, and goodput over the sample window. *)
-      let now = Sim.Scheduler.now b.bsched in
       Sim.Stats.Series.add inst.cwnd_s now
         (Workload.Many_flows.mean_cwnd_segments t);
       Sim.Stats.Series.add inst.ifq_s now
@@ -746,7 +1025,6 @@ let sample_instrument b inst =
       match sender_receiver inst.ibf with
       | None -> ()
       | Some (sender, receiver) ->
-      let now = Sim.Scheduler.now b.bsched in
       Sim.Stats.Series.add inst.stalls_s now
         (float_of_int (Tcp.Sender.send_stalls sender));
       Sim.Stats.Series.add inst.cwnd_s now (Tcp.Sender.cwnd sender /. mss_f);
@@ -920,11 +1198,16 @@ let build_registry b =
   in
   link_metrics "forward" (forward_link b);
   link_metrics "reverse" (reverse_link b);
+  (* Cross-segment pairs reuse hosts that already appeared under their
+     own segment pair, so register each host once (first occurrence). *)
+  let seen_hosts = Hashtbl.create 16 in
   for pair = 0 to pairs_of b.bspec.topology - 1 do
     let src, dst = pair_hosts b.net pair in
     List.iter
       (fun host ->
         let id = Netsim.Host.id host in
+        if not (Hashtbl.mem seen_hosts id) then begin
+        Hashtbl.add seen_hosts id ();
         let ifq = Netsim.Host.ifq host in
         let nic = Netsim.Host.nic host in
         List.iter
@@ -937,7 +1220,8 @@ let build_registry b =
             ("ifq_stalls", fun () -> float_of_int (Netsim.Ifq.stalls ifq));
             ("nic_tx_packets", fun () -> float_of_int (Netsim.Nic.tx_packets nic));
             ("nic_tx_bytes", fun () -> float_of_int (Netsim.Nic.tx_bytes nic));
-          ])
+          ]
+        end)
       [ src; dst ]
   done;
   reg
@@ -968,7 +1252,9 @@ exception Drained of { at : Sim.Time.t; snapshot : string }
    samplers. That rules out per-packet senders, delayed flow starts,
    fault schedules and the trace ring. *)
 let snapshot_support_error t =
-  if t.record_trace then
+  if t.domains > 1 then
+    Some "partitioned runs (domains > 1) spread state over several heaps"
+  else if t.record_trace then
     Some "record_trace is on (the event ring is not serializable)"
   else if
     t.faults.forward <> Fm.passthrough || t.faults.reverse <> Fm.passthrough
@@ -1053,12 +1339,16 @@ let restore_checkpoint ~identity b instruments ~path =
   let stored = Sim.Snapshot.get_bytes r "spec.identity" in
   if stored <> identity then
     err "Spec: snapshot %s was taken from a different spec" path;
-  Sim.Scheduler.restore_clock b.bsched
-    (Sim.Time.of_ns_int (Sim.Snapshot.get_int r "spec.clock_ns"));
   Sim.Rng.set_state
     (Sim.Scheduler.rng b.bsched)
     (Sim.Snapshot.get_i64 r "spec.sched_rng");
+  (* Engine before clock: the restore drains the fresh build's wheel
+     arms (which sit earlier than the snapshot time) and re-arms from
+     the snapshot, so [restore_clock]'s no-earlier-pending-event guard
+     sees only post-snapshot timers. *)
   Workload.Many_flows.restore (the_engine b) r;
+  Sim.Scheduler.restore_clock b.bsched
+    (Sim.Time.of_ns_int (Sim.Snapshot.get_int r "spec.clock_ns"));
   List.iteri
     (fun i inst ->
       inst.last_bytes <-
@@ -1068,7 +1358,54 @@ let restore_checkpoint ~identity b instruments ~path =
         (instrument_sections i inst))
     instruments
 
+(* Partitioned execution. Nothing instrumentation-related lives in any
+   partition's heap: delayed flow starts and series samples are
+   coordinator breaks, executed with every partition quiesced exactly at
+   the break time — all events below it fired, all cross-partition
+   messages drained, every clock equal. At a shared instant, starts fire
+   before samples, mirroring the single-domain heap order (start timers
+   enter the heap at build time, before the samplers are registered). *)
+let run_partitioned b p instruments =
+  let dur_ns = Sim.Time.to_ns_int b.bspec.duration in
+  let per_ns = Sim.Time.to_ns_int b.bspec.sample_period in
+  let sampling =
+    b.bspec.record_series
+    && List.exists
+         (fun inst -> tcp_series_workload inst.ibf.fspec.workload)
+         instruments
+  in
+  let sample_grid =
+    if not sampling then []
+    else begin
+      let acc = ref [] in
+      let k = ref 1 in
+      while !k * per_ns <= dur_ns do
+        acc := Sim.Time.of_ns_int (!k * per_ns) :: !acc;
+        incr k
+      done;
+      List.rev !acc
+    end
+  in
+  let breaks = List.map fst p.pstarts @ sample_grid in
+  let on_break now =
+    List.iter
+      (fun (at, bf) -> if Sim.Time.compare at now = 0 then start_flow b bf)
+      p.pstarts;
+    if sampling && Sim.Time.to_ns_int now mod per_ns = 0 then
+      List.iter
+        (fun inst ->
+          if tcp_series_workload inst.ibf.fspec.workload then
+            sample_instrument b ~now inst)
+        instruments
+  in
+  Sim.Partition.run p.psync ~until:b.bspec.duration ~workers:p.pworkers
+    ~breaks ~on_break ()
+
 let execute_core ?checkpoint ~resume ~identity b =
+  (match b.parts with
+  | Some _ when checkpoint <> None || resume <> None ->
+      err "Spec: checkpoint/resume is not supported with domains > 1"
+  | _ -> ());
   (match checkpoint with
   | Some ck when Sim.Time.(ck.interval <= Sim.Time.zero) ->
       err "Spec: checkpoint interval must be positive"
@@ -1082,62 +1419,74 @@ let execute_core ?checkpoint ~resume ~identity b =
         restore_checkpoint ~identity b instruments ~path;
         Some path
   in
-  if b.bspec.record_series then
-    List.iter
-      (fun inst ->
-        if tcp_series_workload inst.ibf.fspec.workload then begin
-          (* On resume the sampler restarts at the first multiple of
-             the period strictly after the restored clock: occurrences
-             at or before the checkpoint already fired (and sit in the
-             restored series), and [run ~until] is boundary-inclusive. *)
-          let start =
-            match resumed with
-            | None -> None
-            | Some _ ->
-                let now_ns =
-                  Sim.Time.to_ns_int (Sim.Scheduler.now b.bsched)
+  let registry, metrics_acc =
+    match b.parts with
+    | Some p ->
+        run_partitioned b p instruments;
+        (None, ref [])
+    | None ->
+        if b.bspec.record_series then
+          List.iter
+            (fun inst ->
+              if tcp_series_workload inst.ibf.fspec.workload then begin
+                (* On resume the sampler restarts at the first multiple of
+                   the period strictly after the restored clock: occurrences
+                   at or before the checkpoint already fired (and sit in the
+                   restored series), and [run ~until] is boundary-inclusive. *)
+                let start =
+                  match resumed with
+                  | None -> None
+                  | Some _ ->
+                      let now_ns =
+                        Sim.Time.to_ns_int (Sim.Scheduler.now b.bsched)
+                      in
+                      let per = Sim.Time.to_ns_int b.bspec.sample_period in
+                      Some (Sim.Time.of_ns_int (((now_ns / per) + 1) * per))
                 in
-                let per = Sim.Time.to_ns_int b.bspec.sample_period in
-                Some (Sim.Time.of_ns_int (((now_ns / per) + 1) * per))
-          in
-          ignore
-            (Sim.Scheduler.every b.bsched ?start b.bspec.sample_period
-               (fun () -> sample_instrument b inst))
-        end)
-      instruments;
-  (* The metrics sampler is registered after the legacy per-flow
-     instruments so that runs without [record_trace] perform the exact
-     event-queue operation sequence they always did. Probes only read
-     state, so the extra timer never perturbs the model. *)
-  let registry = Option.map (fun _ -> build_registry b) b.btrace in
-  let metrics_acc = ref [] in
-  (match registry with
-  | None -> ()
-  | Some reg ->
-      ignore
-        (Sim.Scheduler.every b.bsched b.bspec.sample_period (fun () ->
-             let now = Sim.Time.to_sec (Sim.Scheduler.now b.bsched) in
-             metrics_acc := (now, Trace.Registry.sample reg) :: !metrics_acc)));
-  (match checkpoint with
-  | None -> Sim.Scheduler.run ~until:b.bspec.duration b.bsched
-  | Some ck ->
-      (* Run in interval-sized slices. [run ~until:t1; run ~until:t2]
-         is equivalent to [run ~until:t2], so slicing (and therefore
-         where checkpoints land) never changes the simulation — only
-         what survives a kill. No snapshot at the final boundary: the
-         run is complete, its outputs are the artifact. *)
-      let duration = b.bspec.duration in
-      let rec slice t0 =
-        let next = Sim.Time.min duration (Sim.Time.add t0 ck.interval) in
-        Sim.Scheduler.run ~until:next b.bsched;
-        if Sim.Time.(next < duration) then begin
-          save_checkpoint ~identity b instruments ~path:ck.snapshot_path;
-          if ck.should_stop () then
-            raise (Drained { at = next; snapshot = ck.snapshot_path })
-          else slice next
-        end
-      in
-      slice (Sim.Scheduler.now b.bsched));
+                ignore
+                  (Sim.Scheduler.every b.bsched ?start b.bspec.sample_period
+                     (fun () ->
+                       sample_instrument b
+                         ~now:(Sim.Scheduler.now b.bsched)
+                         inst))
+              end)
+            instruments;
+        (* The metrics sampler is registered after the legacy per-flow
+           instruments so that runs without [record_trace] perform the exact
+           event-queue operation sequence they always did. Probes only read
+           state, so the extra timer never perturbs the model. *)
+        let registry = Option.map (fun _ -> build_registry b) b.btrace in
+        let metrics_acc = ref [] in
+        (match registry with
+        | None -> ()
+        | Some reg ->
+            ignore
+              (Sim.Scheduler.every b.bsched b.bspec.sample_period (fun () ->
+                   let now = Sim.Time.to_sec (Sim.Scheduler.now b.bsched) in
+                   metrics_acc :=
+                     (now, Trace.Registry.sample reg) :: !metrics_acc)));
+        (match checkpoint with
+        | None -> Sim.Scheduler.run ~until:b.bspec.duration b.bsched
+        | Some ck ->
+            (* Run in interval-sized slices. [run ~until:t1; run ~until:t2]
+               is equivalent to [run ~until:t2], so slicing (and therefore
+               where checkpoints land) never changes the simulation — only
+               what survives a kill. No snapshot at the final boundary: the
+               run is complete, its outputs are the artifact. *)
+            let duration = b.bspec.duration in
+            let rec slice t0 =
+              let next = Sim.Time.min duration (Sim.Time.add t0 ck.interval) in
+              Sim.Scheduler.run ~until:next b.bsched;
+              if Sim.Time.(next < duration) then begin
+                save_checkpoint ~identity b instruments ~path:ck.snapshot_path;
+                if ck.should_stop () then
+                  raise (Drained { at = next; snapshot = ck.snapshot_path })
+                else slice next
+              end
+            in
+            slice (Sim.Scheduler.now b.bsched));
+        (registry, metrics_acc)
+  in
   let results = List.map (collect_flow b) instruments in
   let tcp_goodputs =
     List.filter_map
@@ -1153,10 +1502,17 @@ let execute_core ?checkpoint ~resume ~identity b =
   in
   let router_drops =
     match b.net with
-    | Net_duplex _ -> 0
+    | Net_duplex _ | Net_duplex_split _ -> 0
     | Net_dumbbell d ->
         Netsim.Router.dropped d.Netsim.Topology.Dumbbell.router_l
         + Netsim.Router.dropped d.Netsim.Topology.Dumbbell.router_r
+    | Net_multi md ->
+        Array.fold_left
+          (fun acc (s : Netsim.Topology.Multi_dumbbell.segment) ->
+            acc
+            + Netsim.Router.dropped s.Netsim.Topology.Multi_dumbbell.router_l
+            + Netsim.Router.dropped s.Netsim.Topology.Multi_dumbbell.router_r)
+          0 md.Netsim.Topology.Multi_dumbbell.segments
   in
   {
     results;
@@ -1262,6 +1618,23 @@ let topology_to_json = function
           ("ifq_capacity", int_to_json d.host_ifq_capacity);
           ("red", opt_to_json red_to_json d.red);
         ]
+  | Multi_dumbbell m ->
+      Json.Obj
+        [
+          ("kind", Json.String "dumbbell_of_dumbbells");
+          ("segments", int_to_json m.segments);
+          ("pairs", int_to_json m.m_pairs);
+          ("access_rate_mbps", rate_to_json m.m_access_rate);
+          ("access_delay_ns", time_to_json m.m_access_delay);
+          ("bottleneck_rate_mbps", rate_to_json m.m_bottleneck_rate);
+          ("bottleneck_delay_ns", time_to_json m.m_bottleneck_delay);
+          ("core_rate_mbps", rate_to_json m.core_rate);
+          ("core_delay_ns", time_to_json m.core_delay);
+          ("buffer_packets", int_to_json m.m_buffer_packets);
+          ("ifq_capacity", int_to_json m.m_host_ifq_capacity);
+          ("red", opt_to_json red_to_json m.m_red);
+          ("cross_pairs", int_to_json m.cross_pairs);
+        ]
 
 let workload_to_json = function
   | Bulk { bytes } ->
@@ -1365,6 +1738,7 @@ let to_json t =
       ("record_series", Json.Bool t.record_series);
       ("record_trace", Json.Bool t.record_trace);
       ("trace_capacity", int_to_json t.trace_capacity);
+      ("domains", int_to_json t.domains);
       ("topology", topology_to_json t.topology);
       ("flows", Json.List (List.map flow_to_json t.flows));
       ( "faults",
@@ -1591,6 +1965,37 @@ let topology_of_json j =
              host_ifq_capacity;
              red;
            })
+  | "dumbbell_of_dumbbells" ->
+      let* segments = int_default 2 "segments" j in
+      let* pairs = int_default 2 "pairs" j in
+      let* access_rate_mbps = num_default 100. "access_rate_mbps" j in
+      let* access_delay = time_default (Sim.Time.ms 1) "access_delay" j in
+      let* bottleneck_rate_mbps = num_default 100. "bottleneck_rate_mbps" j in
+      let* bottleneck_delay =
+        time_default (Sim.Time.ms 10) "bottleneck_delay" j
+      in
+      let* core_rate_mbps = num_default 400. "core_rate_mbps" j in
+      let* core_delay = time_default (Sim.Time.ms 5) "core_delay" j in
+      let* buffer_packets = int_default 250 "buffer_packets" j in
+      let* host_ifq_capacity = int_default 100 "ifq_capacity" j in
+      let* red = opt_field "red" red_of_json j in
+      let* cross_pairs = int_default 0 "cross_pairs" j in
+      Ok
+        (Multi_dumbbell
+           {
+             segments;
+             m_pairs = pairs;
+             m_access_rate = Sim.Units.mbps access_rate_mbps;
+             m_access_delay = access_delay;
+             m_bottleneck_rate = Sim.Units.mbps bottleneck_rate_mbps;
+             m_bottleneck_delay = bottleneck_delay;
+             core_rate = Sim.Units.mbps core_rate_mbps;
+             core_delay;
+             m_buffer_packets = buffer_packets;
+             m_host_ifq_capacity = host_ifq_capacity;
+             m_red = red;
+             cross_pairs;
+           })
   | other -> Error (Printf.sprintf "unknown topology kind %S" other)
 
 let workload_of_json j =
@@ -1767,6 +2172,7 @@ let of_json j =
   let* record_series = bool_default d.record_series "record_series" j in
   let* record_trace = bool_default d.record_trace "record_trace" j in
   let* trace_capacity = int_default d.trace_capacity "trace_capacity" j in
+  let* domains = int_default d.domains "domains" j in
   let* topology =
     match Json.member "topology" j with
     | None -> Ok d.topology
@@ -1798,7 +2204,7 @@ let of_json j =
   in
   Ok
     { name; seed; duration; sample_period; record_series; record_trace;
-      trace_capacity; topology; flows; faults }
+      trace_capacity; domains; topology; flows; faults }
 
 (* --- result serialization ---------------------------------------------- *)
 
@@ -1851,7 +2257,9 @@ let template () =
   "_doc_record_trace": "true attaches the run-wide event tracer (ring of trace_capacity records) and the unified metrics registry; read them back with `rss_sim trace`",
   "record_trace": false,
   "trace_capacity": 65536,
-  "_doc_topology": "kind duplex (paper's sender-limited path: rate_mbps, one_way_delay_*, ifq_capacity, loss_rate, ifq_red_ecn) or dumbbell (pairs, access_rate_mbps, access_delay_*, bottleneck_rate_mbps, bottleneck_delay_*, buffer_packets, ifq_capacity, red)",
+  "_doc_domains": "partition the simulation across N OCaml domains (conservative-lookahead parallel DES); needs a cut-capable topology (duplex or dumbbell_of_dumbbells) and identical artifacts are guaranteed at any value; 1 = the classic single-scheduler engine",
+  "domains": 1,
+  "_doc_topology": "kind duplex (paper's sender-limited path: rate_mbps, one_way_delay_*, ifq_capacity, loss_rate, ifq_red_ecn), dumbbell (pairs, access_rate_mbps, access_delay_*, bottleneck_rate_mbps, bottleneck_delay_*, buffer_packets, ifq_capacity, red) or dumbbell_of_dumbbells (segments chained through core_rate_mbps/core_delay_* duplex links, plus the dumbbell knobs per segment and cross_pairs flows spanning adjacent segments)",
   "topology": {
     "kind": "dumbbell",
     "pairs": 2,

@@ -45,7 +45,35 @@ type dumbbell = {
       (** bottleneck queues run RED instead of drop-tail *)
 }
 
-type topology = Duplex of duplex | Dumbbell of dumbbell
+(** [segments] dumbbells chained left-to-right through duplex core
+    links — the canonical partitionable topology
+    ({!Netsim.Topology.Multi_dumbbell}). Regular pairs live inside one
+    segment (pair [s·pairs + i] is segment [s]'s pair [i]); the
+    [cross_pairs] pairs after them run left host 0 of segment [c] to
+    right host 0 of segment [c+1] across the core, exercising the
+    partition boundary. *)
+type multi_dumbbell = {
+  segments : int;
+  m_pairs : int;  (** host pairs per segment (1..100) *)
+  m_access_rate : Sim.Units.rate;
+  m_access_delay : Sim.Time.t;
+  m_bottleneck_rate : Sim.Units.rate;
+  m_bottleneck_delay : Sim.Time.t;
+  core_rate : Sim.Units.rate;  (** inter-segment duplex links *)
+  core_delay : Sim.Time.t;
+      (** core propagation delay — the lookahead a partitioned run's
+          conservative horizon advances by, so keep it the largest delay
+          you can justify *)
+  m_buffer_packets : int;
+  m_host_ifq_capacity : int;
+  m_red : Netsim.Queue_disc.red_params option;
+  cross_pairs : int;  (** 0..segments-1 boundary-crossing pairs *)
+}
+
+type topology =
+  | Duplex of duplex
+  | Dumbbell of dumbbell
+  | Multi_dumbbell of multi_dumbbell
 
 type workload =
   | Bulk of { bytes : int option }
@@ -144,6 +172,18 @@ type t = {
   trace_capacity : int;
       (** trace ring size in records; oldest records are overwritten
           beyond it ({!Trace.dropped}) *)
+  domains : int;
+      (** worker domains for intra-scenario parallelism (default 1).
+          With [domains > 1] the topology is cut into partitions — one
+          per duplex endpoint, one per dumbbell_of_dumbbells segment —
+          each advancing its own scheduler under a conservative horizon
+          derived from the cut links' propagation delays. The partition
+          structure depends only on the topology, so artifacts are
+          byte-identical at every [domains] value; the count only caps
+          how many OCaml domains execute partitions. Restricted: needs
+          a cut-capable topology with positive boundary delay, no
+          [record_trace], no fault profiles, no many_flows/short_flows
+          workloads, no checkpoint/resume. *)
   topology : topology;
   flows : flow list;
   faults : faults;
@@ -224,6 +264,11 @@ type outcome = {
 }
 
 (* --- compile and execute ---------------------------------------------- *)
+
+val validate : t -> unit
+(** Raise [Invalid_argument] with the offending field on a malformed
+    spec — the checks {!build} performs, without instantiating anything
+    ([rss_sim spec --validate]). *)
 
 type built
 (** A compiled spec: live network plus started (or scheduled) flows,

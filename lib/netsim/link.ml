@@ -13,6 +13,16 @@ type t = {
   mutable flying : int;
   mutable tracer : Trace.t option;
   mutable trace_src : int;
+  (* Remote mode: the link crosses a partition boundary. Transmit-side
+     decisions (taps, drop filter, corruption, fault hook) still run on
+     the owning partition; the surviving copies are handed to [remote]
+     with their absolute due time instead of being scheduled locally.
+     Counter discipline is single-writer per side: the transmit side
+     writes [lost_count]/[dup_count]/[remote_handed], the delivery side
+     writes [delivered_count], and both are only read together at
+     synchronization barriers. *)
+  mutable remote : (due:Sim.Time.t -> Packet.t -> unit) option;
+  mutable remote_handed : int;
 }
 
 let create sched ~delay ?(loss_rate = 0.) ?rng () =
@@ -40,9 +50,12 @@ let create sched ~delay ?(loss_rate = 0.) ?rng () =
     flying = 0;
     tracer = None;
     trace_src = 0;
+    remote = None;
+    remote_handed = 0;
   }
 
 let connect t sink = t.sink <- Some sink
+let set_remote t push = t.remote <- Some push
 
 let set_tracer t ?(src = 0) tracer =
   t.tracer <- tracer;
@@ -67,20 +80,35 @@ let set_drop_filter t f = t.drop_filter <- Some f
 let set_fault_hook t h = t.fault_hook <- Some h
 
 let deliver_after t sink pkt extra =
-  t.flying <- t.flying + 1;
   let delay = Sim.Time.add t.prop_delay (Sim.Time.max extra Sim.Time.zero) in
-  ignore
-    (Sim.Scheduler.after t.sched delay (fun () ->
-         t.flying <- t.flying - 1;
-         t.delivered_count <- t.delivered_count + 1;
-         trace t ~code:Trace.Code.link_deliver pkt;
-         sink pkt))
+  match t.remote with
+  | Some push ->
+      t.remote_handed <- t.remote_handed + 1;
+      push ~due:(Sim.Time.add (Sim.Scheduler.now t.sched) delay) pkt
+  | None ->
+      t.flying <- t.flying + 1;
+      ignore
+        (Sim.Scheduler.after t.sched delay (fun () ->
+             t.flying <- t.flying - 1;
+             t.delivered_count <- t.delivered_count + 1;
+             trace t ~code:Trace.Code.link_deliver pkt;
+             sink pkt))
+
+(* Destination-partition half of a remote link: the channel handler
+   calls this at the packet's due time, mirroring exactly what the
+   local delivery event does. *)
+let remote_deliver t pkt =
+  t.delivered_count <- t.delivered_count + 1;
+  (match t.sink with
+  | Some s -> s pkt
+  | None -> invalid_arg "Link.remote_deliver: link not connected")
 
 let transmit t pkt =
   let sink =
-    match t.sink with
-    | Some s -> s
-    | None -> invalid_arg "Link.transmit: link not connected"
+    match (t.sink, t.remote) with
+    | Some s, _ -> s
+    | None, Some _ -> ignore
+    | None, None -> invalid_arg "Link.transmit: link not connected"
   in
   let now = Sim.Scheduler.now t.sched in
   for i = 0 to Array.length t.taps - 1 do
@@ -112,4 +140,8 @@ let delay t = t.prop_delay
 let delivered t = t.delivered_count
 let lost t = t.lost_count
 let duplicated t = t.dup_count
-let in_flight t = t.flying
+
+let in_flight t =
+  match t.remote with
+  | None -> t.flying
+  | Some _ -> t.remote_handed - t.delivered_count

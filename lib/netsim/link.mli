@@ -27,6 +27,22 @@ val create :
 val connect : t -> (Packet.t -> unit) -> unit
 (** Set the receiving endpoint. Must be called before any transmit. *)
 
+val set_remote : t -> (due:Sim.Time.t -> Packet.t -> unit) -> unit
+(** Turn the link into a partition-boundary endpoint. Transmit-side
+    decisions (taps, drop filter, corruption loss, fault hook) still run
+    on the owning partition's scheduler, but each surviving copy is
+    handed to [push ~due pkt] — [due] being the absolute delivery time
+    [now + delay + extra] — instead of being scheduled locally. The
+    destination partition completes the delivery by calling
+    {!remote_deliver} at [due]. The link's propagation delay is the
+    channel's lookahead, so [due] is always at least one lookahead past
+    the transmit time. *)
+
+val remote_deliver : t -> Packet.t -> unit
+(** Destination half of a remote link: count the arrival and hand the
+    packet to the {!connect}ed sink. Call exactly once per pushed copy,
+    at its due time, from the destination partition. *)
+
 val transmit : t -> Packet.t -> unit
 (** Begin propagation of [pkt]; it is delivered [delay] later unless
     corrupted, dropped or rescheduled by the fault hook. *)
@@ -70,3 +86,6 @@ val duplicated : t -> int
     counts one transmit, two {!delivered}, one {!duplicated}). *)
 
 val in_flight : t -> int
+(** Copies transmitted but not yet delivered. On a remote link this is
+    the difference of two single-writer counters owned by different
+    partitions — read it only at synchronization barriers. *)

@@ -1,6 +1,7 @@
 (* Structure-of-arrays 4-ary min-heap.
 
-   Heap entries live in four parallel arrays (time, seq, action, slot),
+   Heap entries live in five parallel arrays (time, birth, seq, action,
+   slot),
    so the hot add/pop path touches flat int arrays instead of chasing a
    pointer per entry, and inserting an event allocates nothing: the
    timestamp is an immediate int and the handle is a packed int.
@@ -23,6 +24,7 @@ let nop () = ()
 type t = {
   (* heap entries, structure-of-arrays; indices [0, size) are the heap *)
   mutable times : int array;
+  mutable births : int array;
   mutable seqs : int array;
   mutable actions : (unit -> unit) array;
   mutable slots : int array;
@@ -40,6 +42,7 @@ let create ?(initial_capacity = 64) () =
   let cap = Stdlib.max 1 initial_capacity in
   {
     times = Array.make cap 0;
+    births = Array.make cap 0;
     seqs = Array.make cap 0;
     actions = Array.make cap nop;
     slots = Array.make cap (-1);
@@ -58,6 +61,9 @@ let grow_heap t =
   let times = Array.make cap 0 in
   Array.blit t.times 0 times 0 old;
   t.times <- times;
+  let births = Array.make cap 0 in
+  Array.blit t.births 0 births 0 old;
+  t.births <- births;
   let seqs = Array.make cap 0 in
   Array.blit t.seqs 0 seqs 0 old;
   t.seqs <- seqs;
@@ -101,15 +107,22 @@ let free_slot t s =
   t.free.(t.free_top) <- s;
   t.free_top <- t.free_top + 1
 
-(* (time, seq) lexicographic order: earlier time first, then FIFO. *)
+(* (time, birth, seq) lexicographic order: earlier time first, then by
+   when the event was scheduled, then FIFO. For a lone queue the clock
+   never regresses, so birth is nondecreasing in seq and the order
+   degenerates to the classic (time, seq) FIFO. The birth key only
+   matters when a partition barrier splices in events born on another
+   scheduler (see {!Partition}): it ranks them among same-due locals
+   exactly where a single global heap would have. *)
 
 (* The sift loops use unsafe accesses: every index is maintained below
-   [size], which never exceeds the shared length of the four arrays. *)
+   [size], which never exceeds the shared length of the five arrays. *)
 
 (* Hole-based insertion: shift larger parents down, then write the new
-   entry once, instead of repeated three-array swaps. *)
-let sift_up t i time seq action slot =
+   entry once, instead of repeated four-array swaps. *)
+let sift_up t i time birth seq action slot =
   let times = t.times
+  and births = t.births
   and seqs = t.seqs
   and actions = t.actions
   and slots = t.slots in
@@ -118,8 +131,14 @@ let sift_up t i time seq action slot =
   while !moving && !i > 0 do
     let p = (!i - 1) / 4 in
     let pt = Array.unsafe_get times p in
-    if pt > time || (pt = time && Array.unsafe_get seqs p > seq) then begin
+    let pb = Array.unsafe_get births p in
+    if
+      pt > time
+      || (pt = time
+         && (pb > birth || (pb = birth && Array.unsafe_get seqs p > seq)))
+    then begin
       Array.unsafe_set times !i pt;
+      Array.unsafe_set births !i pb;
       Array.unsafe_set seqs !i (Array.unsafe_get seqs p);
       Array.unsafe_set actions !i (Array.unsafe_get actions p);
       Array.unsafe_set slots !i (Array.unsafe_get slots p);
@@ -128,14 +147,16 @@ let sift_up t i time seq action slot =
     else moving := false
   done;
   Array.unsafe_set times !i time;
+  Array.unsafe_set births !i birth;
   Array.unsafe_set seqs !i seq;
   Array.unsafe_set actions !i action;
   Array.unsafe_set slots !i slot
 
-(* Sift the entry (time, seq, action, slot) down from index [i] in a
-   heap of [n] entries. *)
-let sift_down t i n time seq action slot =
+(* Sift the entry (time, birth, seq, action, slot) down from index [i]
+   in a heap of [n] entries. *)
+let sift_down t i n time birth seq action slot =
   let times = t.times
+  and births = t.births
   and seqs = t.seqs
   and actions = t.actions
   and slots = t.slots in
@@ -147,18 +168,29 @@ let sift_down t i n time seq action slot =
     else begin
       let m = ref c1 in
       let mt = ref (Array.unsafe_get times c1) in
+      let mb = ref (Array.unsafe_get births c1) in
       let ms = ref (Array.unsafe_get seqs c1) in
       let last = Stdlib.min (c1 + 3) (n - 1) in
       for c = c1 + 1 to last do
         let ct = Array.unsafe_get times c in
-        if ct < !mt || (ct = !mt && Array.unsafe_get seqs c < !ms) then begin
+        let cb = Array.unsafe_get births c in
+        if
+          ct < !mt
+          || (ct = !mt
+             && (cb < !mb || (cb = !mb && Array.unsafe_get seqs c < !ms)))
+        then begin
           m := c;
           mt := ct;
+          mb := cb;
           ms := Array.unsafe_get seqs c
         end
       done;
-      if !mt < time || (!mt = time && !ms < seq) then begin
+      if
+        !mt < time
+        || (!mt = time && (!mb < birth || (!mb = birth && !ms < seq)))
+      then begin
         Array.unsafe_set times !i !mt;
+        Array.unsafe_set births !i !mb;
         Array.unsafe_set seqs !i !ms;
         Array.unsafe_set actions !i (Array.unsafe_get actions !m);
         Array.unsafe_set slots !i (Array.unsafe_get slots !m);
@@ -168,11 +200,14 @@ let sift_down t i n time seq action slot =
     end
   done;
   Array.unsafe_set times !i time;
+  Array.unsafe_set births !i birth;
   Array.unsafe_set seqs !i seq;
   Array.unsafe_set actions !i action;
   Array.unsafe_set slots !i slot
 
-let add t ~time action =
+(* Required [birth] keeps the hot path allocation-free: an optional
+   argument would box a [Some] per event. *)
+let add_born t ~birth ~time action =
   assert (not (Time.is_negative time));
   if t.size = Array.length t.times then grow_heap t;
   let slot = alloc_slot t in
@@ -181,8 +216,10 @@ let add t ~time action =
   let i = t.size in
   t.size <- i + 1;
   t.live <- t.live + 1;
-  sift_up t i (Time.to_ns_int time) seq action slot;
+  sift_up t i (Time.to_ns_int time) (Time.to_ns_int birth) seq action slot;
   (t.gens.(slot) lsl slot_bits) lor slot
+
+let add t ?(birth = Time.zero) ~time action = add_born t ~birth ~time action
 
 (* Drop the root entry and recycle its slot. *)
 let drop_root t =
@@ -191,12 +228,13 @@ let drop_root t =
   t.size <- n;
   if n > 0 then begin
     let time = t.times.(n)
+    and birth = t.births.(n)
     and seq = t.seqs.(n)
     and action = t.actions.(n)
     and slot = t.slots.(n) in
     t.actions.(n) <- nop;
     t.slots.(n) <- -1;
-    sift_down t 0 n time seq action slot
+    sift_down t 0 n time birth seq action slot
   end
   else begin
     t.actions.(0) <- nop;
@@ -204,8 +242,9 @@ let drop_root t =
   end
 
 (* Rebuild the heap keeping only live entries (Floyd heapify). Pop order
-   is fully determined by the (time, seq) keys, so dropping cancelled
-   entries and re-layering the heap cannot perturb event ordering. *)
+   is fully determined by the (time, birth, seq) keys, so dropping
+   cancelled entries and re-layering the heap cannot perturb event
+   ordering. *)
 let compact t =
   let n = t.size in
   let j = ref 0 in
@@ -213,6 +252,7 @@ let compact t =
     let slot = t.slots.(i) in
     if Bytes.get t.dead slot = '\000' then begin
       t.times.(!j) <- t.times.(i);
+      t.births.(!j) <- t.births.(i);
       t.seqs.(!j) <- t.seqs.(i);
       t.actions.(!j) <- t.actions.(i);
       t.slots.(!j) <- slot;
@@ -227,10 +267,11 @@ let compact t =
   t.size <- !j;
   for i = ((!j - 2) / 4) downto 0 do
     let time = t.times.(i)
+    and birth = t.births.(i)
     and seq = t.seqs.(i)
     and action = t.actions.(i)
     and slot = t.slots.(i) in
-    sift_down t i !j time seq action slot
+    sift_down t i !j time birth seq action slot
   done
 
 (* Compact once cancelled entries outnumber live ones; the size floor

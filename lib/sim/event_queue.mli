@@ -1,9 +1,15 @@
 (** Pending-event set for the discrete-event engine.
 
     A growable structure-of-arrays 4-ary min-heap ordered by (time,
-    insertion sequence), so events scheduled for the same instant fire
-    in FIFO order — a property the TCP model relies on (e.g. an ACK
-    arriving before a timer set at the same instant it was armed for).
+    birth, insertion sequence), so events scheduled for the same
+    instant fire in FIFO order — a property the TCP model relies on
+    (e.g. an ACK arriving before a timer set at the same instant it was
+    armed for). The [birth] key — the clock value at which the event
+    was scheduled — is nondecreasing for events added by a lone
+    scheduler, where it changes nothing; it exists so a partition
+    barrier can splice in an event born earlier on another scheduler
+    and have it rank among same-due local events exactly where a single
+    global heap would have put it.
 
     The hot path is allocation-free: timestamps are unboxed native ints
     held in a flat array, and handles are packed integers rather than
@@ -27,8 +33,16 @@ val null : handle
 
 val create : ?initial_capacity:int -> unit -> t
 
-val add : t -> time:Time.t -> (unit -> unit) -> handle
-(** [add q ~time f] schedules [f] to fire at [time]. *)
+val add : t -> ?birth:Time.t -> time:Time.t -> (unit -> unit) -> handle
+(** [add q ~time f] schedules [f] to fire at [time]. [birth] (default
+    [Time.zero]) breaks same-[time] ties before insertion order; pass
+    the scheduling clock when merging events from several clocks.
+    Callers that always use the same [birth] get pure FIFO ties. *)
+
+val add_born : t -> birth:Time.t -> time:Time.t -> (unit -> unit) -> handle
+(** {!add} with [birth] required — the allocation-free spelling (an
+    omitted-or-supplied optional [Time.t] boxes a [Some] per call).
+    The scheduler's per-event hot path uses this. *)
 
 val cancel : t -> handle -> unit
 (** [cancel q h] prevents the event from firing. Idempotent; cancelling

@@ -44,21 +44,18 @@ let derive_rng t =
   t.derived_streams <- stream + 1;
   Rng.of_seed (Rng.derive_seed ~root:t.seed ~stream)
 
-(* Snapshot-restore hook: the clock is normally advanced only by firing
-   events, but a restored run must resume from the checkpoint time
-   before any event is scheduled. *)
-let restore_clock t time = t.clock <- time
-
-let at t time action =
+let at ?birth t time action =
   if Time.(time < t.clock) then
     invalid_arg
       (Format.asprintf "Scheduler.at: %a is before now (%a)" Time.pp time
          Time.pp t.clock);
-  Event_queue.add t.events ~time action
+  let birth = match birth with Some b -> b | None -> t.clock in
+  Event_queue.add_born t.events ~birth ~time action
 
 let after t delay action =
   let delay = Time.max delay Time.zero in
-  Event_queue.add t.events ~time:(Time.add t.clock delay) action
+  Event_queue.add_born t.events ~birth:t.clock
+    ~time:(Time.add t.clock delay) action
 
 (* One [tick] closure per periodic timer, re-armed for its whole
    lifetime: a periodic sampler allocates nothing per occurrence. *)
@@ -72,9 +69,9 @@ let every t ?start period action =
   let rec tick () =
     action ();
     next := Time.add !next period;
-    cell := Event_queue.add t.events ~time:!next tick
+    cell := Event_queue.add_born t.events ~birth:t.clock ~time:!next tick
   in
-  cell := Event_queue.add t.events ~time:first tick;
+  cell := Event_queue.add_born t.events ~birth:t.clock ~time:first tick;
   cell
 
 let cancel t h = Event_queue.cancel t.events h
@@ -89,6 +86,25 @@ let wheel_ns t =
       let ns = Timer_wheel.next_due_ns w in
       if ns < 0 then -1
       else Stdlib.max ns (Time.to_ns_int t.clock)
+
+(* Clock-jump hook shared by snapshot restore (resume from the
+   checkpoint time before any event is scheduled) and the partition
+   barrier (all events below the barrier are already fired). Jumping
+   over a pending event would make it fire in the past and corrupt
+   causality silently, so that precondition is enforced here. *)
+let restore_clock t time =
+  let ns = Time.to_ns_int time in
+  let check what pending_ns =
+    if pending_ns >= 0 && pending_ns < ns then
+      invalid_arg
+        (Printf.sprintf
+           "Scheduler.restore_clock: pending %s event at %d ns is earlier \
+            than the new clock %d ns"
+           what pending_ns ns)
+  in
+  check "heap" (Event_queue.next_time_ns t.events);
+  check "wheel" (wheel_ns t);
+  t.clock <- time
 
 (* The run loop uses the queue's unboxed accessors: dispatching an
    event moves the clock and fires the action without allocating. The

@@ -32,13 +32,20 @@ val derive_rng : t -> Rng.t
     and construction order. *)
 
 val restore_clock : t -> Time.t -> unit
-(** Set the clock directly — the snapshot-restore hook. Use only on a
-    scheduler with no event scheduled before the new time; normal runs
-    advance the clock exclusively by firing events. *)
+(** Set the clock directly — the snapshot-restore and partition-barrier
+    hook. Normal runs advance the clock exclusively by firing events;
+    this is for a restored run resuming from its checkpoint time, or a
+    partition whose peers have all reached a barrier. Raises
+    [Invalid_argument] if an event (heap or wheel) earlier than the new
+    time is still pending — jumping over it would fire it in the past. *)
 
-val at : t -> Time.t -> (unit -> unit) -> handle
+val at : ?birth:Time.t -> t -> Time.t -> (unit -> unit) -> handle
 (** [at t time f] schedules [f] for absolute [time]. Raises
-    [Invalid_argument] if [time] is in the past. *)
+    [Invalid_argument] if [time] is in the past. [birth] (default
+    [now t]) is the same-[time] tiebreak recorded with the event; only
+    the partition barrier passes it, to splice a cross-partition
+    delivery in at the rank its legacy single-heap scheduling time
+    would have given it. *)
 
 val after : t -> Time.t -> (unit -> unit) -> handle
 (** [after t delay f] schedules [f] at [now t + delay]. A non-positive
@@ -61,6 +68,12 @@ val run : ?until:Time.t -> t -> unit
 val step : t -> bool
 (** [step t] fires exactly the next event. Returns [false] when no live
     event remains. *)
+
+val next_ns : t -> int
+(** Absolute time (ns) of the next pending event, merging the heap and
+    the attached wheel exactly as {!step} would dispatch them; [-1] when
+    nothing is pending. This is the per-partition bound the conservative
+    {!Partition} synchronizer computes its safe horizon from. *)
 
 val pending : t -> int
 (** Live events still scheduled (O(1)). *)

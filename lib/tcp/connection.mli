@@ -12,6 +12,7 @@ val establish :
   dst:Netsim.Host.t ->
   flow:int ->
   ids:Netsim.Packet.Id_source.source ->
+  ?rx_ids:Netsim.Packet.Id_source.source ->
   ?config:Config.t ->
   ?slow_start:Slow_start.t ->
   ?cong_avoid:Cong_avoid.t ->
@@ -20,7 +21,10 @@ val establish :
   unit ->
   t
 (** Creates both endpoints, registers them for [flow], and starts the
-    sender immediately ([bytes] omitted = unlimited transfer). *)
+    sender immediately ([bytes] omitted = unlimited transfer). [rx_ids]
+    (default [ids]) labels the receiver's ACKs — pass the destination
+    partition's id source when [src] and [dst] live on different
+    partitions, so the two sides never race on one counter. *)
 
 val goodput_mbps : t -> at:Sim.Time.t -> float
 (** Receiver goodput from simulation start to [at]. *)

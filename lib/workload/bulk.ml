@@ -4,18 +4,23 @@ type t = {
   mutable finished_at : Sim.Time.t option;
 }
 
-let start ~src ~dst ~flow ~ids ?config ?slow_start ?cong_avoid ?bytes ?name
-    () =
+let start ~src ~dst ~flow ~ids ?rx_ids ?config ?slow_start ?cong_avoid ?bytes
+    ?name () =
   let sched = Netsim.Host.scheduler src in
+  (* Completion fires on the receiver's side, so it must be stamped from
+     the receiver host's clock — the same clock as [sched] on a single
+     scheduler, and the only well-defined one when the two hosts live on
+     different partitions. *)
+  let dst_sched = Netsim.Host.scheduler dst in
   let conn =
-    Tcp.Connection.establish ~src ~dst ~flow ~ids ?config ?slow_start
+    Tcp.Connection.establish ~src ~dst ~flow ~ids ?rx_ids ?config ?slow_start
       ?cong_avoid ?bytes ?name ()
   in
   let t = { conn; sched; finished_at = None } in
   (match bytes with
   | Some n ->
       Tcp.Receiver.expect conn.Tcp.Connection.receiver ~bytes:n (fun () ->
-          t.finished_at <- Some (Sim.Scheduler.now sched))
+          t.finished_at <- Some (Sim.Scheduler.now dst_sched))
   | None -> ());
   t
 

@@ -9,6 +9,7 @@ val start :
   dst:Netsim.Host.t ->
   flow:int ->
   ids:Netsim.Packet.Id_source.source ->
+  ?rx_ids:Netsim.Packet.Id_source.source ->
   ?config:Tcp.Config.t ->
   ?slow_start:Tcp.Slow_start.t ->
   ?cong_avoid:Tcp.Cong_avoid.t ->
@@ -16,6 +17,8 @@ val start :
   ?name:string ->
   unit ->
   t
+(** [rx_ids] (default [ids]): id source for the receiver's ACKs — pass
+    the destination partition's source on a partitioned run. *)
 
 val connection : t -> Tcp.Connection.t
 val sender : t -> Tcp.Sender.t

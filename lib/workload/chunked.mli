@@ -12,6 +12,7 @@ val start :
   dst:Netsim.Host.t ->
   flow:int ->
   ids:Netsim.Packet.Id_source.source ->
+  ?rx_ids:Netsim.Packet.Id_source.source ->
   chunk_bytes:int ->
   interval:Sim.Time.t ->
   ?chunks:int ->
@@ -22,7 +23,9 @@ val start :
   unit ->
   t
 (** The first chunk is written immediately, subsequent ones every
-    [interval]. [chunks] bounds the count (default: unbounded). *)
+    [interval]. [chunks] bounds the count (default: unbounded).
+    [rx_ids] (default [ids]): id source for the receiver's ACKs — pass
+    the destination partition's source on a partitioned run. *)
 
 val sender : t -> Tcp.Sender.t
 val receiver : t -> Tcp.Receiver.t

@@ -93,9 +93,40 @@ let test_determinism () =
   in
   Alcotest.(check (list int)) "same seed, same order" (run ()) (run ())
 
+(* restore_clock teleports the clock for snapshot-restore and partition
+   barriers — but never backwards past work: an earlier pending event
+   (heap or wheel) would then fire "in the past", so it must raise. *)
+let test_restore_clock_guard () =
+  let s = Sim.Scheduler.create ~seed:1 () in
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 5) (fun () -> ()));
+  (match Sim.Scheduler.restore_clock s (Sim.Time.ms 10) with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "pending event at 5ms: jump to 10ms must raise");
+  (* Jumping exactly onto the earliest pending event is allowed (the
+     partition-barrier case: events at the break are still pending). *)
+  Sim.Scheduler.restore_clock s (Sim.Time.ms 5);
+  Alcotest.(check int) "clock moved"
+    (Sim.Time.to_ns_int (Sim.Time.ms 5))
+    (Sim.Time.to_ns_int (Sim.Scheduler.now s));
+  let fired = ref false in
+  ignore (Sim.Scheduler.at s (Sim.Time.ms 7) (fun () -> fired := true));
+  Sim.Scheduler.run s;
+  Alcotest.(check bool) "events after the jump still fire" true !fired
+
+let test_restore_clock_empty () =
+  let s = Sim.Scheduler.create ~seed:1 () in
+  Sim.Scheduler.restore_clock s (Sim.Time.sec 9);
+  Alcotest.(check int) "free jump on an idle scheduler"
+    (Sim.Time.to_ns_int (Sim.Time.sec 9))
+    (Sim.Time.to_ns_int (Sim.Scheduler.now s))
+
 let suite =
   [
     Alcotest.test_case "run order" `Quick test_run_order;
+    Alcotest.test_case "restore_clock guards pending events" `Quick
+      test_restore_clock_guard;
+    Alcotest.test_case "restore_clock on idle scheduler" `Quick
+      test_restore_clock_empty;
     Alcotest.test_case "run ~until" `Quick test_until;
     Alcotest.test_case "nested scheduling" `Quick test_nested_scheduling;
     Alcotest.test_case "past events rejected" `Quick test_past_rejected;
