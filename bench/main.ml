@@ -831,6 +831,36 @@ let pdes_spec ~domains =
 let core_metric_pdes ~domains =
   core_metric_e2e (fun () -> ignore (Core.Spec.run (pdes_spec ~domains)))
 
+(* Sharded many-flows on the same four-segment topology: one flow-level
+   sub-population per segment — the workload the partition gate used to
+   exclude. Gates the shard split + multi-wheel scheduler overhead at
+   domains 1 and the synchronizer cost at domains 4. *)
+let pdes_mf_spec ~domains =
+  {
+    (pdes_spec ~domains) with
+    Core.Spec.name = "bench-pdes-mf";
+    seed = 43;
+    duration = Sim.Time.sec 4;
+    flows =
+      [
+        {
+          Core.Spec.default_flow with
+          Core.Spec.workload =
+            Core.Spec.Many_flows
+              {
+                flows = 100_000;
+                arrival_rate = Some 50_000.;
+                arrival_pareto_shape = None;
+                mean_size = Some 60_000;
+                size_pareto_shape = 1.3;
+              };
+        };
+      ];
+  }
+
+let core_metric_pdes_mf ~domains =
+  core_metric_e2e (fun () -> ignore (Core.Spec.run (pdes_mf_spec ~domains)))
+
 let write_core_json path =
   let metric name (ns, words, ops) =
     Report.Json.Obj
@@ -902,6 +932,8 @@ let write_core_json path =
               e2e "pdes/domains1" pdes_wall_1;
               e2e "pdes/domains4" pdes_wall_4;
               pdes_scaling;
+              e2e "pdes/many-flows-domains1" (core_metric_pdes_mf ~domains:1);
+              e2e "pdes/many-flows-domains4" (core_metric_pdes_mf ~domains:4);
               metric "snapshot/save-restore-1M"
                 (core_metric_snapshot_roundtrip ());
             ] );

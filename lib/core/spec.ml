@@ -380,29 +380,37 @@ let validate (t : t) =
     List.iteri
       (fun i f ->
         match f.workload with
-        | Many_flows _ ->
-            err
-              "Spec.build: flow %d: many_flows is not supported with \
-               domains > 1"
-              i
         | Short_flows _ ->
             err
               "Spec.build: flow %d: short_flows is not supported with \
                domains > 1"
               i
-        | Bulk _ | Chunked _ | Cbr _ | On_off _ -> ())
+        | Many_flows _ | Bulk _ | Chunked _ | Cbr _ | On_off _ -> ())
       t.flows
   end;
   List.iteri (validate_flow ~pairs:(pairs_of t.topology)) t.flows;
-  (* The scheduler carries at most one timer wheel, and the many-flows
-     engine owns it for the run. *)
+  (* One many_flows flow per spec: the sharded engine array, its
+     aggregate collection and the checkpoint image all assume a single
+     logical flow population. (Each shard owns its own timer wheel;
+     schedulers carry any number of wheels.) *)
   let many =
     List.filter
       (fun f -> match f.workload with Many_flows _ -> true | _ -> false)
       t.flows
   in
   if List.length many > 1 then
-    err "Spec.build: at most one many_flows flow per spec"
+    err "Spec.build: at most one many_flows flow per spec";
+  (* The per-segment sub-populations are a function of the topology
+     alone (so any domain count replays the identical shard layout);
+     every shard needs at least one flow. *)
+  (match (many, t.topology) with
+  | [ { workload = Many_flows { flows; _ }; _ } ], Multi_dumbbell m
+    when flows < m.segments ->
+      err
+        "Spec.build: many_flows needs flows >= segments (%d < %d): the \
+         population is sharded into one sub-population per segment"
+        flows m.segments
+  | _ -> ())
 
 (* --- compilation -------------------------------------------------------- *)
 
@@ -419,7 +427,11 @@ type driver =
   | Cbr_driver of Workload.Cbr.t * int
   | On_off_driver of Workload.On_off.t * int
   | Short_driver of Workload.Short_flows.t
-  | Many_driver of Workload.Many_flows.t
+  | Many_driver of Workload.Many_flows.t array
+      (* one engine per shard: per-segment sub-populations on a
+         multi_dumbbell (shard k lives on partition k's scheduler when
+         domains > 1), a single shard elsewhere. The shard layout is a
+         function of the topology alone, never of [domains]. *)
 
 type built_flow = {
   fspec : flow;
@@ -537,9 +549,11 @@ let tcp_senders b =
     b.bflows
 
 let many_flows_engines b =
-  List.filter_map
+  List.concat_map
     (fun bf ->
-      match bf.driver with Some (Many_driver t) -> Some t | _ -> None)
+      match bf.driver with
+      | Some (Many_driver shards) -> Array.to_list shards
+      | _ -> [])
     b.bflows
 
 let config_of_flow ?pace_gains (f : flow) =
@@ -675,7 +689,6 @@ let start_flow b bf =
            dumbbell's bottleneck buffer. The slow-start phase is the
            classic doubling round, so only the bundle's congestion
            avoidance applies. *)
-        let _, cc, _ = bundle_for b bf in
         let capacity_bytes_per_sec, base_rtt, buffer_packets, red =
           match b.bspec.topology with
           | Duplex d ->
@@ -693,7 +706,7 @@ let start_flow b bf =
                 d.buffer_packets,
                 d.red )
           | Multi_dumbbell m ->
-              (* The fluid engine abstracts one segment's bottleneck. *)
+              (* Each shard abstracts its own segment's bottleneck. *)
               ( m.m_bottleneck_rate /. 8.,
                 Sim.Time.mul_int
                   (Sim.Time.add
@@ -703,21 +716,59 @@ let start_flow b bf =
                 m.m_buffer_packets,
                 m.m_red )
         in
+        (* One sub-population per segment on a multi_dumbbell, a single
+           shard elsewhere — a topology-only decision, so every domain
+           count builds the identical shard layout. Flows and arrival
+           rate split evenly (thinned Poisson arrivals stay Poisson);
+           the remainder lands on the low shards. *)
+        let shards =
+          match b.bspec.topology with
+          | Multi_dumbbell m -> m.segments
+          | Duplex _ | Dumbbell _ -> 1
+        in
+        let sched_of k =
+          match b.parts with
+          | Some p -> Sim.Partition.scheduler p.psync k
+          | None -> b.bsched
+        in
         Many_driver
-          (Workload.Many_flows.start ~sched:b.bsched
-             ~rng:(flow_rng b bf.index) ~seed:b.bspec.seed ~cong_avoid:cc
-             {
-               Workload.Many_flows.default_params with
-               Workload.Many_flows.flows;
-               arrival_rate;
-               arrival_pareto_shape;
-               mean_size;
-               size_pareto_shape;
-               capacity_bytes_per_sec;
-               base_rtt;
-               buffer_packets;
-               red;
-             })
+          (Array.init shards (fun k ->
+               (* Shard 0 keeps the legacy seed and arrivals stream, so
+                  single-shard topologies replay PR 7 runs byte-for-
+                  byte. Sibling shards derive their engine seed (rooting
+                  the per-row loss streams) and arrivals stream from
+                  dedicated ranges clear of every reserved stream id
+                  (0x5F10+i flows, 0xFA1/2 faults, 0x9A40+i partitions,
+                  0x6D0000+idx per-row losses). *)
+               let seed, rng =
+                 if k = 0 then (b.bspec.seed, flow_rng b bf.index)
+                 else
+                   ( Sim.Rng.derive_seed ~root:b.bspec.seed
+                       ~stream:(0x6E0000 + (bf.index * 0x100) + k),
+                     Sim.Rng.of_seed
+                       (Sim.Rng.derive_seed ~root:b.bspec.seed
+                          ~stream:(0x6F0000 + (bf.index * 0x100) + k)) )
+               in
+               let _, cc, _ = bundle_for b bf in
+               Workload.Many_flows.start ~sched:(sched_of k) ~rng ~seed
+                 ~cong_avoid:cc
+                 {
+                   Workload.Many_flows.default_params with
+                   Workload.Many_flows.flows =
+                     (flows / shards)
+                     + (if k < flows mod shards then 1 else 0);
+                   arrival_rate =
+                     Option.map
+                       (fun r -> r /. float_of_int shards)
+                       arrival_rate;
+                   arrival_pareto_shape;
+                   mean_size;
+                   size_pareto_shape;
+                   capacity_bytes_per_sec;
+                   base_rtt;
+                   buffer_packets;
+                   red;
+                 }))
   in
   bf.driver <- Some driver;
   (* Single-connection TCP drivers get the run tracer; Short_flows mice
@@ -826,7 +877,11 @@ let build spec =
     | None -> (
         match net with
         | Net_duplex s -> s.Scenario.sched
-        | Net_duplex_split _ -> assert false
+        | Net_duplex_split _ ->
+            err
+              "Spec.build: a split duplex path was assembled without a \
+               partition synchronizer — split topologies exist only under \
+               domains > 1"
         | Net_dumbbell d ->
             Netsim.Host.scheduler d.Netsim.Topology.Dumbbell.left.(0)
         | Net_multi md ->
@@ -1001,20 +1056,47 @@ let sender_receiver bf =
       Some (Workload.Chunked.sender t, Workload.Chunked.receiver t)
   | _ -> None
 
+(* Aggregates over a sharded many-flows engine array: sums for counters
+   and delivered bytes, an active-weighted mean for the window, and the
+   arithmetic mean across shards for the per-segment fluid queues (each
+   shard models its own segment's bottleneck, so "the" queue reading is
+   the typical segment's). A single shard degenerates to the engine's
+   own values exactly. *)
+let mf_sum f shards = Array.fold_left (fun acc e -> acc +. f e) 0. shards
+
+let mf_mean f shards =
+  if Array.length shards = 0 then 0.
+  else mf_sum f shards /. float_of_int (Array.length shards)
+
+let mf_mean_cwnd shards =
+  let active =
+    Array.fold_left (fun a e -> a + Workload.Many_flows.active e) 0 shards
+  in
+  if active = 0 then 0.
+  else
+    Array.fold_left
+      (fun acc e ->
+        acc
+        +. Workload.Many_flows.mean_cwnd_segments e
+           *. float_of_int (Workload.Many_flows.active e))
+      0. shards
+    /. float_of_int active
+
 (* [now] is the sampling instant: the build scheduler's clock on
    single-domain runs, the (identical) barrier time on partitioned ones
    — where reading one partition's clock for a flow living on another
    would be ill-defined mid-epoch. *)
 let sample_instrument b ~now inst =
   match inst.ibf.driver with
-  | Some (Many_driver t) ->
+  | Some (Many_driver shards) ->
       (* Aggregate gauges of the fluid engine: mean window, fluid
          backlog, and goodput over the sample window. *)
-      Sim.Stats.Series.add inst.cwnd_s now
-        (Workload.Many_flows.mean_cwnd_segments t);
+      Sim.Stats.Series.add inst.cwnd_s now (mf_mean_cwnd shards);
       Sim.Stats.Series.add inst.ifq_s now
-        (Workload.Many_flows.queue_packets t);
-      let bytes = int_of_float (Workload.Many_flows.delivered_bytes t) in
+        (mf_mean Workload.Many_flows.queue_packets shards);
+      let bytes =
+        int_of_float (mf_sum Workload.Many_flows.delivered_bytes shards)
+      in
       let window_mbps =
         float_of_int (8 * (bytes - inst.last_bytes))
         /. Sim.Time.to_sec b.bspec.sample_period /. 1e6
@@ -1104,7 +1186,18 @@ let collect_flow b inst =
               Workload.Bulk.completion_time t )
         | Some (Chunked_driver t) ->
             (Workload.Chunked.sender t, Workload.Chunked.receiver t, None)
-        | _ -> assert false
+        | d ->
+            err
+              "Spec: flow %S: collecting TCP results from a %s driver — \
+               the driver no longer matches its declared workload"
+              bf.flabel
+              (match d with
+              | None -> "missing"
+              | Some (Cbr_driver _) -> "cbr"
+              | Some (On_off_driver _) -> "on_off"
+              | Some (Short_driver _) -> "short_flows"
+              | Some (Many_driver _) -> "many_flows"
+              | Some (Bulk_driver _ | Chunked_driver _) -> "tcp")
       in
       let goodput = Tcp.Receiver.goodput_mbps receiver ~at:duration in
       {
@@ -1144,18 +1237,27 @@ let collect_flow b inst =
         float_of_int (8 * bytes) /. Sim.Time.to_sec duration /. 1e6
       in
       { zero with goodput_mbps = goodput; utilization = goodput /. b.line_mbps }
-  | Some (Many_driver t) ->
-      let goodput = Workload.Many_flows.goodput_mbps t ~duration in
+  | Some (Many_driver shards) ->
+      let goodput =
+        mf_sum (fun e -> Workload.Many_flows.goodput_mbps e ~duration) shards
+      in
       {
         zero with
         goodput_mbps = goodput;
-        utilization = goodput /. b.line_mbps;
-        congestion_signals = Workload.Many_flows.loss_events t;
-        final_cwnd_segments = Workload.Many_flows.mean_cwnd_segments t;
-        (* The engine's fluid backlog, not the host IFQ (which the
-           abstract flows never traverse). *)
-        mean_ifq = Workload.Many_flows.avg_queue_packets t;
-        peak_ifq = Workload.Many_flows.queue_packets t;
+        (* Aggregate goodput over aggregate capacity: the shards sum
+           over one bottleneck per segment. *)
+        utilization =
+          goodput /. (b.line_mbps *. float_of_int (Array.length shards));
+        congestion_signals =
+          Array.fold_left
+            (fun a e -> a + Workload.Many_flows.loss_events e)
+            0 shards;
+        final_cwnd_segments = mf_mean_cwnd shards;
+        (* The engines' fluid backlog, not the host IFQ (which the
+           abstract flows never traverse); the mean across the
+           per-segment shards. *)
+        mean_ifq = mf_mean Workload.Many_flows.avg_queue_packets shards;
+        peak_ifq = mf_mean Workload.Many_flows.queue_packets shards;
       }
 
 (* One namespace over everything the run can report, in a fixed order:
@@ -1276,10 +1378,21 @@ let check_snapshot_supported t =
   | None -> ()
   | Some why -> err "Spec: %S cannot checkpoint/resume: %s" t.name why
 
-let the_engine b =
-  match many_flows_engines b with
-  | [ eng ] -> eng
-  | _ -> err "Spec: checkpoint requires exactly one started many_flows engine"
+(* The single many_flows flow's shard array. Shard 0 keeps the legacy
+   ["mf."] snapshot prefix (pre-sharding images restore unchanged);
+   siblings get ["mf.<k>."]. *)
+let the_engines b =
+  let shards =
+    List.filter_map
+      (fun bf ->
+        match bf.driver with Some (Many_driver a) -> Some a | _ -> None)
+      b.bflows
+  in
+  match shards with
+  | [ a ] when Array.length a > 0 -> a
+  | _ -> err "Spec: checkpoint requires exactly one started many_flows flow"
+
+let shard_prefix k = if k = 0 then "mf." else Printf.sprintf "mf.%d." k
 
 let save_series w name s =
   Sim.Snapshot.put_int_array w (name ^ ".t")
@@ -1317,7 +1430,9 @@ let save_checkpoint ~identity b instruments ~path =
     (Sim.Time.to_ns_int (Sim.Scheduler.now b.bsched));
   Sim.Snapshot.put_i64 w "spec.sched_rng"
     (Sim.Rng.state (Sim.Scheduler.rng b.bsched));
-  Workload.Many_flows.save (the_engine b) w;
+  Array.iteri
+    (fun k eng -> Workload.Many_flows.save ~prefix:(shard_prefix k) eng w)
+    (the_engines b);
   List.iteri
     (fun i inst ->
       Sim.Snapshot.put_int w
@@ -1346,7 +1461,9 @@ let restore_checkpoint ~identity b instruments ~path =
      arms (which sit earlier than the snapshot time) and re-arms from
      the snapshot, so [restore_clock]'s no-earlier-pending-event guard
      sees only post-snapshot timers. *)
-  Workload.Many_flows.restore (the_engine b) r;
+  Array.iteri
+    (fun k eng -> Workload.Many_flows.restore ~prefix:(shard_prefix k) eng r)
+    (the_engines b);
   Sim.Scheduler.restore_clock b.bsched
     (Sim.Time.of_ns_int (Sim.Snapshot.get_int r "spec.clock_ns"));
   List.iteri

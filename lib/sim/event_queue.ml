@@ -77,7 +77,14 @@ let grow_heap t =
 let grow_slots t =
   let old = Array.length t.gens in
   if old >= max_slots then
-    failwith "Event_queue: more than 2^21 events pending";
+    failwith
+      (Printf.sprintf
+         "Event_queue: handle space exhausted with %d live events (max \
+          2^21 = %d pending). A single heap this loaded usually means an \
+          unsharded packet-level workload — split the scenario across \
+          partitions (\"domains\" > 1) or move dense per-flow timers to \
+          Timer_wheel."
+         t.live max_slots);
   let cap = Stdlib.min max_slots (2 * old) in
   let gens = Array.make cap 0 in
   Array.blit t.gens 0 gens 0 old;

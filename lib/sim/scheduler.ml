@@ -7,7 +7,7 @@ type t = {
   seed : int;
   mutable derived_streams : int;
   mutable tracer : Trace.t option;
-  mutable wheel : Timer_wheel.t option;
+  mutable wheels : Timer_wheel.t array;
 }
 
 let create ?(seed = 1) () =
@@ -18,15 +18,15 @@ let create ?(seed = 1) () =
     seed;
     derived_streams = 0;
     tracer = None;
-    wheel = None;
+    wheels = [||];
   }
 
-let attach_wheel t w =
-  match t.wheel with
-  | Some _ -> invalid_arg "Scheduler.attach_wheel: a wheel is already attached"
-  | None -> t.wheel <- Some w
-
-let wheel t = t.wheel
+(* Attach order is model-construction order, hence deterministic; it is
+   the tie-break when several wheels share an attention time (sharded
+   many_flows engines each own a wheel but never interact, so the order
+   among them is observationally irrelevant — it only has to be fixed). *)
+let attach_wheel t w = t.wheels <- Array.append t.wheels [| w |]
+let wheel t = if Array.length t.wheels = 0 then None else Some t.wheels.(0)
 
 let set_tracer t tr = t.tracer <- tr
 let tracer t = t.tracer
@@ -76,16 +76,32 @@ let every t ?start period action =
 
 let cancel t h = Event_queue.cancel t.events h
 
-(* Next attention time of the attached wheel, clamped so the clock
-   never regresses (the wheel quantizes to tick boundaries, which may
-   fall before a mid-tick clock). -1 when absent or idle. *)
+(* Earliest attention time across the attached wheels, clamped so the
+   clock never regresses (wheels quantize to tick boundaries, which may
+   fall before a mid-tick clock). -1 when none are attached or all are
+   idle. Ties pick the first-attached wheel (see [attach_wheel]). *)
+let wheel_arg t =
+  let best = ref (-1) and best_i = ref (-1) in
+  let clock_ns = Time.to_ns_int t.clock in
+  for i = 0 to Array.length t.wheels - 1 do
+    let ns = Timer_wheel.next_due_ns t.wheels.(i) in
+    if ns >= 0 then begin
+      let ns = Stdlib.max ns clock_ns in
+      if !best < 0 || ns < !best then begin
+        best := ns;
+        best_i := i
+      end
+    end
+  done;
+  !best_i
+
 let wheel_ns t =
-  match t.wheel with
-  | None -> -1
-  | Some w ->
-      let ns = Timer_wheel.next_due_ns w in
-      if ns < 0 then -1
-      else Stdlib.max ns (Time.to_ns_int t.clock)
+  let i = wheel_arg t in
+  if i < 0 then -1
+  else
+    Stdlib.max
+      (Timer_wheel.next_due_ns t.wheels.(i))
+      (Time.to_ns_int t.clock)
 
 (* Clock-jump hook shared by snapshot restore (resume from the
    checkpoint time before any event is scheduled) and the partition
@@ -108,11 +124,18 @@ let restore_clock t time =
 
 (* The run loop uses the queue's unboxed accessors: dispatching an
    event moves the clock and fires the action without allocating. The
-   heap wins ties against the wheel, so attaching an idle wheel leaves
+   heap wins ties against the wheels, so attaching an idle wheel leaves
    heap-only runs byte-identical. *)
 let step t =
   let ns = Event_queue.next_time_ns t.events in
-  let wns = wheel_ns t in
+  let wi = wheel_arg t in
+  let wns =
+    if wi < 0 then -1
+    else
+      Stdlib.max
+        (Timer_wheel.next_due_ns t.wheels.(wi))
+        (Time.to_ns_int t.clock)
+  in
   if ns >= 0 && (wns < 0 || ns <= wns) then begin
     let action = Event_queue.pop_action_exn t.events in
     t.clock <- Time.of_ns_int ns;
@@ -126,9 +149,7 @@ let step t =
   end
   else if wns >= 0 then begin
     t.clock <- Time.of_ns_int wns;
-    (match t.wheel with
-    | Some w -> Timer_wheel.advance w ~now_ns:wns
-    | None -> assert false);
+    Timer_wheel.advance t.wheels.(wi) ~now_ns:wns;
     true
   end
   else false
@@ -152,5 +173,7 @@ let run ?until t =
       if Time.(t.clock < horizon) then t.clock <- horizon
 
 let pending t =
-  Event_queue.live_count t.events
-  + match t.wheel with None -> 0 | Some w -> Timer_wheel.pending w
+  Array.fold_left
+    (fun acc w -> acc + Timer_wheel.pending w)
+    (Event_queue.live_count t.events)
+    t.wheels

@@ -82,13 +82,15 @@ val attach_wheel : t -> Timer_wheel.t -> unit
 (** Put a {!Timer_wheel} under the run loop: {!step}/{!run} interleave
     its (tick-quantized) firings with heap events in time order, heap
     first on ties — so a scheduler with an idle wheel behaves exactly
-    like one without. The wheel serves the dense per-flow timer regime
+    like one without. Wheels serve the dense per-flow timer regime
     (RTO, pacing, per-round clocks); the heap remains the home for
-    sparse or non-quantized events. At most one wheel per scheduler;
-    raises [Invalid_argument] on a second attach. *)
+    sparse or non-quantized events. Several wheels may be attached
+    (each sharded [many_flows] engine owns one); attention ties among
+    wheels resolve in attach order, which is model-construction order
+    and therefore deterministic. *)
 
 val wheel : t -> Timer_wheel.t option
-(** The wheel installed by {!attach_wheel}, if any. *)
+(** The first wheel installed by {!attach_wheel}, if any. *)
 
 val set_tracer : t -> Trace.t option -> unit
 (** Install (or remove) an event tracer. With a tracer installed, each

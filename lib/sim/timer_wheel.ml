@@ -25,6 +25,13 @@ let slots_per_level = 1 lsl slot_bits (* 256 *)
 let slot_mask = slots_per_level - 1
 let span_bits = levels * slot_bits (* ticks addressable: 2^32 *)
 
+(* One extra slot past the four levels parks timers whose due tick lies
+   beyond the wheel's 2^32-tick span (a backoff-inflated RTO can land
+   past the ~78 h horizon). The overflow list is FIFO like any slot and
+   is re-scanned whenever a top-level cascade re-homes level 3 — the
+   only instants at which a parked timer can have come into range. *)
+let overflow_idx = levels * slots_per_level
+
 (* Handle layout: (generation lsl idx_bits) lor node_index. 22 bits of
    node index = 4M concurrent timers; generations make stale handles
    inert, as in Event_queue. *)
@@ -52,6 +59,7 @@ type t = {
   mutable nflow : int array;
   mutable free_head : int;
   mutable count : int;
+  mutable ovf : int; (* of [count], how many are parked in overflow *)
   mutable cache_ok : bool;
   mutable cached_ns : int; (* valid when cache_ok *)
   on_fire : kind:int -> flow:int -> unit;
@@ -69,8 +77,8 @@ let create ?(tick_ns = 65536) ?(initial_capacity = 256) ~on_fire () =
     {
       tick_bits;
       cur = 0;
-      head = Array.make (levels * slots_per_level) (-1);
-      tail = Array.make (levels * slots_per_level) (-1);
+      head = Array.make ((levels * slots_per_level) + 1) (-1);
+      tail = Array.make ((levels * slots_per_level) + 1) (-1);
       due = Array.make cap 0;
       next = Array.make cap (-1);
       prev = Array.make cap (-1);
@@ -80,6 +88,7 @@ let create ?(tick_ns = 65536) ?(initial_capacity = 256) ~on_fire () =
       nflow = Array.make cap 0;
       free_head = 0;
       count = 0;
+      ovf = 0;
       cache_ok = false;
       cached_ns = -1;
       on_fire;
@@ -156,7 +165,11 @@ let release t n =
 
 (* Attention contribution of a node at [level]: its exact due for level
    0, else the tick where the wheel will cascade its slot (low digits
-   zeroed) — always > cur because the slot digit exceeds cur's. *)
+   zeroed) — always > cur because the slot digit exceeds cur's. For
+   [level = levels] (the overflow slot) this degenerates to the start of
+   the node's 2^32-tick era, which is where the top-level cascade that
+   can re-home it happens — also always > cur, because an overflow node
+   lives in a strictly later era than [cur]. *)
 let attention_ns t ~level due_tick =
   let shift = level * slot_bits in
   ((due_tick lsr shift) lsl shift) lsl t.tick_bits
@@ -166,16 +179,20 @@ let arm t ~due_ns ~kind ~flow =
   (* Round up so a timer never fires before its requested time. *)
   let due_tick = (due_ns + (1 lsl t.tick_bits) - 1) asr t.tick_bits in
   let due_tick = if due_tick < t.cur then t.cur else due_tick in
-  if (due_tick lxor t.cur) lsr span_bits <> 0 then
-    invalid_arg "Timer_wheel.arm: due time beyond the wheel horizon";
   if t.free_head < 0 then grow t;
   let n = t.free_head in
   t.free_head <- t.next.(n);
   t.due.(n) <- due_tick;
   t.nkind.(n) <- kind;
   t.nflow.(n) <- flow;
-  let idx = place t due_tick in
+  (* Beyond the 2^32-tick span the base-256 digits are meaningless for
+     placement; park the node in the overflow list instead of failing. *)
+  let idx =
+    if (due_tick lxor t.cur) lsr span_bits <> 0 then overflow_idx
+    else place t due_tick
+  in
   append_slot t ~idx n;
+  if idx = overflow_idx then t.ovf <- t.ovf + 1;
   t.count <- t.count + 1;
   (if t.cache_ok then
      let a = attention_ns t ~level:(idx lsr slot_bits) due_tick in
@@ -195,6 +212,7 @@ let cancel t h =
        let level = t.loc.(n) lsr slot_bits in
        if attention_ns t ~level t.due.(n) = t.cached_ns then
          t.cache_ok <- false);
+    if t.loc.(n) = overflow_idx then t.ovf <- t.ovf - 1;
     unlink t n;
     release t n;
     t.count <- t.count - 1
@@ -237,6 +255,17 @@ let recompute_cache t =
         incr level
       done
     end;
+    (* Overflow nodes contribute their era start: the top-level cascade
+       there is what can re-home them, so the wheel must be advanced at
+       least that far. Any in-range timer's attention is earlier (it
+       lies inside the current era), so this min only matters when the
+       wheel holds nothing but parked timers. *)
+    let n = ref t.head.(overflow_idx) in
+    while !n >= 0 do
+      let a = attention_ns t ~level:levels t.due.(!n) in
+      if !attention < 0 || a < !attention then attention := a;
+      n := t.next.(!n)
+    done;
     t.cache_ok <- true;
     t.cached_ns <- !attention
   end
@@ -258,6 +287,41 @@ let cascade t ~level ~slot =
     n := t.next.(node);
     append_slot t ~idx:(place t t.due.(node)) node
   done
+
+(* Walk the overflow list in FIFO order, re-homing every node whose due
+   tick has come within the wheel's span; still-out-of-range nodes are
+   re-appended, so relative order inside the overflow list survives.
+   Called on every top-level cascade — entering a new era is a special
+   case of a level-3 digit change, so no parked timer can be missed. *)
+let refill_overflow t =
+  let n = ref t.head.(overflow_idx) in
+  t.head.(overflow_idx) <- -1;
+  t.tail.(overflow_idx) <- -1;
+  t.ovf <- 0;
+  while !n >= 0 do
+    let node = !n in
+    n := t.next.(node);
+    let due = t.due.(node) in
+    let idx =
+      if (due lxor t.cur) lsr span_bits <> 0 then overflow_idx
+      else place t due
+    in
+    if idx = overflow_idx then t.ovf <- t.ovf + 1;
+    append_slot t ~idx node
+  done
+
+(* Start of the lowest 2^32-tick era holding a parked timer — the first
+   tick at which any overflow node can be re-homed. [max_int] when the
+   overflow list is empty. *)
+let overflow_era_start t =
+  let best = ref max_int in
+  let n = ref t.head.(overflow_idx) in
+  while !n >= 0 do
+    let era = (t.due.(!n) lsr span_bits) lsl span_bits in
+    if era < !best then best := era;
+    n := t.next.(!n)
+  done;
+  !best
 
 (* Fire every node in level-0 slot [slot] (all due exactly at [cur]).
    The list is detached first so a handler re-arming at the current tick
@@ -283,7 +347,7 @@ let fire_slot t ~slot =
    [cur], and within a slot FIFO arm order is preserved — so iteration
    order is a faithful serialization order for snapshots. *)
 let iter_pending t ~f =
-  for idx = 0 to (levels * slots_per_level) - 1 do
+  for idx = 0 to overflow_idx do
     let n = ref (Array.unsafe_get t.head idx) in
     while !n >= 0 do
       let node = !n in
@@ -295,7 +359,7 @@ let iter_pending t ~f =
   done
 
 let drain t =
-  for idx = 0 to (levels * slots_per_level) - 1 do
+  for idx = 0 to overflow_idx do
     let n = ref t.head.(idx) in
     t.head.(idx) <- -1;
     t.tail.(idx) <- -1;
@@ -306,6 +370,7 @@ let drain t =
     done
   done;
   t.count <- 0;
+  t.ovf <- 0;
   t.cache_ok <- false
 
 let advance t ~now_ns =
@@ -319,6 +384,22 @@ let advance t ~now_ns =
       t.cur <- block_base lor s0;
       fire_slot t ~slot:s0
     end
+    else if t.count = t.ovf then begin
+      (* Levels 0–3 are empty, so nothing can fire or cascade before a
+         parked timer's era begins: jump over the idle blocks in one
+         step instead of walking them 256 ticks at a time. Overflow
+         nodes live in strictly later eras than [cur], so the jump
+         always moves forward and never passes a due time. *)
+      let era = overflow_era_start t in
+      if era > target then begin
+        if target > t.cur then t.cur <- target;
+        continue := false
+      end
+      else begin
+        t.cur <- era;
+        refill_overflow t
+      end
+    end
     else begin
       let next_block = block_base + slots_per_level in
       if next_block > target then begin
@@ -331,9 +412,11 @@ let advance t ~now_ns =
         (* Entering a new block at level k re-homes that level's slot
            for the new position; top level first so nodes cascade all
            the way down in one pass. *)
-        if old lsr (3 * slot_bits) <> t.cur lsr (3 * slot_bits) then
+        if old lsr (3 * slot_bits) <> t.cur lsr (3 * slot_bits) then begin
           cascade t ~level:3
             ~slot:((t.cur lsr (3 * slot_bits)) land slot_mask);
+          if t.head.(overflow_idx) >= 0 then refill_overflow t
+        end;
         if old lsr (2 * slot_bits) <> t.cur lsr (2 * slot_bits) then
           cascade t ~level:2
             ~slot:((t.cur lsr (2 * slot_bits)) land slot_mask);

@@ -41,8 +41,13 @@ val create :
 val arm : t -> due_ns:int -> kind:int -> flow:int -> handle
 (** Schedule a firing at [due_ns] rounded up to the tick. A due time at
     or before the wheel's current position fires on the next
-    {!advance}. Raises [Invalid_argument] beyond the wheel horizon
-    (≈78 h ahead) — far-future events belong in the event heap. *)
+    {!advance}. A due time beyond the wheel horizon (≈78 h ahead, e.g. a
+    backoff-inflated RTO) is parked in an overflow list and re-homed
+    onto the wheel by the top-level cascade once it comes within range —
+    it still fires at its (quantized) due time, though FIFO order
+    against in-range timers sharing the same due tick is not guaranteed
+    across the overflow boundary. Raises [Invalid_argument] only on a
+    negative due time. *)
 
 val cancel : t -> handle -> unit
 (** O(1), idempotent, allocation-free. *)

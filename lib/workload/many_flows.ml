@@ -271,6 +271,31 @@ let start ~sched ~rng ~seed ?(cong_avoid = Tcp.Cong_avoid.reno ()) params =
     invalid_arg "Many_flows.start: need a positive flow count";
   if params.capacity_bytes_per_sec <= 0. then
     invalid_arg "Many_flows.start: need a positive capacity";
+  if params.mss <= 0 then invalid_arg "Many_flows.start: need a positive mss";
+  if params.init_cwnd_segments <= 0 then
+    invalid_arg "Many_flows.start: need a positive initial window";
+  if params.buffer_packets < 1 then
+    invalid_arg "Many_flows.start: need at least one buffer packet";
+  if not (Sim.Time.is_positive params.base_rtt) then
+    invalid_arg "Many_flows.start: need a positive base RTT";
+  (match params.arrival_rate with
+  | Some r when r <= 0. ->
+      invalid_arg "Many_flows.start: arrival_rate must be positive"
+  | _ -> ());
+  (match params.arrival_pareto_shape with
+  | Some s when s <= 1. ->
+      invalid_arg
+        "Many_flows.start: arrival_pareto_shape must exceed 1 (shape <= 1 \
+         has an infinite mean inter-arrival gap)"
+  | _ -> ());
+  (match params.mean_size with
+  | Some m when m <= 0 ->
+      invalid_arg "Many_flows.start: mean_size must be positive"
+  | _ -> ());
+  if params.mean_size <> None && params.size_pareto_shape <= 1. then
+    invalid_arg
+      "Many_flows.start: size_pareto_shape must exceed 1 (shape <= 1 has an \
+       infinite mean flow size)";
   let rec t =
     lazy
       {
@@ -316,8 +341,8 @@ let stop t = t.stopped <- true
    one integration interval in two and diverges from an unbroken run.
    Raw state + the saved [last_update_ns] replays identically. *)
 
-let save t w =
-  let p name = "mf." ^ name in
+let save ?(prefix = "mf.") t w =
+  let p name = prefix ^ name in
   Sim.Snapshot.put_float w (p "q_bytes") t.q_bytes;
   Sim.Snapshot.put_float w (p "avg_pkts") t.avg_pkts;
   Sim.Snapshot.put_float w (p "sum_cwnd") t.sum_cwnd;
@@ -352,8 +377,8 @@ let save t w =
    exactly. Round timers write their fresh handle back into the row;
    handle values never influence simulation output (the engine stores
    but never cancels them). *)
-let restore t r =
-  let p name = "mf." ^ name in
+let restore ?(prefix = "mf.") t r =
+  let p name = prefix ^ name in
   t.q_bytes <- Sim.Snapshot.get_float r (p "q_bytes");
   t.avg_pkts <- Sim.Snapshot.get_float r (p "avg_pkts");
   t.sum_cwnd <- Sim.Snapshot.get_float r (p "sum_cwnd");

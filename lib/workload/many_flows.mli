@@ -50,10 +50,15 @@ val start :
   params ->
   t
 (** Creates the flow table and timer wheel, attaches the wheel to
-    [sched] (raises if one is already attached), and launches or
-    schedules the flows. [seed] roots the per-flow loss streams; [rng]
-    drives arrivals and sizes only. The [cong_avoid] bundle (default
-    Reno) is shared by all flows — use stateless bundles. *)
+    [sched] (several engines — e.g. per-segment shards — may share one
+    scheduler, each with its own wheel), and launches or schedules the
+    flows. [seed] roots the per-flow loss streams; [rng] drives
+    arrivals and sizes only. The [cong_avoid] bundle (default Reno) is
+    shared by all flows — use stateless bundles. Raises
+    [Invalid_argument] on non-positive [flows], [capacity], [mss],
+    [init_cwnd_segments], [base_rtt] or [arrival_rate]/[mean_size]
+    (when given), a [buffer_packets] below 1, or a Pareto shape — for
+    arrivals or sizes — at or below 1 (infinite mean). *)
 
 val stop : t -> unit
 (** Stop creating flows; running flows keep cycling. *)
@@ -65,12 +70,13 @@ val stop : t -> unit
     from the same params and seed continues the run byte-identically to
     one that was never snapshotted. *)
 
-val save : t -> Sim.Snapshot.writer -> unit
-(** Serialize under the ["mf."] section prefix. Does {e not} integrate
-    the fluid queue to the current time (that would split an
-    integration interval and diverge from an unbroken run). *)
+val save : ?prefix:string -> t -> Sim.Snapshot.writer -> unit
+(** Serialize under [prefix] (default ["mf."]; sharded engines use a
+    distinct prefix per shard). Does {e not} integrate the fluid queue
+    to the current time (that would split an integration interval and
+    diverge from an unbroken run). *)
 
-val restore : t -> Sim.Snapshot.reader -> unit
+val restore : ?prefix:string -> t -> Sim.Snapshot.reader -> unit
 (** Overwrite a freshly-started engine's state in place: drains and
     re-arms the wheel (all prior handles become stale; round timers get
     their fresh handle written back into the row) and rewinds the

@@ -150,6 +150,30 @@ let qcheck_cancel_count =
         handles;
       Sim.Event_queue.live_count q = keep)
 
+(* Regression for the handle-space ceiling: overflowing 2^21 pending
+   events must fail with a message that reports the live count and
+   points at the cure (sharding / the timer wheel), not a bare limit. *)
+let test_overflow_message () =
+  let q = Sim.Event_queue.create () in
+  let nop () = () in
+  let n = 1 lsl 21 in
+  for i = 0 to n - 1 do
+    ignore (Sim.Event_queue.add q ~time:(Sim.Time.ns i) nop)
+  done;
+  match Sim.Event_queue.add q ~time:(Sim.Time.ns n) nop with
+  | _ -> Alcotest.fail "expected Failure past 2^21 pending events"
+  | exception Failure msg ->
+      let expected =
+        Printf.sprintf
+          "Event_queue: handle space exhausted with %d live events (max \
+           2^21 = %d pending). A single heap this loaded usually means an \
+           unsharded packet-level workload — split the scenario across \
+           partitions (\"domains\" > 1) or move dense per-flow timers to \
+           Timer_wheel."
+          n n
+      in
+      Alcotest.(check string) "overload message" expected msg
+
 let suite =
   [
     Alcotest.test_case "FIFO at equal times" `Quick test_fifo_same_time;
@@ -161,6 +185,8 @@ let suite =
     Alcotest.test_case "null handle" `Quick test_null_handle;
     Alcotest.test_case "stale handle is inert" `Quick test_stale_handle_inert;
     Alcotest.test_case "mass cancellation drains" `Quick test_mass_cancel_drain;
+    Alcotest.test_case "2^21-pending overflow message" `Slow
+      test_overflow_message;
     QCheck_alcotest.to_alcotest qcheck_heap_order;
     QCheck_alcotest.to_alcotest qcheck_cancel_count;
   ]

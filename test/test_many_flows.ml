@@ -130,6 +130,54 @@ let test_jobs_independent () =
     "seeds still matter" true
     (outcome_fingerprint (List.nth seq 0) <> outcome_fingerprint (List.nth seq 1))
 
+(* Parameter validation: every nonsensical value must be refused up
+   front with a named Invalid_argument, not surface later as a NaN
+   schedule or an infinite-mean sampler. *)
+let test_param_validation () =
+  let start params =
+    let sched = Sim.Scheduler.create ~seed:1 () in
+    ignore (Mf.start ~sched ~rng:(Sim.Scheduler.derive_rng sched) ~seed:1 params)
+  in
+  let rejects what msg params =
+    Alcotest.check_raises what (Invalid_argument msg) (fun () -> start params)
+  in
+  rejects "zero flows" "Many_flows.start: need a positive flow count"
+    { Mf.default_params with flows = 0 };
+  rejects "negative capacity" "Many_flows.start: need a positive capacity"
+    { Mf.default_params with capacity_bytes_per_sec = -1. };
+  rejects "zero mss" "Many_flows.start: need a positive mss"
+    { Mf.default_params with mss = 0 };
+  rejects "zero initial window"
+    "Many_flows.start: need a positive initial window"
+    { Mf.default_params with init_cwnd_segments = 0 };
+  rejects "zero buffer" "Many_flows.start: need at least one buffer packet"
+    { Mf.default_params with buffer_packets = 0 };
+  rejects "zero RTT" "Many_flows.start: need a positive base RTT"
+    { Mf.default_params with base_rtt = Sim.Time.zero };
+  rejects "zero arrival rate"
+    "Many_flows.start: arrival_rate must be positive"
+    { Mf.default_params with arrival_rate = Some 0. };
+  rejects "negative arrival rate"
+    "Many_flows.start: arrival_rate must be positive"
+    { Mf.default_params with arrival_rate = Some (-3.) };
+  rejects "arrival shape at 1"
+    "Many_flows.start: arrival_pareto_shape must exceed 1 (shape <= 1 has \
+     an infinite mean inter-arrival gap)"
+    {
+      Mf.default_params with
+      arrival_rate = Some 10.;
+      arrival_pareto_shape = Some 1.;
+    };
+  rejects "zero mean size" "Many_flows.start: mean_size must be positive"
+    { Mf.default_params with mean_size = Some 0 };
+  rejects "size shape below 1"
+    "Many_flows.start: size_pareto_shape must exceed 1 (shape <= 1 has an \
+     infinite mean flow size)"
+    { Mf.default_params with mean_size = Some 50_000; size_pareto_shape = 0.9 };
+  (* The size shape is ignored — and so not validated — for persistent
+     flows, where no size is ever drawn. *)
+  start { Mf.default_params with flows = 2; size_pareto_shape = 0.5 }
+
 let test_spec_rejects_two_many_flows () =
   let f = (mf_spec ~jobs:1 ~seed:1).flows |> List.hd in
   let bad = { (mf_spec ~jobs:1 ~seed:1) with flows = [ f; f ] } in
@@ -148,6 +196,7 @@ let suite =
       test_goodput_bounded_by_capacity;
     Alcotest.test_case "outcome independent of --jobs" `Quick
       test_jobs_independent;
+    Alcotest.test_case "parameter validation" `Quick test_param_validation;
     Alcotest.test_case "at most one many_flows per spec" `Quick
       test_spec_rejects_two_many_flows;
   ]

@@ -229,6 +229,166 @@ let prop_partitioned_matches_single =
       in
       String.equal single parted)
 
+(* --- sharded many-flows ------------------------------------------------- *)
+
+let mf_workload ?(flows = 4000) ?arrival_rate ?arrival_pareto_shape ?mean_size
+    ?(size_pareto_shape = 1.3) () =
+  Spec.Many_flows
+    { flows; arrival_rate; arrival_pareto_shape; mean_size; size_pareto_shape }
+
+(* The million-flow engine sharded one sub-population per segment: the
+   shard layout is a function of the topology, so every domain count
+   must replay the identical trajectory — including the interleaving of
+   S wheels on one scheduler at domains = 1. *)
+let mf_multi_spec ~domains =
+  {
+    Spec.default with
+    Spec.name = "pdes-mf-multi";
+    seed = 23;
+    duration = sec 2;
+    domains;
+    topology = multi_topology;
+    flows =
+      [
+        {
+          Spec.default_flow with
+          Spec.workload =
+            mf_workload ~arrival_rate:3000. ~mean_size:40_000 ();
+        };
+      ];
+  }
+
+let mf_duplex_spec ~domains =
+  {
+    Spec.default with
+    Spec.name = "pdes-mf-duplex";
+    seed = 29;
+    duration = sec 2;
+    domains;
+    topology = Spec.Duplex Spec.default_duplex;
+    flows = [ { Spec.default_flow with Spec.workload = mf_workload () } ];
+  }
+
+let test_many_flows_identity () =
+  let base = run_artifacts (mf_multi_spec ~domains:1) in
+  Alcotest.(check string) "mf multi: domains 2 = domains 1" base
+    (run_artifacts (mf_multi_spec ~domains:2));
+  Alcotest.(check string) "mf multi: domains 4 = domains 1" base
+    (run_artifacts (mf_multi_spec ~domains:4));
+  let dbase = run_artifacts (mf_duplex_spec ~domains:1) in
+  Alcotest.(check string) "mf duplex: domains 2 = domains 1" dbase
+    (run_artifacts (mf_duplex_spec ~domains:2))
+
+(* Random arrival/size/RED parameters, crossed with batch workers: the
+   sharded engine must stay byte-identical at domains 1/2/4 whether the
+   partitioned run executes alone or inside an Engine.Pool batch. *)
+let print_mf_spec (spec : Spec.t) =
+  match spec.Spec.flows with
+  | [
+   {
+     Spec.workload =
+       Spec.Many_flows { flows; arrival_rate; arrival_pareto_shape; mean_size; _ };
+     _;
+   };
+  ] ->
+      Printf.sprintf
+        "seed=%d flows=%d arrival=%s pareto=%s mean_size=%s red=%b"
+        spec.Spec.seed flows
+        (match arrival_rate with
+        | None -> "-"
+        | Some r -> string_of_float r)
+        (match arrival_pareto_shape with
+        | None -> "-"
+        | Some s -> string_of_float s)
+        (match mean_size with
+        | None -> "-"
+        | Some s -> string_of_int s)
+        (match spec.Spec.topology with
+        | Spec.Multi_dumbbell t -> t.Spec.m_red <> None
+        | _ -> false)
+  | _ -> "?"
+
+let gen_mf_spec =
+  QCheck2.Gen.(
+    let* seed = int_range 1 10_000 in
+    let* flows = int_range 200 2_000 in
+    let* arrival_rate =
+      oneof
+        [
+          return None;
+          map (fun r -> Some (float_of_int r)) (int_range 500 5_000);
+        ]
+    in
+    let* arrival_pareto_shape =
+      if arrival_rate = None then return None
+      else
+        oneof
+          [
+            return None;
+            map (fun s -> Some (1.05 +. (float_of_int s /. 100.))) (int_bound 100);
+          ]
+    in
+    let* mean_size =
+      oneof
+        [ return None; map (fun s -> Some (s * 1_000)) (int_range 20 200) ]
+    in
+    let* red =
+      oneof
+        [
+          return None;
+          (let* max_p = int_range 2 20 in
+           let* min_th = int_range 5 30 in
+           return
+             (Some
+                {
+                  Netsim.Queue_disc.default_red with
+                  Netsim.Queue_disc.min_th = float_of_int min_th;
+                  max_th = float_of_int (4 * min_th);
+                  max_p = float_of_int max_p /. 100.;
+                }));
+        ]
+    in
+    let topology =
+      match multi_topology with
+      | Spec.Multi_dumbbell m -> Spec.Multi_dumbbell { m with Spec.m_red = red }
+      | t -> t
+    in
+    return
+      {
+        Spec.default with
+        Spec.name = "pdes-mf-qcheck";
+        seed;
+        duration = Sim.Time.ms 600;
+        sample_period = Sim.Time.ms 100;
+        topology;
+        flows =
+          [
+            {
+              Spec.default_flow with
+              Spec.workload =
+                mf_workload ~flows ?arrival_rate ?arrival_pareto_shape
+                  ?mean_size ();
+            };
+          ];
+      })
+
+let prop_many_flows_matches_single =
+  QCheck2.Test.make ~count:6 ~print:print_mf_spec
+    ~name:"random many_flows: sharded partitioned = single-domain, × jobs"
+    gen_mf_spec
+    (fun spec ->
+      let single = run_artifacts { spec with Spec.domains = 1 } in
+      let pooled =
+        Engine.Pool.with_pool ~jobs:2 (fun pool ->
+            List.map artifacts
+              (Spec.run_batch ~pool
+                 [
+                   { spec with Spec.domains = 2 };
+                   { spec with Spec.domains = 4 };
+                 ]))
+      in
+      List.for_all (String.equal single) pooled)
+
 (* --- validation gates --------------------------------------------------- *)
 
 let expect_invalid what spec =
@@ -266,7 +426,9 @@ let test_domains_validation () =
     };
   expect_invalid "record_trace is single-domain only"
     { Spec.default with Spec.domains = 2; record_trace = true };
-  expect_invalid "many_flows is single-domain only"
+  (* many_flows is partitionable since the sharded engine landed: a
+     duplex spec at domains = 2 must validate... *)
+  Spec.validate
     {
       Spec.default with
       Spec.domains = 2;
@@ -278,6 +440,46 @@ let test_domains_validation () =
               Spec.Many_flows
                 {
                   flows = 100;
+                  arrival_rate = None;
+                  arrival_pareto_shape = None;
+                  mean_size = None;
+                  size_pareto_shape = 1.2;
+                };
+          };
+        ];
+    };
+  (* ...while short_flows stays single-domain (receiver-spawning), and a
+     population smaller than the per-segment shard count is refused. *)
+  expect_invalid "short_flows is single-domain only"
+    {
+      Spec.default with
+      Spec.domains = 2;
+      flows =
+        [
+          {
+            Spec.default_flow with
+            Spec.workload =
+              Spec.Short_flows
+                {
+                  arrival_rate = 10.;
+                  mean_size = 20_000;
+                  pareto_shape = 1.2;
+                  stop_at = None;
+                };
+          };
+        ];
+    };
+  expect_invalid "fewer many_flows flows than segments"
+    {
+      (multi_spec ~domains:1) with
+      Spec.flows =
+        [
+          {
+            Spec.default_flow with
+            Spec.workload =
+              Spec.Many_flows
+                {
+                  flows = 2;
                   arrival_rate = None;
                   arrival_pareto_shape = None;
                   mean_size = None;
@@ -324,6 +526,9 @@ let suite =
     Alcotest.test_case "domains crossed with --jobs" `Quick
       test_domains_crossed_with_jobs;
     QCheck_alcotest.to_alcotest prop_partitioned_matches_single;
+    Alcotest.test_case "many-flows artifacts identical at any domains" `Quick
+      test_many_flows_identity;
+    QCheck_alcotest.to_alcotest prop_many_flows_matches_single;
     Alcotest.test_case "domains validation gates" `Quick
       test_domains_validation;
     Alcotest.test_case "JSON round-trip" `Quick test_json_round_trip;

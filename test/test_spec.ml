@@ -472,6 +472,44 @@ let test_validation () =
         ];
     }
 
+(* Bulk and Chunked flows share one TCP-result collector whose driver
+   dispatch reports a descriptive error (not an assert) on mismatch;
+   pin the legitimate arms: both kinds collect side by side. *)
+let test_mixed_tcp_collect () =
+  let o =
+    Spec.run
+      {
+        Spec.default with
+        Spec.name = "mixed-collect";
+        seed = 13;
+        duration = sec 2;
+        flows =
+          [
+            {
+              Spec.default_flow with
+              Spec.label = Some "bulk";
+              workload = Spec.Bulk { bytes = Some 400_000 };
+            };
+            {
+              Spec.default_flow with
+              Spec.label = Some "chunked";
+              workload =
+                Spec.Chunked
+                  { chunk_bytes = 32_768; interval = ms 40; chunks = Some 10 };
+            };
+          ];
+      }
+  in
+  let labels = List.map (fun (r : Spec.flow_result) -> r.Spec.label) o.results in
+  Alcotest.(check (list string)) "both flows collected" [ "bulk"; "chunked" ]
+    labels;
+  List.iter
+    (fun (r : Spec.flow_result) ->
+      Alcotest.(check bool)
+        (r.Spec.label ^ " moved data") true
+        (r.Spec.goodput_mbps > 0.))
+    o.results
+
 let suite =
   [
     Alcotest.test_case "round-trip: default" `Quick test_round_trip_default;
@@ -499,4 +537,6 @@ let suite =
     Alcotest.test_case "Run.bulk is the one-flow spec" `Slow
       test_bulk_equals_one_flow_spec;
     Alcotest.test_case "build validates the spec" `Quick test_validation;
+    Alcotest.test_case "bulk + chunked collect side by side" `Slow
+      test_mixed_tcp_collect;
   ]

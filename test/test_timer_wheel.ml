@@ -222,15 +222,67 @@ let test_cancel_and_handles () =
   Sim.Timer_wheel.cancel w h2;
   Alcotest.(check bool) "h3 unaffected" true (Sim.Timer_wheel.is_pending w h3)
 
-let test_horizon () =
-  let w = Sim.Timer_wheel.create ~on_fire:(fun ~kind:_ ~flow:_ -> ()) () in
-  Alcotest.check_raises "beyond horizon"
-    (Invalid_argument "Timer_wheel.arm: due time beyond the wheel horizon")
-    (fun () ->
-      ignore
-        (Sim.Timer_wheel.arm w
-           ~due_ns:(Sim.Timer_wheel.horizon_ns w + Sim.Timer_wheel.tick_ns w)
-           ~kind:0 ~flow:0))
+(* Regression: arming past the ~78 h horizon used to raise
+   [Invalid_argument] — a backoff-inflated RTO would hard-fail the run.
+   Beyond-horizon timers now park in an overflow list and are re-homed
+   by the top-level cascade, firing at their exact quantized due time. *)
+let test_overflow_parking () =
+  let fired = ref [] in
+  let at_ns = ref 0 in
+  let w =
+    Sim.Timer_wheel.create
+      ~on_fire:(fun ~kind:_ ~flow -> fired := (flow, !at_ns) :: !fired)
+      ()
+  in
+  let tick = Sim.Timer_wheel.tick_ns w in
+  let horizon = Sim.Timer_wheel.horizon_ns w in
+  (* One era ahead, two eras ahead (multi-rotation), and a near timer
+     that must stay unaffected and fire first. *)
+  let d_near = 5 * tick in
+  let d_one = horizon + (7 * tick) in
+  let d_two = horizon + 1 + (horizon + 1) + (3 * tick) in
+  ignore (Sim.Timer_wheel.arm w ~due_ns:d_one ~kind:0 ~flow:1;);
+  ignore (Sim.Timer_wheel.arm w ~due_ns:d_two ~kind:0 ~flow:2);
+  ignore (Sim.Timer_wheel.arm w ~due_ns:d_near ~kind:0 ~flow:0);
+  Alcotest.(check int) "all pending" 3 (Sim.Timer_wheel.pending w);
+  (* iter_pending must see parked timers with their true due time. *)
+  let seen = ref [] in
+  Sim.Timer_wheel.iter_pending w ~f:(fun ~due_ns ~kind:_ ~flow ->
+      seen := (flow, due_ns) :: !seen);
+  Alcotest.(check bool)
+    "iter_pending reports the parked timer" true
+    (List.mem_assoc 1 !seen && List.assoc 1 !seen >= horizon);
+  let rec walk () =
+    match Sim.Timer_wheel.next_due_ns w with
+    | -1 -> ()
+    | ns ->
+        at_ns := ns;
+        Sim.Timer_wheel.advance w ~now_ns:ns;
+        walk ()
+  in
+  walk ();
+  let quantize ns = (ns + tick - 1) / tick * tick in
+  Alcotest.(check (list (pair int int)))
+    "each timer fires at its quantized due, in due order"
+    [ (0, quantize d_near); (1, quantize d_one); (2, quantize d_two) ]
+    (List.rev !fired);
+  Alcotest.(check int) "drained" 0 (Sim.Timer_wheel.pending w)
+
+let test_overflow_cancel () =
+  let fired = ref 0 in
+  let w = Sim.Timer_wheel.create ~on_fire:(fun ~kind:_ ~flow:_ -> incr fired) () in
+  let tick = Sim.Timer_wheel.tick_ns w in
+  let horizon = Sim.Timer_wheel.horizon_ns w in
+  let h = Sim.Timer_wheel.arm w ~due_ns:(horizon + (9 * tick)) ~kind:0 ~flow:0 in
+  Alcotest.(check bool) "parked timer is pending" true
+    (Sim.Timer_wheel.is_pending w h);
+  Alcotest.(check bool) "attention points at the parked timer's era" true
+    (Sim.Timer_wheel.next_due_ns w > 0);
+  Sim.Timer_wheel.cancel w h;
+  Alcotest.(check bool) "cancelled" false (Sim.Timer_wheel.is_pending w h);
+  Alcotest.(check int) "idle attention" (-1) (Sim.Timer_wheel.next_due_ns w);
+  Sim.Timer_wheel.advance w ~now_ns:(2 * horizon);
+  Alcotest.(check int) "nothing fires" 0 !fired
 
 let test_alloc_free_churn () =
   (* The engine contract: steady-state arm/cancel churn allocates no
@@ -358,7 +410,10 @@ let suite =
       test_exact_due_firing;
     Alcotest.test_case "cancel is O(1), idempotent, generation-safe" `Quick
       test_cancel_and_handles;
-    Alcotest.test_case "arming beyond the horizon raises" `Quick test_horizon;
+    Alcotest.test_case "beyond-horizon timers park and fire (overflow)" `Quick
+      test_overflow_parking;
+    Alcotest.test_case "overflow timers cancel cleanly" `Quick
+      test_overflow_cancel;
     Alcotest.test_case "steady-state arm/cancel allocates nothing" `Quick
       test_alloc_free_churn;
   ]
